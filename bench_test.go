@@ -1,0 +1,192 @@
+// Package udfdecorr's root benchmarks regenerate the paper's evaluation as
+// testing.B benchmarks: one benchmark pair (Original vs Rewritten) per
+// figure, on both engine profiles, plus ablation benchmarks for the
+// physical-operator choices the cost model makes.
+//
+//	go test -bench=. -benchmem
+package udfdecorr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"udfdecorr/internal/bench"
+	"udfdecorr/internal/engine"
+)
+
+// benchCfg is a mid-scale dataset: large enough that the iterative and
+// set-oriented regimes separate, small enough for a benchmark run.
+var benchCfg = bench.Config{
+	Customers:         10_000,
+	OrdersPerCustomer: 5,
+	Parts:             20_000,
+	LineitemsPerPart:  3,
+	Categories:        200,
+	Seed:              20140331,
+}
+
+// engines are built once per profile/mode pair and reused across benchmarks.
+var engineCache = map[string]*engine.Engine{}
+
+func getEngine(b *testing.B, profile engine.Profile, mode engine.Mode) *engine.Engine {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d", profile.Name, mode)
+	if e, ok := engineCache[key]; ok {
+		return e
+	}
+	e, err := bench.NewEngine(profile, mode, benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engineCache[key] = e
+	return e
+}
+
+func runQuery(b *testing.B, e *engine.Engine, q string) {
+	b.Helper()
+	// Warm up (build indexes, statistics, cached plans).
+	if _, err := e.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Figure 10 (Experiment 1): straight-line UDF with two scalar queries.
+// --------------------------------------------------------------------------
+
+func benchExp1(b *testing.B, mode engine.Mode, n int) {
+	e := getEngine(b, engine.SYS1, mode)
+	runQuery(b, e, fmt.Sprintf(
+		"select top %d orderkey, discount(totalprice, custkey) from orders", n))
+}
+
+func BenchmarkExperiment1_Original(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchExp1(b, engine.ModeIterative, n) })
+	}
+}
+
+func BenchmarkExperiment1_Rewritten(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchExp1(b, engine.ModeRewrite, n) })
+	}
+}
+
+// --------------------------------------------------------------------------
+// Figure 11 (Experiment 2): Example 1's service_level UDF.
+// --------------------------------------------------------------------------
+
+func benchExp2(b *testing.B, mode engine.Mode, n int) {
+	e := getEngine(b, engine.SYS1, mode)
+	runQuery(b, e, fmt.Sprintf(
+		"select custkey, service_level(custkey) from customer where custkey <= %d", n))
+}
+
+func BenchmarkExperiment2_Original(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchExp2(b, engine.ModeIterative, n) })
+	}
+}
+
+func BenchmarkExperiment2_Rewritten(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchExp2(b, engine.ModeRewrite, n) })
+	}
+}
+
+// SYS2: the profile without embedded-plan caching (larger iterative gap).
+func BenchmarkExperiment2_SYS2_Original(b *testing.B) {
+	e := getEngine(b, engine.SYS2, engine.ModeIterative)
+	runQuery(b, e, "select custkey, service_level(custkey) from customer where custkey <= 1000")
+}
+
+func BenchmarkExperiment2_SYS2_Rewritten(b *testing.B) {
+	e := getEngine(b, engine.SYS2, engine.ModeRewrite)
+	runQuery(b, e, "select custkey, service_level(custkey) from customer where custkey <= 1000")
+}
+
+// --------------------------------------------------------------------------
+// Figure 12 (Experiment 3): cursor-loop UDF with an auxiliary aggregate.
+// --------------------------------------------------------------------------
+
+func benchExp3(b *testing.B, mode engine.Mode, n int) {
+	e := getEngine(b, engine.SYS1, mode)
+	runQuery(b, e, fmt.Sprintf(
+		"select categorykey, partcount(categorykey) from category where categorykey <= %d", n))
+}
+
+func BenchmarkExperiment3_Original(b *testing.B) {
+	for _, n := range []int{5, 50, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchExp3(b, engine.ModeIterative, n) })
+	}
+}
+
+func BenchmarkExperiment3_Rewritten(b *testing.B) {
+	for _, n := range []int{5, 50, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchExp3(b, engine.ModeRewrite, n) })
+	}
+}
+
+// --------------------------------------------------------------------------
+// Ablations: physical operator choices behind the figures.
+// --------------------------------------------------------------------------
+
+// The Example 5 workload (aux-aggregate join) rounds out the loop coverage.
+func BenchmarkExample5TotalLoss_Original(b *testing.B) {
+	e := getEngine(b, engine.SYS1, engine.ModeIterative)
+	runQuery(b, e, "select top 500 partkey, totalloss(partkey) from partsupp")
+}
+
+func BenchmarkExample5TotalLoss_Rewritten(b *testing.B) {
+	e := getEngine(b, engine.SYS1, engine.ModeRewrite)
+	runQuery(b, e, "select top 500 partkey, totalloss(partkey) from partsupp")
+}
+
+// Plain-SQL subquery decorrelation (Section II's min-cost supplier).
+func BenchmarkSubqueryDecorrelation_Original(b *testing.B) {
+	e := getEngine(b, engine.SYS1, engine.ModeIterative)
+	runQuery(b, e, `select partsuppkey from partsupp p1
+	  where supplycost = (select min(supplycost) from partsupp p2
+	                      where p2.partkey = p1.partkey)`)
+}
+
+func BenchmarkSubqueryDecorrelation_Rewritten(b *testing.B) {
+	e := getEngine(b, engine.SYS1, engine.ModeRewrite)
+	runQuery(b, e, `select partsuppkey from partsupp p1
+	  where supplycost = (select min(supplycost) from partsupp p2
+	                      where p2.partkey = p1.partkey)`)
+}
+
+// Rewrite-pipeline cost itself: how long decorrelating Example 1 takes.
+func BenchmarkRewritePipeline(b *testing.B) {
+	e := getEngine(b, engine.SYS1, engine.ModeRewrite)
+	q := "select custkey, service_level(custkey) from customer"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.RewriteSQL(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Decorrelated {
+			b.Fatal("not decorrelated")
+		}
+	}
+}
+
+// Cost-based mode (the integration the paper argues for): small inputs run
+// iteratively, large ones through the rewrite.
+func BenchmarkCostBasedSmall(b *testing.B) {
+	e := getEngine(b, engine.SYS1, engine.ModeCostBased)
+	runQuery(b, e, "select custkey, service_level(custkey) from customer where custkey <= 10")
+}
+
+func BenchmarkCostBasedLarge(b *testing.B) {
+	e := getEngine(b, engine.SYS1, engine.ModeCostBased)
+	runQuery(b, e, "select custkey, service_level(custkey) from customer where custkey <= 10000")
+}

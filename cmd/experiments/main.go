@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's evaluation: Figures 10, 11
+// and 12 of "Decorrelation of User Defined Function Invocations in Queries"
+// (ICDE 2014), on the SYS1 and SYS2 engine profiles.
+//
+// Usage:
+//
+//	experiments [-exp 1|2|3|all] [-sys 1|2|all] [-scale small|default]
+//	            [-customers N] [-parts N] [-categories N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"udfdecorr/internal/bench"
+	"udfdecorr/internal/engine"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment to run: 1, 2, 3 or all")
+	sysFlag := flag.String("sys", "1", "engine profile: 1, 2 or all")
+	scale := flag.String("scale", "default", "dataset scale: small or default")
+	customers := flag.Int("customers", 0, "override customer count")
+	parts := flag.Int("parts", 0, "override part count")
+	categories := flag.Int("categories", 0, "override category count")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *scale == "small" {
+		cfg = bench.SmallConfig()
+	}
+	if *customers > 0 {
+		cfg.Customers = *customers
+	}
+	if *parts > 0 {
+		cfg.Parts = *parts
+	}
+	if *categories > 0 {
+		cfg.Categories = *categories
+	}
+
+	var profiles []engine.Profile
+	switch *sysFlag {
+	case "1":
+		profiles = []engine.Profile{engine.SYS1}
+	case "2":
+		profiles = []engine.Profile{engine.SYS2}
+	case "all":
+		profiles = []engine.Profile{engine.SYS1, engine.SYS2}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -sys %q\n", *sysFlag)
+		os.Exit(2)
+	}
+
+	for _, exp := range bench.Experiments(cfg) {
+		if *expFlag != "all" && exp.ID != "exp"+*expFlag {
+			continue
+		}
+		for _, profile := range profiles {
+			points, err := bench.Run(exp, profile, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s on %s: %v\n", exp.ID, profile.Name, err)
+				os.Exit(1)
+			}
+			bench.Report(os.Stdout, exp, profile, points)
+			fmt.Println()
+		}
+	}
+}

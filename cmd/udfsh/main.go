@@ -1,0 +1,169 @@
+// Command udfsh is an interactive shell over the bundled engine: type DDL
+// (CREATE TABLE / CREATE FUNCTION), INSERT rows, and run queries that
+// invoke UDFs under any of the three execution modes.
+//
+// Meta commands:
+//
+//	.mode iterative|rewrite|costbased   switch execution mode
+//	.profile sys1|sys2                  switch engine profile (resets data!)
+//	.explain <query>                    show plan choices for a query
+//	.rewrite <query>                    show the decorrelated SQL
+//	.help                               this text
+//	.quit
+//
+// Statements end with ';' and may span lines.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"udfdecorr/internal/engine"
+	"udfdecorr/internal/sqlgen"
+)
+
+func main() {
+	e := engine.New(engine.SYS1, engine.ModeRewrite)
+	fmt.Println("udfdecorr shell — mode=rewrite profile=SYS1 (.help for commands)")
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("udf> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if !meta(e, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		// Statements are terminated by ';' at end of line; CREATE FUNCTION
+		// bodies end with END.
+		full := buf.String()
+		if !complete(full) {
+			prompt()
+			continue
+		}
+		buf.Reset()
+		run(e, full)
+		prompt()
+	}
+}
+
+// complete reports whether the buffered text forms a full statement: either
+// a non-CREATE-FUNCTION statement ending in ';', or a function definition
+// whose BEGIN/END nesting is closed.
+func complete(src string) bool {
+	upper := strings.ToUpper(src)
+	if strings.Contains(upper, "CREATE FUNCTION") {
+		depth := 0
+		for _, w := range strings.Fields(strings.ReplaceAll(upper, ";", " ; ")) {
+			switch w {
+			case "BEGIN":
+				depth++
+			case "END":
+				depth--
+			}
+		}
+		return strings.Count(upper, "BEGIN") > 0 && depth <= 0
+	}
+	return strings.HasSuffix(strings.TrimSpace(src), ";")
+}
+
+// meta executes a dot-command; returns false to exit.
+func meta(e *engine.Engine, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".help":
+		fmt.Println(".mode iterative|rewrite|costbased — execution mode")
+		fmt.Println(".explain <query>                  — plan choices")
+		fmt.Println(".rewrite <query>                  — decorrelated SQL")
+		fmt.Println(".quit")
+	case ".mode":
+		if len(fields) < 2 {
+			fmt.Println("current mode:", e.Mode)
+			break
+		}
+		switch fields[1] {
+		case "iterative":
+			e.Mode = engine.ModeIterative
+		case "rewrite":
+			e.Mode = engine.ModeRewrite
+		case "costbased":
+			e.Mode = engine.ModeCostBased
+		default:
+			fmt.Println("unknown mode", fields[1])
+		}
+	case ".explain":
+		out, err := e.Explain(strings.TrimPrefix(cmd, ".explain "))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(out)
+	case ".rewrite":
+		res, err := e.RewriteSQL(strings.TrimPrefix(cmd, ".rewrite "))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if !res.Decorrelated {
+			fmt.Println("-- not fully decorrelated; query left unchanged")
+			break
+		}
+		for _, agg := range res.NewAggs {
+			fmt.Println(agg.SQL())
+		}
+		sql, err := sqlgen.Generate(res.Rel)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println(sql)
+	default:
+		fmt.Println("unknown command; .help for help")
+	}
+	return true
+}
+
+// run executes one SQL statement (DDL, INSERT, or query).
+func run(e *engine.Engine, src string) {
+	trimmed := strings.TrimSpace(src)
+	upper := strings.ToUpper(trimmed)
+	switch {
+	case strings.HasPrefix(upper, "SELECT"):
+		t0 := time.Now()
+		res, err := e.Query(trimmed)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%d rows, %s, rewritten=%v, udf calls=%d)\n",
+			len(res.Rows), time.Since(t0).Round(time.Microsecond),
+			res.Rewritten, res.Counters.UDFCalls)
+	default:
+		if err := e.ExecScript(trimmed); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("ok")
+	}
+}

@@ -1,0 +1,270 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/sqltypes"
+)
+
+func scanOrders() *Scan {
+	return &Scan{Table: "orders", Alias: "orders", Cols: []Column{
+		{Qual: "orders", Name: "orderkey", Type: sqltypes.KindInt},
+		{Qual: "orders", Name: "custkey", Type: sqltypes.KindInt},
+		{Qual: "orders", Name: "totalprice", Type: sqltypes.KindFloat},
+	}}
+}
+
+func scanCustomer() *Scan {
+	return &Scan{Table: "customer", Alias: "c", Cols: []Column{
+		{Qual: "c", Name: "custkey", Type: sqltypes.KindInt},
+		{Qual: "c", Name: "name", Type: sqltypes.KindString},
+	}}
+}
+
+func TestSchemaInference(t *testing.T) {
+	orders := scanOrders()
+	sel := &Select{Pred: &Cmp{Op: sqltypes.CmpGT,
+		L: &ColRef{Name: "totalprice"}, R: &Const{Val: sqltypes.NewInt(100)}}, In: orders}
+	if len(sel.Schema()) != 3 {
+		t.Fatalf("select schema = %v", sel.Schema())
+	}
+	proj := &Project{Cols: []ProjCol{
+		{E: &ColRef{Name: "orderkey"}, As: "k"},
+		{E: &Arith{Op: sqltypes.OpMul, L: &ColRef{Name: "totalprice"},
+			R: &Const{Val: sqltypes.NewFloat(0.15)}}, As: "d"},
+	}, In: sel}
+	sc := proj.Schema()
+	if sc[0].Name != "k" || sc[0].Type != sqltypes.KindInt {
+		t.Errorf("proj col 0 = %+v", sc[0])
+	}
+	if sc[1].Name != "d" || sc[1].Type != sqltypes.KindFloat {
+		t.Errorf("proj col 1 = %+v", sc[1])
+	}
+	gb := &GroupBy{
+		Keys: []*ColRef{{Qual: "orders", Name: "custkey"}},
+		Aggs: []AggCall{
+			{Func: "sum", Args: []Expr{&ColRef{Name: "totalprice"}}, As: "total"},
+			{Func: "count", As: "n"},
+		},
+		In: orders,
+	}
+	gsc := gb.Schema()
+	if len(gsc) != 3 || gsc[1].Type != sqltypes.KindFloat || gsc[2].Type != sqltypes.KindInt {
+		t.Errorf("group-by schema = %v", gsc)
+	}
+	j := &Join{Kind: SemiJoin, L: orders, R: scanCustomer()}
+	if len(j.Schema()) != 3 {
+		t.Errorf("semijoin schema should be left only: %v", j.Schema())
+	}
+	j2 := &Join{Kind: LeftOuterJoin, L: orders, R: scanCustomer()}
+	if len(j2.Schema()) != 5 {
+		t.Errorf("left outer join schema: %v", j2.Schema())
+	}
+}
+
+func TestResolveRef(t *testing.T) {
+	schema := scanOrders().Schema()
+	if _, ok := ResolveRef(schema, "orders", "custkey"); !ok {
+		t.Error("qualified resolve failed")
+	}
+	if _, ok := ResolveRef(schema, "", "custkey"); !ok {
+		t.Error("unqualified resolve failed")
+	}
+	if _, ok := ResolveRef(schema, "lineitem", "custkey"); ok {
+		t.Error("wrong qualifier should not resolve")
+	}
+	if _, ok := ResolveRef(schema, "", "nosuch"); ok {
+		t.Error("missing column should not resolve")
+	}
+}
+
+// Build the paper's correlated min-cost-supplier inner expression:
+//
+//	G_{min(supplycost) as c}(σ_{partkey = p1.partkey}(partsupp))
+func corrInner() Rel {
+	ps := &Scan{Table: "partsupp", Alias: "p2", Cols: []Column{
+		{Qual: "p2", Name: "partkey", Type: sqltypes.KindInt},
+		{Qual: "p2", Name: "supplycost", Type: sqltypes.KindFloat},
+	}}
+	sel := &Select{Pred: &Cmp{Op: sqltypes.CmpEQ,
+		L: &ColRef{Qual: "p2", Name: "partkey"},
+		R: &ColRef{Qual: "p1", Name: "partkey"}}, In: ps}
+	return &GroupBy{Aggs: []AggCall{{Func: "min",
+		Args: []Expr{&ColRef{Qual: "p2", Name: "supplycost"}}, As: "c"}}, In: sel}
+}
+
+func TestFreeRefsCorrelated(t *testing.T) {
+	inner := corrInner()
+	free := FreeRefs(inner)
+	if len(free) != 1 {
+		t.Fatalf("free refs = %v", free.Sorted())
+	}
+	want := Ref{Qual: "p1", Name: "partkey"}
+	if !free[want] {
+		t.Errorf("missing %v in %v", want, free.Sorted())
+	}
+
+	outer := &Scan{Table: "partsupp", Alias: "p1", Cols: []Column{
+		{Qual: "p1", Name: "partkey", Type: sqltypes.KindInt},
+		{Qual: "p1", Name: "supplycost", Type: sqltypes.KindFloat},
+	}}
+	if !UsesRefsOf(inner, outer.Schema()) {
+		t.Error("inner should be correlated with outer")
+	}
+	apply := &Apply{Kind: CrossJoin, L: outer, R: inner}
+	if got := FreeRefs(apply); len(got) != 0 {
+		t.Errorf("apply should close the correlation: %v", got.Sorted())
+	}
+}
+
+func TestFreeRefsParamsAndBind(t *testing.T) {
+	orders := scanOrders()
+	inner := &Select{Pred: &Cmp{Op: sqltypes.CmpEQ,
+		L: &ColRef{Name: "custkey"}, R: &ParamRef{Name: "ckey"}}, In: orders}
+	free := FreeRefs(inner)
+	if !free[Ref{IsParam: true, Name: "ckey"}] {
+		t.Fatalf("param ckey should be free: %v", free.Sorted())
+	}
+	if !HasFreeParams(inner) {
+		t.Error("HasFreeParams")
+	}
+	cust := scanCustomer()
+	apply := &Apply{Kind: CrossJoin,
+		Binds: []Bind{{Param: "ckey", Arg: &ColRef{Qual: "c", Name: "custkey"}}},
+		L:     cust, R: inner}
+	if got := FreeRefs(apply); len(got) != 0 {
+		t.Errorf("bind should close the param: %v", got.Sorted())
+	}
+}
+
+func TestFreeRefsSubquery(t *testing.T) {
+	// Project over Single computing a scalar subquery correlated to "x".
+	sub := &Select{Pred: &Cmp{Op: sqltypes.CmpEQ,
+		L: &ColRef{Name: "custkey"}, R: &ColRef{Qual: "t", Name: "x"}}, In: scanOrders()}
+	proj := &Project{Cols: []ProjCol{{E: &Subquery{Rel: sub}, As: "v"}}, In: &Single{}}
+	free := FreeRefs(proj)
+	if !free[Ref{Qual: "t", Name: "x"}] {
+		t.Errorf("subquery correlation should surface: %v", free.Sorted())
+	}
+}
+
+func TestSubstituteParams(t *testing.T) {
+	orders := scanOrders()
+	inner := &Select{Pred: &Cmp{Op: sqltypes.CmpEQ,
+		L: &ColRef{Name: "custkey"}, R: &ParamRef{Name: "ckey"}}, In: orders}
+	got := SubstituteParams(inner, map[string]Expr{
+		"ckey": &ColRef{Qual: "c", Name: "custkey"},
+	})
+	if HasFreeParams(got) {
+		t.Error("params should be gone")
+	}
+	free := FreeRefs(got)
+	if !free[Ref{Qual: "c", Name: "custkey"}] {
+		t.Errorf("substituted column should now be free: %v", free.Sorted())
+	}
+	// Original must be untouched (persistent rewriting).
+	if !HasFreeParams(inner) {
+		t.Error("substitution must not mutate the input tree")
+	}
+}
+
+func TestTransformBottomUp(t *testing.T) {
+	orders := scanOrders()
+	sel := &Select{Pred: TrueConst(), In: orders}
+	proj := &Project{Cols: IdentityProjCols(sel.Schema()), In: sel}
+	// Replace Select[TRUE] by its child.
+	got := Transform(proj, func(n Rel) Rel {
+		if s, ok := n.(*Select); ok {
+			if c, ok := s.Pred.(*Const); ok && sqltypes.TriOf(c.Val) == sqltypes.True {
+				return s.In
+			}
+		}
+		return n
+	})
+	if Count(got, func(n Rel) bool { _, ok := n.(*Select); return ok }) != 0 {
+		t.Errorf("select should be eliminated:\n%s", Print(got))
+	}
+	if len(got.Schema()) != 3 {
+		t.Errorf("schema preserved")
+	}
+}
+
+func TestRenameColumns(t *testing.T) {
+	proj := &Project{Cols: []ProjCol{
+		{E: &Const{Val: sqltypes.NewInt(0)}, As: "level"},
+		{E: &ColRef{Name: "level"}, As: "retval"},
+	}, In: &Single{}}
+	got := RenameColumns(proj, map[string]string{"level": "level_1"}).(*Project)
+	if got.Cols[0].As != "level_1" {
+		t.Errorf("alias not renamed: %+v", got.Cols[0])
+	}
+	ref, ok := got.Cols[1].E.(*ColRef)
+	if !ok || ref.Name != "level_1" {
+		t.Errorf("ref not renamed: %+v", got.Cols[1].E)
+	}
+	if got.Cols[1].As != "retval" {
+		t.Errorf("unrelated alias changed: %+v", got.Cols[1])
+	}
+}
+
+func TestSplitAndAll(t *testing.T) {
+	a := &Cmp{Op: sqltypes.CmpEQ, L: &ColRef{Name: "a"}, R: &Const{Val: sqltypes.NewInt(1)}}
+	b := &Cmp{Op: sqltypes.CmpGT, L: &ColRef{Name: "b"}, R: &Const{Val: sqltypes.NewInt(2)}}
+	c := &Cmp{Op: sqltypes.CmpLT, L: &ColRef{Name: "c"}, R: &Const{Val: sqltypes.NewInt(3)}}
+	conj := AndAll([]Expr{a, b, c})
+	parts := SplitConjuncts(conj)
+	if len(parts) != 3 {
+		t.Fatalf("conjuncts = %d", len(parts))
+	}
+	if !EqualExpr(parts[0], a) || !EqualExpr(parts[2], c) {
+		t.Error("conjunct order/content")
+	}
+	if AndAll(nil) != nil {
+		t.Error("empty AndAll should be nil")
+	}
+}
+
+func TestEqualExpr(t *testing.T) {
+	a := &Arith{Op: sqltypes.OpMul, L: &ColRef{Name: "x"}, R: &Const{Val: sqltypes.NewFloat(0.15)}}
+	b := &Arith{Op: sqltypes.OpMul, L: &ColRef{Name: "x"}, R: &Const{Val: sqltypes.NewFloat(0.15)}}
+	if !EqualExpr(a, b) {
+		t.Error("structurally equal expressions")
+	}
+	c := &Arith{Op: sqltypes.OpMul, L: &ColRef{Name: "y"}, R: &Const{Val: sqltypes.NewFloat(0.15)}}
+	if EqualExpr(a, c) {
+		t.Error("different expressions compare equal")
+	}
+	if !EqualExpr(nil, nil) || EqualExpr(a, nil) {
+		t.Error("nil handling")
+	}
+}
+
+func TestPrintShowsApplyAndBind(t *testing.T) {
+	cust := scanCustomer()
+	inner := &Select{Pred: &Cmp{Op: sqltypes.CmpEQ,
+		L: &ColRef{Name: "custkey"}, R: &ParamRef{Name: "ckey"}}, In: scanOrders()}
+	apply := &Apply{Kind: LeftOuterJoin,
+		Binds: []Bind{{Param: "ckey", Arg: &ColRef{Qual: "c", Name: "custkey"}}},
+		L:     cust, R: inner}
+	out := Print(apply)
+	for _, want := range []string{"Apply(leftouter)", "bind: ckey=c.custkey", "Scan(customer AS c)", "Scan(orders)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHasApply(t *testing.T) {
+	if HasApply(scanOrders()) {
+		t.Error("plain scan has no apply")
+	}
+	am := &ApplyMerge{L: &Single{}, R: &Single{}}
+	if !HasApply(am) {
+		t.Error("ApplyMerge is an apply")
+	}
+	amc := &CondApplyMerge{Pred: TrueConst(), In: &Single{}, Then: &Single{}}
+	if !HasApply(amc) {
+		t.Error("CondApplyMerge is an apply")
+	}
+}

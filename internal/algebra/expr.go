@@ -1,0 +1,394 @@
+// Package algebra defines the logical relational algebra used by the
+// rewriter: standard operators (selection, projection, joins, grouping)
+// plus the paper's extended Apply operators — Apply with the bind extension,
+// Apply-Merge (AM) and Conditional Apply-Merge (AMC) — together with schema
+// inference, free-variable (correlation) analysis, and deep tree rewriting.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"udfdecorr/internal/sqltypes"
+)
+
+// Expr is a scalar expression over columns of a relation and free
+// parameters.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColRef references a column, optionally qualified.
+type ColRef struct {
+	Qual string
+	Name string
+}
+
+// ParamRef references a free parameter (a UDF formal parameter or a
+// correlation variable not yet bound).
+type ParamRef struct {
+	Name string
+}
+
+// Const is a literal value.
+type Const struct {
+	Val sqltypes.Value
+}
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   sqltypes.ArithOp
+	L, R Expr
+}
+
+// Cmp is a binary comparison.
+type Cmp struct {
+	Op   sqltypes.CmpOp
+	L, R Expr
+}
+
+// LogicOp is AND or OR.
+type LogicOp uint8
+
+// Logical operators.
+const (
+	LogicAnd LogicOp = iota
+	LogicOr
+)
+
+// String returns the SQL spelling.
+func (op LogicOp) String() string {
+	if op == LogicAnd {
+		return "AND"
+	}
+	return "OR"
+}
+
+// Logic is a binary logical expression.
+type Logic struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+// Not is logical negation.
+type Not struct {
+	E Expr
+}
+
+// IsNull is e IS [NOT] NULL.
+type IsNull struct {
+	Neg bool
+	E   Expr
+}
+
+// CaseWhen is one arm of a conditional expression.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is the conditional expression (p1?e1 : p2?e2 : ... : en) of
+// Section III; it renders as a SQL CASE.
+type Case struct {
+	Whens []CaseWhen
+	Else  Expr // nil renders as NULL
+}
+
+// Call invokes a scalar function: a builtin, or a UDF invocation left
+// un-algebraized (the paper leaves such calls as function invocations).
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Subquery is a scalar subquery: a relational expression expected to yield
+// at most one row and one column.
+type Subquery struct {
+	Rel Rel
+}
+
+// Exists is [NOT] EXISTS over a relational expression.
+type Exists struct {
+	Neg bool
+	Rel Rel
+}
+
+func (*ColRef) exprNode()   {}
+func (*ParamRef) exprNode() {}
+func (*Const) exprNode()    {}
+func (*Arith) exprNode()    {}
+func (*Cmp) exprNode()      {}
+func (*Logic) exprNode()    {}
+func (*Not) exprNode()      {}
+func (*IsNull) exprNode()   {}
+func (*Case) exprNode()     {}
+func (*Call) exprNode()     {}
+func (*Subquery) exprNode() {}
+func (*Exists) exprNode()   {}
+
+// String implements fmt.Stringer.
+func (e *ColRef) String() string {
+	if e.Qual != "" {
+		return e.Qual + "." + e.Name
+	}
+	return e.Name
+}
+
+// String implements fmt.Stringer.
+func (e *ParamRef) String() string { return ":" + e.Name }
+
+// String implements fmt.Stringer.
+func (e *Const) String() string { return e.Val.String() }
+
+// String implements fmt.Stringer.
+func (e *Arith) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+// String implements fmt.Stringer.
+func (e *Cmp) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+// String implements fmt.Stringer.
+func (e *Logic) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+// String implements fmt.Stringer.
+func (e *Not) String() string { return "(NOT " + e.E.String() + ")" }
+
+// String implements fmt.Stringer.
+func (e *IsNull) String() string {
+	if e.Neg {
+		return "(" + e.E.String() + " IS NOT NULL)"
+	}
+	return "(" + e.E.String() + " IS NULL)"
+}
+
+// String implements fmt.Stringer.
+func (e *Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range e.Whens {
+		b.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Then.String())
+	}
+	if e.Else != nil {
+		b.WriteString(" ELSE " + e.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (e *Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// String implements fmt.Stringer.
+func (e *Subquery) String() string { return "(subquery)" }
+
+// String implements fmt.Stringer.
+func (e *Exists) String() string {
+	if e.Neg {
+		return "NOT EXISTS(...)"
+	}
+	return "EXISTS(...)"
+}
+
+// NullConst is a reusable NULL literal (the paper's ⊥).
+func NullConst() *Const { return &Const{Val: sqltypes.Null} }
+
+// TrueConst is a reusable TRUE literal.
+func TrueConst() *Const { return &Const{Val: sqltypes.NewBool(true)} }
+
+// AndAll conjoins a list of predicates (nil for an empty list).
+func AndAll(preds []Expr) Expr {
+	var out Expr
+	for _, p := range preds {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = &Logic{Op: LogicAnd, L: out, R: p}
+		}
+	}
+	return out
+}
+
+// SplitConjuncts flattens a conjunction into its conjuncts.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if l, ok := e.(*Logic); ok && l.Op == LogicAnd {
+		return append(SplitConjuncts(l.L), SplitConjuncts(l.R)...)
+	}
+	return []Expr{e}
+}
+
+// EqualExpr reports structural equality of two expressions. Subqueries
+// compare by pointer identity of their relations.
+func EqualExpr(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case *ColRef:
+		y, ok := b.(*ColRef)
+		return ok && x.Qual == y.Qual && x.Name == y.Name
+	case *ParamRef:
+		y, ok := b.(*ParamRef)
+		return ok && x.Name == y.Name
+	case *Const:
+		y, ok := b.(*Const)
+		if !ok {
+			return false
+		}
+		if x.Val.IsNull() || y.Val.IsNull() {
+			return x.Val.IsNull() && y.Val.IsNull()
+		}
+		return sqltypes.TotalCompare(x.Val, y.Val) == 0 && x.Val.Kind() == y.Val.Kind()
+	case *Arith:
+		y, ok := b.(*Arith)
+		return ok && x.Op == y.Op && EqualExpr(x.L, y.L) && EqualExpr(x.R, y.R)
+	case *Cmp:
+		y, ok := b.(*Cmp)
+		return ok && x.Op == y.Op && EqualExpr(x.L, y.L) && EqualExpr(x.R, y.R)
+	case *Logic:
+		y, ok := b.(*Logic)
+		return ok && x.Op == y.Op && EqualExpr(x.L, y.L) && EqualExpr(x.R, y.R)
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && EqualExpr(x.E, y.E)
+	case *IsNull:
+		y, ok := b.(*IsNull)
+		return ok && x.Neg == y.Neg && EqualExpr(x.E, y.E)
+	case *Case:
+		y, ok := b.(*Case)
+		if !ok || len(x.Whens) != len(y.Whens) || !EqualExpr(x.Else, y.Else) {
+			return false
+		}
+		for i := range x.Whens {
+			if !EqualExpr(x.Whens[i].Cond, y.Whens[i].Cond) || !EqualExpr(x.Whens[i].Then, y.Whens[i].Then) {
+				return false
+			}
+		}
+		return true
+	case *Call:
+		y, ok := b.(*Call)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !EqualExpr(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *Subquery:
+		y, ok := b.(*Subquery)
+		return ok && x.Rel == y.Rel
+	case *Exists:
+		y, ok := b.(*Exists)
+		return ok && x.Neg == y.Neg && x.Rel == y.Rel
+	}
+	return false
+}
+
+// MapExpr rewrites an expression bottom-up: children are mapped first, then
+// f is applied to the (possibly rebuilt) node. Relations nested in Subquery
+// and Exists are rewritten with relF when non-nil.
+func MapExpr(e Expr, f func(Expr) Expr, relF func(Rel) Rel) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ColRef, *ParamRef, *Const:
+		return f(e)
+	case *Arith:
+		return f(&Arith{Op: x.Op, L: MapExpr(x.L, f, relF), R: MapExpr(x.R, f, relF)})
+	case *Cmp:
+		return f(&Cmp{Op: x.Op, L: MapExpr(x.L, f, relF), R: MapExpr(x.R, f, relF)})
+	case *Logic:
+		return f(&Logic{Op: x.Op, L: MapExpr(x.L, f, relF), R: MapExpr(x.R, f, relF)})
+	case *Not:
+		return f(&Not{E: MapExpr(x.E, f, relF)})
+	case *IsNull:
+		return f(&IsNull{Neg: x.Neg, E: MapExpr(x.E, f, relF)})
+	case *Case:
+		n := &Case{Whens: make([]CaseWhen, len(x.Whens)), Else: MapExpr(x.Else, f, relF)}
+		for i, w := range x.Whens {
+			n.Whens[i] = CaseWhen{Cond: MapExpr(w.Cond, f, relF), Then: MapExpr(w.Then, f, relF)}
+		}
+		return f(n)
+	case *Call:
+		n := &Call{Name: x.Name, Args: make([]Expr, len(x.Args))}
+		for i, a := range x.Args {
+			n.Args[i] = MapExpr(a, f, relF)
+		}
+		return f(n)
+	case *Subquery:
+		rel := x.Rel
+		if relF != nil {
+			rel = relF(rel)
+		}
+		return f(&Subquery{Rel: rel})
+	case *Exists:
+		rel := x.Rel
+		if relF != nil {
+			rel = relF(rel)
+		}
+		return f(&Exists{Neg: x.Neg, Rel: rel})
+	}
+	return f(e)
+}
+
+// VisitExpr walks an expression tree top-down, calling f on every node and,
+// via relV when non-nil, every nested relation.
+func VisitExpr(e Expr, f func(Expr), relV func(Rel)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *Arith:
+		VisitExpr(x.L, f, relV)
+		VisitExpr(x.R, f, relV)
+	case *Cmp:
+		VisitExpr(x.L, f, relV)
+		VisitExpr(x.R, f, relV)
+	case *Logic:
+		VisitExpr(x.L, f, relV)
+		VisitExpr(x.R, f, relV)
+	case *Not:
+		VisitExpr(x.E, f, relV)
+	case *IsNull:
+		VisitExpr(x.E, f, relV)
+	case *Case:
+		for _, w := range x.Whens {
+			VisitExpr(w.Cond, f, relV)
+			VisitExpr(w.Then, f, relV)
+		}
+		VisitExpr(x.Else, f, relV)
+	case *Call:
+		for _, a := range x.Args {
+			VisitExpr(a, f, relV)
+		}
+	case *Subquery:
+		if relV != nil {
+			relV(x.Rel)
+		}
+	case *Exists:
+		if relV != nil {
+			relV(x.Rel)
+		}
+	}
+}

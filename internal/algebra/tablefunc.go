@@ -1,0 +1,31 @@
+package algebra
+
+import "strings"
+
+// TableFunc is a table-valued UDF invocation in a FROM clause. The rewriter
+// of Section VII-B replaces it with the algebraized body when possible;
+// otherwise the engine materializes it through the interpreter.
+type TableFunc struct {
+	Name string
+	Args []Expr
+	// Cols is the declared result schema, qualified by the use-site alias.
+	Cols []Column
+}
+
+// Schema implements Rel.
+func (t *TableFunc) Schema() []Column { return t.Cols }
+
+// Children implements Rel.
+func (t *TableFunc) Children() []Rel { return nil }
+
+// WithChildren implements Rel.
+func (t *TableFunc) WithChildren(ch []Rel) Rel { return t }
+
+// Describe implements Rel.
+func (t *TableFunc) Describe() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return "TableFunc(" + t.Name + "(" + strings.Join(parts, ", ") + "))"
+}

@@ -1,0 +1,149 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/sqltypes"
+)
+
+func TestMapExprsDeepReachesSubqueries(t *testing.T) {
+	sub := &Select{Pred: &Cmp{Op: sqltypes.CmpEQ,
+		L: &ColRef{Name: "x"}, R: &ParamRef{Name: "p"}}, In: scanOrders()}
+	rel := &Project{Cols: []ProjCol{{E: &Subquery{Rel: sub}, As: "v"}}, In: &Single{}}
+	got := MapExprsDeep(rel, func(e Expr) Expr {
+		if pr, ok := e.(*ParamRef); ok && pr.Name == "p" {
+			return &Const{Val: sqltypes.NewInt(42)}
+		}
+		return e
+	})
+	if HasFreeParams(got) {
+		t.Errorf("param inside subquery should be replaced:\n%s", Print(got))
+	}
+	// Original untouched.
+	if !HasFreeParams(rel) {
+		t.Error("input tree mutated")
+	}
+}
+
+func TestVisitCountsSubqueryNodes(t *testing.T) {
+	sub := &Select{Pred: TrueConst(), In: scanOrders()}
+	rel := &Project{Cols: []ProjCol{{E: &Exists{Rel: sub}, As: "v"}}, In: scanCustomer()}
+	scans := Count(rel, func(n Rel) bool { _, ok := n.(*Scan); return ok })
+	if scans != 2 {
+		t.Errorf("Visit should reach subquery scans: %d", scans)
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	schema := []Column{
+		{Name: "i", Type: sqltypes.KindInt},
+		{Name: "f", Type: sqltypes.KindFloat},
+		{Name: "s", Type: sqltypes.KindString},
+	}
+	cases := []struct {
+		e    Expr
+		want sqltypes.Kind
+	}{
+		{&ColRef{Name: "i"}, sqltypes.KindInt},
+		{&ColRef{Name: "nosuch"}, sqltypes.KindNull},
+		{&Const{Val: sqltypes.NewString("x")}, sqltypes.KindString},
+		{&Arith{Op: sqltypes.OpAdd, L: &ColRef{Name: "i"}, R: &ColRef{Name: "i"}}, sqltypes.KindInt},
+		{&Arith{Op: sqltypes.OpMul, L: &ColRef{Name: "i"}, R: &ColRef{Name: "f"}}, sqltypes.KindFloat},
+		{&Cmp{Op: sqltypes.CmpLT, L: &ColRef{Name: "i"}, R: &ColRef{Name: "f"}}, sqltypes.KindBool},
+		{&Not{E: TrueConst()}, sqltypes.KindBool},
+		{&IsNull{E: &ColRef{Name: "s"}}, sqltypes.KindBool},
+		{&Case{Whens: []CaseWhen{{Cond: TrueConst(), Then: &ColRef{Name: "s"}}}}, sqltypes.KindString},
+		{&Call{Name: "upper", Args: []Expr{&ColRef{Name: "s"}}}, sqltypes.KindString},
+		{&Call{Name: "length", Args: []Expr{&ColRef{Name: "s"}}}, sqltypes.KindInt},
+	}
+	for _, c := range cases {
+		if got := TypeOf(c.e, schema); got != c.want {
+			t.Errorf("TypeOf(%s) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	exprs := map[Expr]string{
+		&Arith{Op: sqltypes.OpAdd, L: &ColRef{Qual: "t", Name: "a"}, R: &Const{Val: sqltypes.NewInt(1)}}: "(t.a + 1)",
+		&Logic{Op: LogicOr, L: TrueConst(), R: TrueConst()}:                                              "(TRUE OR TRUE)",
+		&Not{E: TrueConst()}:                      "(NOT TRUE)",
+		&IsNull{E: &ColRef{Name: "x"}, Neg: true}: "(x IS NOT NULL)",
+		&ParamRef{Name: "p"}:                      ":p",
+		&Call{Name: "coalesce", Args: []Expr{&ColRef{Name: "x"}, &Const{Val: sqltypes.NewInt(0)}}}: "coalesce(x, 0)",
+	}
+	for e, want := range exprs {
+		if got := e.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	c := &Case{Whens: []CaseWhen{{Cond: TrueConst(), Then: &Const{Val: sqltypes.NewInt(1)}}},
+		Else: &Const{Val: sqltypes.NewInt(2)}}
+	if !strings.Contains(c.String(), "WHEN TRUE THEN 1 ELSE 2") {
+		t.Errorf("case string = %q", c.String())
+	}
+}
+
+func TestDescribeStrings(t *testing.T) {
+	nodes := []Rel{
+		&Scan{Table: "t", Alias: "a"},
+		&Single{},
+		&Limit{N: 3, In: &Single{}},
+		&Sort{Keys: []SortKey{{E: &ColRef{Name: "x"}, Desc: true}}, In: &Single{}},
+		&UnionAll{L: &Single{}, R: &Single{}},
+		&TableFunc{Name: "f", Args: []Expr{&Const{Val: sqltypes.NewInt(1)}}},
+		&ApplyMerge{Assigns: []MergeAssign{{Target: "a", Source: "b"}}, L: &Single{}, R: &Single{}},
+		&CondApplyMerge{Pred: TrueConst(), In: &Single{}, Then: &Single{}},
+	}
+	for _, n := range nodes {
+		if n.Describe() == "" {
+			t.Errorf("%T has empty Describe", n)
+		}
+	}
+}
+
+func TestWithChildrenRoundTrip(t *testing.T) {
+	orders := scanOrders()
+	nodes := []Rel{
+		&Select{Pred: TrueConst(), In: orders},
+		&Project{Cols: IdentityProjCols(orders.Schema()), In: orders},
+		&Join{Kind: InnerJoin, L: orders, R: scanCustomer()},
+		&GroupBy{Aggs: []AggCall{{Func: "count", As: "c"}}, In: orders},
+		&UnionAll{L: orders, R: orders},
+		&Limit{N: 1, In: orders},
+		&Sort{In: orders},
+		&Apply{Kind: CrossJoin, L: orders, R: orders},
+		&ApplyMerge{L: orders, R: orders},
+		&CondApplyMerge{Pred: TrueConst(), In: orders, Then: orders, Else: orders},
+	}
+	for _, n := range nodes {
+		ch := n.Children()
+		rebuilt := n.WithChildren(ch)
+		if len(rebuilt.Children()) != len(ch) {
+			t.Errorf("%T: WithChildren changed arity", n)
+		}
+		if len(rebuilt.Schema()) != len(n.Schema()) {
+			t.Errorf("%T: WithChildren changed schema", n)
+		}
+	}
+	// Leaves return themselves.
+	if orders.WithChildren(nil) != Rel(orders) {
+		t.Error("scan WithChildren should be identity")
+	}
+}
+
+func TestCondApplyMergeOptionalElse(t *testing.T) {
+	amc := &CondApplyMerge{Pred: TrueConst(), In: scanOrders(), Then: &Single{}}
+	if len(amc.Children()) != 2 {
+		t.Errorf("children without else = %d", len(amc.Children()))
+	}
+	withElse := &CondApplyMerge{Pred: TrueConst(), In: scanOrders(), Then: &Single{}, Else: &Single{}}
+	if len(withElse.Children()) != 3 {
+		t.Errorf("children with else = %d", len(withElse.Children()))
+	}
+	rebuilt := withElse.WithChildren(withElse.Children()).(*CondApplyMerge)
+	if rebuilt.Else == nil {
+		t.Error("else lost in WithChildren")
+	}
+}

@@ -1,0 +1,456 @@
+// Package ast defines the abstract syntax tree for the SQL dialect accepted
+// by the rewrite tool: queries (SELECT with joins, grouping, subqueries) and
+// the procedural statements that appear in UDF bodies (DECLARE, SET, IF/ELSE,
+// RETURN, SELECT INTO, cursor loops, INSERT into table variables).
+package ast
+
+import (
+	"strings"
+
+	"udfdecorr/internal/sqltypes"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	// SQL renders the node back to dialect syntax (used for error messages
+	// and round-trip tests; the production deparser lives in sqlgen).
+	SQL() string
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is a scalar expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// ColName references a column, optionally qualified by a table name or alias.
+type ColName struct {
+	Qual string // optional qualifier ("" when absent)
+	Name string
+}
+
+// ParamRef references a host variable, UDF formal parameter, or local
+// variable (written :name or @name in source).
+type ParamRef struct {
+	Name string
+}
+
+// Lit is a literal constant.
+type Lit struct {
+	Val sqltypes.Value
+}
+
+// BinOp enumerates binary operators in expressions.
+type BinOp uint8
+
+// Binary operators.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinConcat
+	BinEQ
+	BinNE
+	BinLT
+	BinLE
+	BinGT
+	BinGE
+	BinAnd
+	BinOr
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string {
+	switch op {
+	case BinAdd:
+		return "+"
+	case BinSub:
+		return "-"
+	case BinMul:
+		return "*"
+	case BinDiv:
+		return "/"
+	case BinMod:
+		return "%"
+	case BinConcat:
+		return "||"
+	case BinEQ:
+		return "="
+	case BinNE:
+		return "<>"
+	case BinLT:
+		return "<"
+	case BinLE:
+		return "<="
+	case BinGT:
+		return ">"
+	case BinGE:
+		return ">="
+	case BinAnd:
+		return "AND"
+	case BinOr:
+		return "OR"
+	default:
+		return "?"
+	}
+}
+
+// IsComparison reports whether the operator is a comparison.
+func (op BinOp) IsComparison() bool { return op >= BinEQ && op <= BinGE }
+
+// IsArith reports whether the operator is arithmetic.
+func (op BinOp) IsArith() bool { return op <= BinMod }
+
+// BinExpr is a binary expression.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnaryExpr is NOT e or -e.
+type UnaryExpr struct {
+	Op string // "NOT" or "-"
+	E  Expr
+}
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	Neg bool
+	E   Expr
+}
+
+// When is one WHEN cond THEN result arm of a CASE expression.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []When
+	Else  Expr // may be nil (NULL)
+}
+
+// FuncCall is a function invocation: scalar builtin, aggregate, or UDF.
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+// SubqueryExpr is a scalar subquery used as an expression.
+type SubqueryExpr struct {
+	Select *SelectStmt
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Neg    bool
+	Select *SelectStmt
+}
+
+// InExpr is e [NOT] IN (subquery) or e [NOT] IN (list...).
+type InExpr struct {
+	Neg    bool
+	E      Expr
+	Select *SelectStmt // exactly one of Select/List is set
+	List   []Expr
+}
+
+func (*ColName) exprNode()      {}
+func (*ParamRef) exprNode()     {}
+func (*Lit) exprNode()          {}
+func (*BinExpr) exprNode()      {}
+func (*UnaryExpr) exprNode()    {}
+func (*IsNullExpr) exprNode()   {}
+func (*CaseExpr) exprNode()     {}
+func (*FuncCall) exprNode()     {}
+func (*SubqueryExpr) exprNode() {}
+func (*ExistsExpr) exprNode()   {}
+func (*InExpr) exprNode()       {}
+
+// SQL implements Node.
+func (e *ColName) SQL() string {
+	if e.Qual != "" {
+		return e.Qual + "." + e.Name
+	}
+	return e.Name
+}
+
+// SQL implements Node.
+func (e *ParamRef) SQL() string { return ":" + e.Name }
+
+// SQL implements Node.
+func (e *Lit) SQL() string { return e.Val.String() }
+
+// SQL implements Node.
+func (e *BinExpr) SQL() string {
+	return "(" + e.L.SQL() + " " + e.Op.String() + " " + e.R.SQL() + ")"
+}
+
+// SQL implements Node.
+func (e *UnaryExpr) SQL() string {
+	if e.Op == "NOT" {
+		return "(NOT " + e.E.SQL() + ")"
+	}
+	return "(" + e.Op + e.E.SQL() + ")"
+}
+
+// SQL implements Node.
+func (e *IsNullExpr) SQL() string {
+	if e.Neg {
+		return "(" + e.E.SQL() + " IS NOT NULL)"
+	}
+	return "(" + e.E.SQL() + " IS NULL)"
+}
+
+// SQL implements Node.
+func (e *CaseExpr) SQL() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range e.Whens {
+		b.WriteString(" WHEN " + w.Cond.SQL() + " THEN " + w.Then.SQL())
+	}
+	if e.Else != nil {
+		b.WriteString(" ELSE " + e.Else.SQL())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// SQL implements Node.
+func (e *FuncCall) SQL() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.SQL()
+	}
+	inner := strings.Join(args, ", ")
+	if e.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	return e.Name + "(" + inner + ")"
+}
+
+// SQL implements Node.
+func (e *SubqueryExpr) SQL() string { return "(" + e.Select.SQL() + ")" }
+
+// SQL implements Node.
+func (e *ExistsExpr) SQL() string {
+	p := "EXISTS "
+	if e.Neg {
+		p = "NOT EXISTS "
+	}
+	return p + "(" + e.Select.SQL() + ")"
+}
+
+// SQL implements Node.
+func (e *InExpr) SQL() string {
+	op := " IN "
+	if e.Neg {
+		op = " NOT IN "
+	}
+	if e.Select != nil {
+		return e.E.SQL() + op + "(" + e.Select.SQL() + ")"
+	}
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.SQL()
+	}
+	return e.E.SQL() + op + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+// SelectItem is one item of the SELECT list.
+type SelectItem struct {
+	Star  bool   // SELECT *
+	Expr  Expr   // nil when Star
+	Alias string // optional AS alias
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// JoinKind enumerates join syntax kinds in the FROM clause.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeftOuter
+	JoinCross
+)
+
+// String returns the SQL spelling of the join kind.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "JOIN"
+	case JoinLeftOuter:
+		return "LEFT OUTER JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	default:
+		return "?"
+	}
+}
+
+// TableRef is an entry of the FROM clause.
+type TableRef interface {
+	Node
+	tableRef()
+}
+
+// TableName references a base table (or table-valued UDF result) by name.
+type TableName struct {
+	Name  string
+	Alias string // optional
+}
+
+// JoinRef is an explicit join between two table refs.
+type JoinRef struct {
+	Kind JoinKind
+	L, R TableRef
+	On   Expr // nil for CROSS JOIN
+}
+
+// SubqueryRef is a derived table: (SELECT ...) AS alias.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// FuncRef is a table-valued function invocation in FROM.
+type FuncRef struct {
+	Name  string
+	Args  []Expr
+	Alias string
+}
+
+func (*TableName) tableRef()   {}
+func (*JoinRef) tableRef()     {}
+func (*SubqueryRef) tableRef() {}
+func (*FuncRef) tableRef()     {}
+
+// SQL implements Node.
+func (t *TableName) SQL() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// SQL implements Node.
+func (t *JoinRef) SQL() string {
+	s := t.L.SQL() + " " + t.Kind.String() + " " + t.R.SQL()
+	if t.On != nil {
+		s += " ON " + t.On.SQL()
+	}
+	return s
+}
+
+// SQL implements Node.
+func (t *SubqueryRef) SQL() string { return "(" + t.Select.SQL() + ") " + t.Alias }
+
+// SQL implements Node.
+func (t *FuncRef) SQL() string {
+	args := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = a.SQL()
+	}
+	s := t.Name + "(" + strings.Join(args, ", ") + ")"
+	if t.Alias != "" {
+		s += " " + t.Alias
+	}
+	return s
+}
+
+// SelectStmt is a (possibly nested) SELECT query. Into is non-empty only for
+// SELECT ... INTO :v statements inside UDF bodies.
+type SelectStmt struct {
+	Top      Expr // optional TOP n
+	Distinct bool
+	Items    []SelectItem
+	Into     []string // local variable targets for SELECT INTO
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+}
+
+// SQL implements Node.
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Top != nil {
+		b.WriteString("TOP " + s.Top.SQL() + " ")
+	}
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(it.Expr.SQL())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	if len(s.Into) > 0 {
+		b.WriteString(" INTO :" + strings.Join(s.Into, ", :"))
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(f.SQL())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			parts[i] = g.SQL()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.Expr.SQL()
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package ast
+
+import (
+	"strings"
+
+	"udfdecorr/internal/sqltypes"
+)
+
+// ---------------------------------------------------------------------------
+// Procedural statements (UDF bodies)
+// ---------------------------------------------------------------------------
+
+// Stmt is a procedural statement inside a UDF body.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// DeclareStmt declares a local variable, optionally with an initializer.
+type DeclareStmt struct {
+	Name string
+	Type sqltypes.Kind
+	Init Expr // nil means uninitialized (⊥, i.e. NULL)
+}
+
+// AssignStmt assigns an expression to a local variable (SET v = e or v = e).
+type AssignStmt struct {
+	Name string
+	Expr Expr
+}
+
+// IfStmt is a conditional block with optional ELSE.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// ReturnStmt returns a scalar expression (which may be a scalar subquery)
+// or, in table-valued UDFs, the result table (Expr nil, Table set).
+type ReturnStmt struct {
+	Expr  Expr
+	Table string // table variable name for RETURN tt
+}
+
+// SelectIntoStmt executes a query and assigns its single row to variables.
+type SelectIntoStmt struct {
+	Select *SelectStmt // Select.Into names the targets
+}
+
+// DeclareCursorStmt declares a cursor over a query.
+type DeclareCursorStmt struct {
+	Name   string
+	Select *SelectStmt
+}
+
+// OpenStmt opens a cursor.
+type OpenStmt struct{ Cursor string }
+
+// FetchStmt fetches the next row from a cursor into variables. The fetch
+// status is observable via the @@FETCH_STATUS pseudo-variable.
+type FetchStmt struct {
+	Cursor string
+	Into   []string
+}
+
+// WhileStmt is a loop; in cursor loops the condition is
+// @@FETCH_STATUS = 0.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// CloseStmt closes a cursor.
+type CloseStmt struct{ Cursor string }
+
+// DeallocateStmt deallocates a cursor.
+type DeallocateStmt struct{ Cursor string }
+
+// InsertStmt inserts a row of values into a table variable (used by
+// table-valued UDFs).
+type InsertStmt struct {
+	Table  string
+	Values []Expr
+}
+
+func (*DeclareStmt) stmtNode()       {}
+func (*AssignStmt) stmtNode()        {}
+func (*IfStmt) stmtNode()            {}
+func (*ReturnStmt) stmtNode()        {}
+func (*SelectIntoStmt) stmtNode()    {}
+func (*DeclareCursorStmt) stmtNode() {}
+func (*OpenStmt) stmtNode()          {}
+func (*FetchStmt) stmtNode()         {}
+func (*WhileStmt) stmtNode()         {}
+func (*CloseStmt) stmtNode()         {}
+func (*DeallocateStmt) stmtNode()    {}
+func (*InsertStmt) stmtNode()        {}
+
+// SQL implements Node.
+func (s *DeclareStmt) SQL() string {
+	out := "DECLARE " + s.Name + " " + s.Type.String()
+	if s.Init != nil {
+		out += " = " + s.Init.SQL()
+	}
+	return out + ";"
+}
+
+// SQL implements Node.
+func (s *AssignStmt) SQL() string { return "SET " + s.Name + " = " + s.Expr.SQL() + ";" }
+
+// SQL implements Node.
+func (s *IfStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("IF " + s.Cond.SQL() + " BEGIN ")
+	for _, st := range s.Then {
+		b.WriteString(st.SQL() + " ")
+	}
+	b.WriteString("END")
+	if len(s.Else) > 0 {
+		b.WriteString(" ELSE BEGIN ")
+		for _, st := range s.Else {
+			b.WriteString(st.SQL() + " ")
+		}
+		b.WriteString("END")
+	}
+	return b.String()
+}
+
+// SQL implements Node.
+func (s *ReturnStmt) SQL() string {
+	if s.Table != "" {
+		return "RETURN " + s.Table + ";"
+	}
+	return "RETURN " + s.Expr.SQL() + ";"
+}
+
+// SQL implements Node.
+func (s *SelectIntoStmt) SQL() string { return s.Select.SQL() + ";" }
+
+// SQL implements Node.
+func (s *DeclareCursorStmt) SQL() string {
+	return "DECLARE " + s.Name + " CURSOR FOR " + s.Select.SQL() + ";"
+}
+
+// SQL implements Node.
+func (s *OpenStmt) SQL() string { return "OPEN " + s.Cursor + ";" }
+
+// SQL implements Node.
+func (s *FetchStmt) SQL() string {
+	return "FETCH NEXT FROM " + s.Cursor + " INTO @" + strings.Join(s.Into, ", @") + ";"
+}
+
+// SQL implements Node.
+func (s *WhileStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("WHILE " + s.Cond.SQL() + " BEGIN ")
+	for _, st := range s.Body {
+		b.WriteString(st.SQL() + " ")
+	}
+	b.WriteString("END")
+	return b.String()
+}
+
+// SQL implements Node.
+func (s *CloseStmt) SQL() string { return "CLOSE " + s.Cursor + ";" }
+
+// SQL implements Node.
+func (s *DeallocateStmt) SQL() string { return "DEALLOCATE " + s.Cursor + ";" }
+
+// SQL implements Node.
+func (s *InsertStmt) SQL() string {
+	parts := make([]string, len(s.Values))
+	for i, v := range s.Values {
+		parts[i] = v.SQL()
+	}
+	return "INSERT INTO " + s.Table + " VALUES (" + strings.Join(parts, ", ") + ");"
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+// ColDef is a column definition in CREATE TABLE or RETURNS TABLE.
+type ColDef struct {
+	Name       string
+	Type       sqltypes.Kind
+	PrimaryKey bool
+}
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Name string
+	Cols []ColDef
+}
+
+// ParamDef is a UDF formal parameter.
+type ParamDef struct {
+	Name string
+	Type sqltypes.Kind
+}
+
+// CreateFunctionStmt is CREATE FUNCTION, either scalar (ReturnType set) or
+// table-valued (TableName and TableCols set).
+type CreateFunctionStmt struct {
+	Name       string
+	Params     []ParamDef
+	ReturnType sqltypes.Kind
+	TableName  string   // non-empty for table-valued functions
+	TableCols  []ColDef // schema of the returned table
+	Body       []Stmt
+}
+
+func (*CreateTableStmt) stmtNode()    {}
+func (*CreateFunctionStmt) stmtNode() {}
+
+// SQL implements Node.
+func (s *CreateTableStmt) SQL() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.Name + " " + c.Type.String()
+		if c.PrimaryKey {
+			parts[i] += " PRIMARY KEY"
+		}
+	}
+	return "CREATE TABLE " + s.Name + " (" + strings.Join(parts, ", ") + ");"
+}
+
+// SQL implements Node.
+func (s *CreateFunctionStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("CREATE FUNCTION " + s.Name + "(")
+	for i, p := range s.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Name + " " + p.Type.String())
+	}
+	b.WriteString(") RETURNS ")
+	if s.TableName != "" {
+		cols := make([]string, len(s.TableCols))
+		for i, c := range s.TableCols {
+			cols[i] = c.Name + " " + c.Type.String()
+		}
+		b.WriteString("TABLE " + s.TableName + " (" + strings.Join(cols, ", ") + ")")
+	} else {
+		b.WriteString(s.ReturnType.String())
+	}
+	b.WriteString(" AS BEGIN ")
+	for _, st := range s.Body {
+		b.WriteString(st.SQL() + " ")
+	}
+	b.WriteString("END")
+	return b.String()
+}
+
+// Script is a parsed sequence of top-level statements.
+type Script struct {
+	Tables    []*CreateTableStmt
+	Functions []*CreateFunctionStmt
+	Queries   []*SelectStmt
+	Inserts   []*InsertStmt
+}

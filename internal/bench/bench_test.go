@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/engine"
+)
+
+func TestGeneratorRowCounts(t *testing.T) {
+	cfg := SmallConfig()
+	e, err := NewEngine(engine.SYS1, engine.ModeIterative, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, tbl := range []string{"customer", "orders", "part", "lineitem",
+		"category", "categoryancestor", "categorydiscount", "partcost", "partsupp"} {
+		st, ok := e.Store.Table(tbl)
+		if !ok {
+			t.Fatalf("missing table %s", tbl)
+		}
+		counts[tbl] = st.RowCount()
+	}
+	if counts["customer"] != cfg.Customers {
+		t.Errorf("customers = %d", counts["customer"])
+	}
+	// 10% of customers have no orders.
+	wantOrders := (cfg.Customers - cfg.Customers/10) * cfg.OrdersPerCustomer
+	if counts["orders"] != wantOrders {
+		t.Errorf("orders = %d, want %d", counts["orders"], wantOrders)
+	}
+	if counts["part"] != cfg.Parts || counts["category"] != cfg.Categories {
+		t.Errorf("parts/categories = %d/%d", counts["part"], counts["category"])
+	}
+	if counts["categoryancestor"] < cfg.Categories {
+		t.Errorf("ancestor closure too small: %d", counts["categoryancestor"])
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := SmallConfig()
+	e1, err := NewEngine(engine.SYS1, engine.ModeIterative, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine(engine.SYS1, engine.ModeIterative, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "select custkey, totalprice from orders where orderkey <= 50"
+	r1, err := e1.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Format() != r2.Format() {
+		t.Error("generator is not deterministic")
+	}
+}
+
+// TestExperimentsAgree runs every experiment at small scale on both
+// profiles and verifies the iterative and rewritten plans agree — the
+// correctness backbone of the evaluation.
+func TestExperimentsAgree(t *testing.T) {
+	cfg := SmallConfig()
+	for _, exp := range Experiments(cfg) {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			points, err := Run(exp, engine.SYS1, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(points) == 0 {
+				t.Fatal("no points")
+			}
+			var sb strings.Builder
+			Report(&sb, exp, engine.SYS1, points)
+			if !strings.Contains(sb.String(), exp.Figure) {
+				t.Error("report should name the figure")
+			}
+		})
+	}
+}
+
+func TestExperimentsSYS2Profile(t *testing.T) {
+	cfg := SmallConfig()
+	exps := Experiments(cfg)
+	if _, err := Run(exps[1], engine.SYS2, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"udfdecorr/internal/engine"
+)
+
+// Point is one measurement of an experiment sweep.
+type Point struct {
+	N         int           // number of UDF invocations
+	Original  time.Duration // iterative plan
+	Rewritten time.Duration // decorrelated plan
+	OrigRows  int
+	RewrRows  int
+}
+
+// Experiment is one figure of the paper's evaluation.
+type Experiment struct {
+	ID      string // "exp1" ...
+	Figure  string // "Figure 10" ...
+	Title   string
+	Query   func(n int) string
+	Sweep   []int
+	Profile engine.Profile
+}
+
+// Experiments returns the three experiments of Section X, scaled by the
+// config (sweep sizes are clamped to the dataset).
+func Experiments(cfg Config) []Experiment {
+	clamp := func(sizes []int, max int) []int {
+		out := make([]int, 0, len(sizes))
+		for _, s := range sizes {
+			if s <= max {
+				out = append(out, s)
+			}
+		}
+		if len(out) == 0 || out[len(out)-1] != max {
+			out = append(out, max)
+		}
+		return out
+	}
+	orderCount := cfg.Customers * cfg.OrdersPerCustomer * 9 / 10
+	return []Experiment{
+		{
+			ID:     "exp1",
+			Figure: "Figure 10",
+			Title:  "Straight-line UDF with two scalar queries (Example 8)",
+			Query: func(n int) string {
+				return fmt.Sprintf(
+					"select top %d orderkey, discount(totalprice, custkey) from orders", n)
+			},
+			Sweep: clamp([]int{10, 50, 100, 500, 1000, 5000, 10_000, 50_000, 100_000, 500_000}, orderCount),
+		},
+		{
+			ID:     "exp2",
+			Figure: "Figure 11",
+			Title:  "UDF with branching and a scalar query (Example 1)",
+			Query: func(n int) string {
+				return fmt.Sprintf(
+					"select custkey, service_level(custkey) from customer where custkey <= %d", n)
+			},
+			Sweep: clamp([]int{10, 50, 100, 500, 1000, 5000, 10_000, 50_000, 100_000}, cfg.Customers),
+		},
+		{
+			ID:     "exp3",
+			Figure: "Figure 12",
+			Title:  "UDF with a cursor loop: parts per category and ancestors",
+			Query: func(n int) string {
+				return fmt.Sprintf(
+					"select categorykey, partcount(categorykey) from category where categorykey <= %d", n)
+			},
+			Sweep: clamp([]int{5, 10, 50, 100, 500, 1000}, cfg.Categories),
+		},
+	}
+}
+
+// Run executes one experiment on the given profile, returning the sweep.
+// Both engines share nothing; each query runs once after a warm-up of the
+// smallest size (indexes and statistics are built lazily on first use).
+func Run(exp Experiment, profile engine.Profile, cfg Config) ([]Point, error) {
+	iter, err := NewEngine(profile, engine.ModeIterative, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rewr, err := NewEngine(profile, engine.ModeRewrite, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Warm up storage-side indexes so timings measure execution.
+	if _, err := iter.Query(exp.Query(1)); err != nil {
+		return nil, err
+	}
+	if _, err := rewr.Query(exp.Query(1)); err != nil {
+		return nil, err
+	}
+	// timed runs a query twice and reports the faster run (smoothing GC and
+	// allocator noise) together with the result.
+	timed := func(e *engine.Engine, q string) (*engine.Result, time.Duration, error) {
+		best := time.Duration(0)
+		var res *engine.Result
+		for i := 0; i < 2; i++ {
+			t0 := time.Now()
+			r, err := e.Query(q)
+			if err != nil {
+				return nil, 0, err
+			}
+			d := time.Since(t0)
+			if res == nil || d < best {
+				res, best = r, d
+			}
+			if d > 2*time.Second {
+				break // big runs are stable enough; don't double the cost
+			}
+		}
+		return res, best, nil
+	}
+
+	var out []Point
+	for _, n := range exp.Sweep {
+		q := exp.Query(n)
+		r1, dOrig, err := timed(iter, q)
+		if err != nil {
+			return nil, fmt.Errorf("%s iterative n=%d: %w", exp.ID, n, err)
+		}
+		r2, dRewr, err := timed(rewr, q)
+		if err != nil {
+			return nil, fmt.Errorf("%s rewritten n=%d: %w", exp.ID, n, err)
+		}
+		if !r2.Rewritten {
+			return nil, fmt.Errorf("%s: query was not decorrelated", exp.ID)
+		}
+		if len(r1.Rows) != len(r2.Rows) {
+			return nil, fmt.Errorf("%s n=%d: row counts differ (%d vs %d)",
+				exp.ID, n, len(r1.Rows), len(r2.Rows))
+		}
+		out = append(out, Point{N: n, Original: dOrig, Rewritten: dRewr,
+			OrigRows: len(r1.Rows), RewrRows: len(r2.Rows)})
+	}
+	return out, nil
+}
+
+// Report prints one experiment's sweep in the paper's series format.
+func Report(w io.Writer, exp Experiment, profile engine.Profile, points []Point) {
+	fmt.Fprintf(w, "%s (%s) — %s — Database: %s\n", exp.ID, exp.Figure, exp.Title, profile.Name)
+	fmt.Fprintf(w, "%12s %18s %18s %10s\n", "invocations", "original", "rewritten", "speedup")
+	for _, p := range points {
+		speedup := float64(p.Original) / float64(p.Rewritten)
+		fmt.Fprintf(w, "%12d %18s %18s %9.1fx\n", p.N, p.Original.Round(time.Microsecond),
+			p.Rewritten.Round(time.Microsecond), speedup)
+	}
+}

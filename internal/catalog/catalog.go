@@ -1,0 +1,230 @@
+// Package catalog holds schema metadata: tables, scalar and table-valued
+// user-defined functions, and user-defined aggregate functions (both native
+// and the auxiliary aggregates synthesized by the loop rewriter).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/sqltypes"
+)
+
+// Column is a named, typed column.
+type Column struct {
+	Name string
+	Type sqltypes.Kind
+}
+
+// Table describes a base table.
+type Table struct {
+	Name    string
+	Cols    []Column
+	PKCols  []string // primary-key column names (may be empty)
+	Indexes []string // columns with secondary hash indexes
+}
+
+// ColIndex returns the ordinal of a column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Function is a user-defined function (scalar or table-valued).
+type Function struct {
+	Def *ast.CreateFunctionStmt
+}
+
+// IsTableValued reports whether the function returns a table.
+func (f *Function) IsTableValued() bool { return f.Def.TableName != "" }
+
+// ReturnCols returns the schema of a table-valued function's result.
+func (f *Function) ReturnCols() []Column {
+	cols := make([]Column, len(f.Def.TableCols))
+	for i, c := range f.Def.TableCols {
+		cols[i] = Column{Name: c.Name, Type: c.Type}
+	}
+	return cols
+}
+
+// AggStateVar is one state variable of a user-defined aggregate with its
+// statically-determined initial value.
+type AggStateVar struct {
+	Name string
+	Init sqltypes.Value
+}
+
+// Aggregate is a user-defined aggregate function in the
+// initialize/accumulate/terminate style of Section VII (Example 6).
+// Accumulate is a sequence of procedural statements executed once per input
+// row with the parameters bound; Result names the state variable returned by
+// terminate.
+type Aggregate struct {
+	Name   string
+	State  []AggStateVar
+	Params []string // accumulate parameter names, in call order
+	Body   []ast.Stmt
+	Result string
+}
+
+// SQL renders the aggregate definition in the paper's
+// initialize/accumulate/terminate surface syntax for display by the rewrite
+// tool.
+func (a *Aggregate) SQL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE AGGREGATE %s(%s) AS\n", a.Name, strings.Join(a.Params, ", "))
+	b.WriteString("  INITIALIZE\n")
+	for _, s := range a.State {
+		fmt.Fprintf(&b, "    %s = %s;\n", s.Name, s.Init.String())
+	}
+	b.WriteString("  ACCUMULATE\n")
+	for _, s := range a.Body {
+		fmt.Fprintf(&b, "    %s\n", s.SQL())
+	}
+	fmt.Fprintf(&b, "  TERMINATE\n    RETURN %s;\n", a.Result)
+	return b.String()
+}
+
+// BuiltinAggregates is the set of aggregate function names the engine
+// implements natively.
+var BuiltinAggregates = map[string]bool{
+	"sum": true, "count": true, "min": true, "max": true, "avg": true,
+}
+
+// Catalog is a named collection of tables, functions and aggregates.
+type Catalog struct {
+	tables map[string]*Table
+	funcs  map[string]*Function
+	aggs   map[string]*Aggregate
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: map[string]*Table{},
+		funcs:  map[string]*Function{},
+		aggs:   map[string]*Aggregate{},
+	}
+}
+
+// AddTable registers a table; it is an error to register the same name twice.
+func (c *Catalog) AddTable(t *Table) error {
+	name := strings.ToLower(t.Name)
+	if _, dup := c.tables[name]; dup {
+		return fmt.Errorf("table %q already exists", t.Name)
+	}
+	c.tables[name] = t
+	return nil
+}
+
+// AddTableFromAST registers a table from a parsed CREATE TABLE.
+func (c *Catalog) AddTableFromAST(stmt *ast.CreateTableStmt) (*Table, error) {
+	t := &Table{Name: stmt.Name}
+	for _, col := range stmt.Cols {
+		t.Cols = append(t.Cols, Column{Name: col.Name, Type: col.Type})
+		if col.PrimaryKey {
+			t.PKCols = append(t.PKCols, col.Name)
+		}
+	}
+	if err := c.AddTable(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AddFunction registers a UDF.
+func (c *Catalog) AddFunction(def *ast.CreateFunctionStmt) (*Function, error) {
+	name := strings.ToLower(def.Name)
+	if _, dup := c.funcs[name]; dup {
+		return nil, fmt.Errorf("function %q already exists", def.Name)
+	}
+	f := &Function{Def: def}
+	c.funcs[name] = f
+	return f, nil
+}
+
+// Function looks up a UDF by name.
+func (c *Catalog) Function(name string) (*Function, bool) {
+	f, ok := c.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// Functions returns all UDFs sorted by name.
+func (c *Catalog) Functions() []*Function {
+	out := make([]*Function, 0, len(c.funcs))
+	for _, f := range c.funcs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Def.Name < out[j].Def.Name })
+	return out
+}
+
+// AddAggregate registers a user-defined aggregate.
+func (c *Catalog) AddAggregate(a *Aggregate) error {
+	name := strings.ToLower(a.Name)
+	if BuiltinAggregates[name] {
+		return fmt.Errorf("aggregate %q shadows a builtin", a.Name)
+	}
+	if _, dup := c.aggs[name]; dup {
+		return fmt.Errorf("aggregate %q already exists", a.Name)
+	}
+	c.aggs[name] = a
+	return nil
+}
+
+// Aggregate looks up a user-defined aggregate by name.
+func (c *Catalog) Aggregate(name string) (*Aggregate, bool) {
+	a, ok := c.aggs[strings.ToLower(name)]
+	return a, ok
+}
+
+// IsAggregate reports whether name refers to a builtin or user-defined
+// aggregate.
+func (c *Catalog) IsAggregate(name string) bool {
+	n := strings.ToLower(name)
+	if BuiltinAggregates[n] {
+		return true
+	}
+	_, ok := c.aggs[n]
+	return ok
+}
+
+// FreshName returns a name with the given prefix that collides with no
+// table, function, or aggregate in the catalog.
+func (c *Catalog) FreshName(prefix string) string {
+	for i := 1; ; i++ {
+		name := fmt.Sprintf("%s_%d", prefix, i)
+		if _, ok := c.tables[name]; ok {
+			continue
+		}
+		if _, ok := c.funcs[name]; ok {
+			continue
+		}
+		if _, ok := c.aggs[name]; ok {
+			continue
+		}
+		return name
+	}
+}

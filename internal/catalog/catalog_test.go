@@ -1,0 +1,94 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/sqltypes"
+)
+
+func TestAddTableAndLookup(t *testing.T) {
+	c := New()
+	tbl, err := c.AddTableFromAST(&ast.CreateTableStmt{
+		Name: "Orders",
+		Cols: []ast.ColDef{
+			{Name: "orderkey", Type: sqltypes.KindInt, PrimaryKey: true},
+			{Name: "totalprice", Type: sqltypes.KindFloat},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.PKCols) != 1 || tbl.PKCols[0] != "orderkey" {
+		t.Errorf("pk = %v", tbl.PKCols)
+	}
+	if _, ok := c.Table("ORDERS"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if err := c.AddTable(&Table{Name: "orders"}); err == nil {
+		t.Error("duplicate must fail")
+	}
+	if tbl.ColIndex("totalprice") != 1 || tbl.ColIndex("ghost") != -1 {
+		t.Error("ColIndex")
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	c := New()
+	def := &ast.CreateFunctionStmt{Name: "f", ReturnType: sqltypes.KindInt}
+	if _, err := c.AddFunction(def); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddFunction(def); err == nil {
+		t.Error("duplicate function must fail")
+	}
+	f, ok := c.Function("F")
+	if !ok || f.IsTableValued() {
+		t.Error("scalar function lookup")
+	}
+	tv := &ast.CreateFunctionStmt{Name: "g", TableName: "tt",
+		TableCols: []ast.ColDef{{Name: "a", Type: sqltypes.KindInt}}}
+	c.AddFunction(tv)
+	g, _ := c.Function("g")
+	if !g.IsTableValued() || len(g.ReturnCols()) != 1 {
+		t.Error("table function metadata")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	c := New()
+	agg := &Aggregate{Name: "myagg", Result: "acc",
+		State:  []AggStateVar{{Name: "acc", Init: sqltypes.NewInt(0)}},
+		Params: []string{"x"}}
+	if err := c.AddAggregate(agg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddAggregate(agg); err == nil {
+		t.Error("duplicate aggregate must fail")
+	}
+	if err := c.AddAggregate(&Aggregate{Name: "sum"}); err == nil {
+		t.Error("shadowing a builtin must fail")
+	}
+	if !c.IsAggregate("SUM") || !c.IsAggregate("myagg") || c.IsAggregate("nope") {
+		t.Error("IsAggregate")
+	}
+	sql := agg.SQL()
+	for _, want := range []string{"CREATE AGGREGATE myagg(x)", "INITIALIZE", "acc = 0", "TERMINATE"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("aggregate SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestFreshName(t *testing.T) {
+	c := New()
+	c.AddTable(&Table{Name: "aux_1"})
+	n := c.FreshName("aux")
+	if n == "aux_1" {
+		t.Error("fresh name collided with a table")
+	}
+	if !strings.HasPrefix(n, "aux_") {
+		t.Errorf("fresh name = %q", n)
+	}
+}

@@ -1,0 +1,193 @@
+// Package cfg builds control-flow graphs for UDF bodies (Section IV of the
+// paper). The CFG has explicit Start and End nodes; if-then-else blocks are
+// additionally grouped into logical nodes (the L-nodes of Figure 4) so that
+// the top-level statement sequence is branch-free, which is the shape the
+// expression-tree construction consumes.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"udfdecorr/internal/ast"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindStart NodeKind = iota
+	KindEnd
+	KindStmt
+	KindBranch
+)
+
+// Node is one CFG vertex.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Stmt  ast.Stmt // nil for Start/End; the branch condition owner for KindBranch
+	Succs []*Node
+}
+
+// Label renders a short node description.
+func (n *Node) Label() string {
+	switch n.Kind {
+	case KindStart:
+		return "Start"
+	case KindEnd:
+		return "End"
+	case KindBranch:
+		return "if " + n.Stmt.(*ast.IfStmt).Cond.SQL()
+	default:
+		return n.Stmt.SQL()
+	}
+}
+
+// Graph is a control-flow graph.
+type Graph struct {
+	Start, End *Node
+	Nodes      []*Node
+}
+
+// Build constructs the CFG of a statement list.
+func Build(body []ast.Stmt) *Graph {
+	g := &Graph{}
+	g.Start = g.newNode(KindStart, nil)
+	g.End = g.newNode(KindEnd, nil)
+	exits := g.seq(body, []*Node{g.Start})
+	for _, e := range exits {
+		e.Succs = append(e.Succs, g.End)
+	}
+	return g
+}
+
+func (g *Graph) newNode(kind NodeKind, s ast.Stmt) *Node {
+	n := &Node{ID: len(g.Nodes), Kind: kind, Stmt: s}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// seq wires a statement list after the given predecessor nodes, returning
+// the exit nodes of the sequence.
+func (g *Graph) seq(body []ast.Stmt, preds []*Node) []*Node {
+	cur := preds
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			br := g.newNode(KindBranch, st)
+			link(cur, br)
+			thenExits := g.seq(st.Then, []*Node{br})
+			var elseExits []*Node
+			if len(st.Else) > 0 {
+				elseExits = g.seq(st.Else, []*Node{br})
+			} else {
+				elseExits = []*Node{br}
+			}
+			cur = append(thenExits, elseExits...)
+		case *ast.WhileStmt:
+			head := g.newNode(KindBranch, &ast.IfStmt{Cond: st.Cond})
+			link(cur, head)
+			bodyExits := g.seq(st.Body, []*Node{head})
+			// Back edge: loop body exits return to the head.
+			link(bodyExits, head)
+			cur = []*Node{head}
+		case *ast.ReturnStmt:
+			n := g.newNode(KindStmt, s)
+			link(cur, n)
+			n.Succs = append(n.Succs, g.End)
+			cur = nil // unreachable after return
+		default:
+			n := g.newNode(KindStmt, s)
+			link(cur, n)
+			cur = []*Node{n}
+		}
+	}
+	return cur
+}
+
+func link(from []*Node, to *Node) {
+	for _, f := range from {
+		f.Succs = append(f.Succs, to)
+	}
+}
+
+// HasCycle reports whether the CFG contains a cycle (i.e. the UDF has
+// loops).
+func (g *Graph) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Nodes))
+	var visit func(n *Node) bool
+	visit = func(n *Node) bool {
+		color[n.ID] = gray
+		for _, s := range n.Succs {
+			switch color[s.ID] {
+			case gray:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[n.ID] = black
+		return false
+	}
+	return visit(g.Start)
+}
+
+// Dot renders the CFG in Graphviz format (used by documentation and the
+// rewrite tool's debug output).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph cfg {\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.ID, n.Label())
+		for _, s := range n.Succs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", n.ID, s.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Logical is the paper's L-node: either a plain statement or an if-then-else
+// block treated as a single unit with nested logical sequences.
+type Logical struct {
+	Stmt ast.Stmt // set for plain statements
+	If   *IfBlock // set for conditional blocks
+	Loop *ast.WhileStmt
+}
+
+// IfBlock is a logically-grouped conditional.
+type IfBlock struct {
+	Cond ast.Expr
+	Then []Logical
+	Else []Logical
+}
+
+// Logicalize groups a structured statement list into logical nodes: the
+// resulting top-level sequence has no branching (Figure 4).
+func Logicalize(body []ast.Stmt) []Logical {
+	out := make([]Logical, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			out = append(out, Logical{If: &IfBlock{
+				Cond: st.Cond,
+				Then: Logicalize(st.Then),
+				Else: Logicalize(st.Else),
+			}})
+		case *ast.WhileStmt:
+			out = append(out, Logical{Loop: st})
+		default:
+			out = append(out, Logical{Stmt: s})
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/parser"
+)
+
+func parseBody(t *testing.T, body string) *Graph {
+	t.Helper()
+	script, err := parser.ParseScript("create function w() returns int as begin " + body + " end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(script.Functions[0].Body)
+}
+
+func TestStraightLineCFG(t *testing.T) {
+	g := parseBody(t, "int a = 1; int b = 2; return a;")
+	if g.HasCycle() {
+		t.Error("straight-line code has no cycle")
+	}
+	// Start, End, 3 statements.
+	if len(g.Nodes) != 5 {
+		t.Errorf("nodes = %d", len(g.Nodes))
+	}
+}
+
+func TestBranchCFG(t *testing.T) {
+	g := parseBody(t, "int a = 1; if (a > 0) a = 2; else a = 3; return a;")
+	if g.HasCycle() {
+		t.Error("if-else has no cycle")
+	}
+	branches := 0
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			branches++
+			if len(n.Succs) != 2 {
+				t.Errorf("branch should have two successors, got %d", len(n.Succs))
+			}
+		}
+	}
+	if branches != 1 {
+		t.Errorf("branches = %d", branches)
+	}
+}
+
+func TestLoopCFGHasCycle(t *testing.T) {
+	g := parseBody(t, `int i = 0;
+	  while (i < 10)
+	  begin
+	    i = i + 1;
+	  end
+	  return i;`)
+	if !g.HasCycle() {
+		t.Error("while loop must produce a CFG cycle")
+	}
+}
+
+func TestReturnTerminates(t *testing.T) {
+	g := parseBody(t, "return 1;")
+	// Return node links straight to End.
+	var ret *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindStmt {
+			ret = n
+		}
+	}
+	if ret == nil {
+		t.Fatal("no statement node")
+	}
+	found := false
+	for _, s := range ret.Succs {
+		if s == g.End {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("return should flow to End")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := parseBody(t, "int a = 1; return a;")
+	dot := g.Dot()
+	for _, want := range []string{"digraph cfg", "Start", "End", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+}
+
+func TestLogicalize(t *testing.T) {
+	script, err := parser.ParseScript(`create function w() returns int as begin
+	  int a = 1;
+	  if (a > 0) a = 2; else if (a < -5) a = 3; else a = 4;
+	  return a;
+	end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := Logicalize(script.Functions[0].Body)
+	// a=1, if-block, return: three top-level logical nodes, no branching.
+	if len(ls) != 3 {
+		t.Fatalf("logical nodes = %d", len(ls))
+	}
+	ifb := ls[1].If
+	if ifb == nil {
+		t.Fatal("second node should be an if-block")
+	}
+	if len(ifb.Else) != 1 || ifb.Else[0].If == nil {
+		t.Error("nested else-if should be a nested logical if-block")
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/parser"
+)
+
+const algSchema = `
+create table customer (custkey int primary key, name varchar, category int);
+create table orders (orderkey int primary key, custkey int, totalprice float);
+`
+
+func algebrizeQ(t *testing.T, sql string) algebra.Rel {
+	t.Helper()
+	cat := buildCatalog(t, algSchema)
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := NewAlgebrizer(cat).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestAlgebrizeSimpleSelect(t *testing.T) {
+	rel := algebrizeQ(t, "select custkey, name from customer where custkey > 5")
+	s := algebra.Print(rel)
+	for _, want := range []string{"Project[customer.custkey AS custkey, customer.name AS name]",
+		"Select[(customer.custkey > 5)]", "Scan(customer)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	schema := rel.Schema()
+	if len(schema) != 2 || schema[0].Name != "custkey" {
+		t.Errorf("schema = %v", schema)
+	}
+}
+
+func TestAlgebrizeStarExpansion(t *testing.T) {
+	rel := algebrizeQ(t, "select * from customer")
+	if len(rel.Schema()) != 3 {
+		t.Errorf("star should expand to all columns: %v", rel.Schema())
+	}
+}
+
+func TestAlgebrizeGroupByWithHaving(t *testing.T) {
+	rel := algebrizeQ(t, `select custkey, sum(totalprice) as tot from orders
+	                      group by custkey having sum(totalprice) > 10 order by tot desc`)
+	s := algebra.Print(rel)
+	for _, want := range []string{"GroupBy[orders.custkey]", "sum(orders.totalprice)", "Sort[", "Select["} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// HAVING must reuse the same aggregate, not compute a second one.
+	gb := findGroupBy(rel)
+	if gb == nil || len(gb.Aggs) != 1 {
+		t.Errorf("identical aggregates should be shared:\n%s", s)
+	}
+}
+
+func findGroupBy(rel algebra.Rel) *algebra.GroupBy {
+	var out *algebra.GroupBy
+	algebra.Visit(rel, func(n algebra.Rel) {
+		if g, ok := n.(*algebra.GroupBy); ok {
+			out = g
+		}
+	})
+	return out
+}
+
+func TestAlgebrizeCountStar(t *testing.T) {
+	rel := algebrizeQ(t, "select count(*) from orders")
+	gb := findGroupBy(rel)
+	if gb == nil || len(gb.Aggs) != 1 || gb.Aggs[0].Func != "count" || len(gb.Aggs[0].Args) != 0 {
+		t.Fatalf("count(*) algebrization:\n%s", algebra.Print(rel))
+	}
+	if len(gb.Keys) != 0 {
+		t.Error("scalar aggregation must have no keys")
+	}
+}
+
+func TestAlgebrizeJoinKinds(t *testing.T) {
+	rel := algebrizeQ(t, `select c.name from customer c
+	                      left outer join orders o on c.custkey = o.custkey`)
+	s := algebra.Print(rel)
+	if !strings.Contains(s, "Join(leftouter)") {
+		t.Errorf("left outer join missing:\n%s", s)
+	}
+	rel2 := algebrizeQ(t, "select c.name from customer c, orders o where c.custkey = o.custkey")
+	if !strings.Contains(algebra.Print(rel2), "Join(cross)") {
+		t.Errorf("comma join should be a cross join pre-normalization:\n%s", algebra.Print(rel2))
+	}
+}
+
+func TestAlgebrizeDerivedTable(t *testing.T) {
+	rel := algebrizeQ(t, `select d.tot from (select custkey, sum(totalprice) as tot
+	                      from orders group by custkey) d where d.tot > 5`)
+	schema := rel.Schema()
+	if len(schema) != 1 || schema[0].Name != "tot" {
+		t.Errorf("schema = %v", schema)
+	}
+}
+
+func TestAlgebrizeUnresolvedBareNameBecomesParam(t *testing.T) {
+	// "ckey" resolves nowhere: it is a procedural variable reference.
+	rel := algebrizeQ(t, "select custkey from orders where custkey = ckey")
+	free := algebra.FreeRefs(rel)
+	if !free[algebra.Ref{IsParam: true, Name: "ckey"}] {
+		t.Errorf("bare unresolved name should become a parameter: %v", free.Sorted())
+	}
+}
+
+func TestAlgebrizeCorrelatedSubquery(t *testing.T) {
+	rel := algebrizeQ(t, `select custkey from customer c
+	  where 100 < (select sum(totalprice) from orders o where o.custkey = c.custkey)`)
+	// Correlation to c must be visible from the top (free within the
+	// subquery, bound overall).
+	if len(algebra.FreeRefs(rel)) != 0 {
+		t.Errorf("query should be closed: %v", algebra.FreeRefs(rel).Sorted())
+	}
+	s := algebra.Print(rel)
+	if !strings.Contains(s, "(subquery)") {
+		t.Errorf("subquery expected:\n%s", s)
+	}
+}
+
+func TestAlgebrizeInSubqueryBecomesExists(t *testing.T) {
+	rel := algebrizeQ(t, "select name from customer where custkey in (select custkey from orders)")
+	found := false
+	algebra.Visit(rel, func(n algebra.Rel) {
+		if sel, ok := n.(*algebra.Select); ok {
+			algebra.VisitExpr(sel.Pred, func(e algebra.Expr) {
+				if _, ok := e.(*algebra.Exists); ok {
+					found = true
+				}
+			}, nil)
+		}
+	})
+	if !found {
+		t.Errorf("IN (subquery) should algebraize via EXISTS:\n%s", algebra.Print(rel))
+	}
+}
+
+func TestAlgebrizeErrors(t *testing.T) {
+	cat := buildCatalog(t, algSchema)
+	for _, sql := range []string{
+		"select x from nosuchtable",
+		"select sum(totalprice) from orders group by totalprice + 1", // non-column group key
+		"select top totalprice custkey from orders",                  // non-literal TOP
+	} {
+		q, err := parser.ParseQuery(sql)
+		if err != nil {
+			continue // parser-level rejection also fine
+		}
+		if _, err := NewAlgebrizer(cat).Query(q); err == nil {
+			t.Errorf("algebrize(%q) should fail", sql)
+		}
+	}
+}
+
+func TestAlgebrizeHiddenSortColumn(t *testing.T) {
+	// ORDER BY references a base column not in the select list.
+	rel := algebrizeQ(t, "select name from customer order by custkey desc")
+	if len(rel.Schema()) != 1 || rel.Schema()[0].Name != "name" {
+		t.Fatalf("hidden sort key must not leak into the schema: %v", rel.Schema())
+	}
+	if algebra.Count(rel, func(n algebra.Rel) bool { _, ok := n.(*algebra.Sort); return ok }) != 1 {
+		t.Errorf("sort missing:\n%s", algebra.Print(rel))
+	}
+}

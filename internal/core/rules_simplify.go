@@ -1,0 +1,436 @@
+package core
+
+import (
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/sqltypes"
+)
+
+// This file holds normalization rules that keep rewritten trees tidy and
+// surface the shapes the decorrelation rules of rules.go match on, plus the
+// subquery-decorrelation entry points (scalar subqueries and EXISTS become
+// Apply operators, the starting point of Section II).
+
+// ---------------------------------------------------------------------------
+// Simplifications
+// ---------------------------------------------------------------------------
+
+// ruleSelectMerge combines adjacent selections:
+// σ_{p1}(σ_{p2}(e)) = σ_{p1 ∧ p2}(e).
+func ruleSelectMerge(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	s, ok := n.(*algebra.Select)
+	if !ok {
+		return nil, false
+	}
+	inner, ok := s.In.(*algebra.Select)
+	if !ok {
+		return nil, false
+	}
+	return &algebra.Select{
+		Pred: &algebra.Logic{Op: algebra.LogicAnd, L: inner.Pred, R: s.Pred},
+		In:   inner.In,
+	}, true
+}
+
+// ruleSelectTrue removes trivially-true selections.
+func ruleSelectTrue(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	s, ok := n.(*algebra.Select)
+	if !ok {
+		return nil, false
+	}
+	c, ok := s.Pred.(*algebra.Const)
+	if !ok || sqltypes.TriOf(c.Val) != sqltypes.True {
+		return nil, false
+	}
+	return s.In, true
+}
+
+// ruleJoinSingle removes cross/inner joins against the Single relation.
+func ruleJoinSingle(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	j, ok := n.(*algebra.Join)
+	if !ok {
+		return nil, false
+	}
+	if j.Kind != algebra.CrossJoin && j.Kind != algebra.InnerJoin {
+		return nil, false
+	}
+	reduce := func(keep algebra.Rel) (algebra.Rel, bool) {
+		if j.Cond == nil {
+			return keep, true
+		}
+		return &algebra.Select{Pred: j.Cond, In: keep}, true
+	}
+	if isSingle(j.L) {
+		return reduce(j.R)
+	}
+	if isSingle(j.R) {
+		return reduce(j.L)
+	}
+	return nil, false
+}
+
+// rulePushSelectThroughProject commutes a selection below a projection:
+// σ_p(Π_A(e)) = Π_A(σ_p'(e)), rewriting references to pass-through columns.
+// It fires only when every projection output referenced by the predicate is
+// a plain column reference, and connects R6's output to R7's input shape.
+func rulePushSelectThroughProject(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	s, ok := n.(*algebra.Select)
+	if !ok {
+		return nil, false
+	}
+	p, ok := s.In.(*algebra.Project)
+	if !ok || p.Dedup {
+		return nil, false
+	}
+	outDefs := map[algebra.Ref]algebra.Expr{}
+	for _, c := range p.Cols {
+		outDefs[algebra.Ref{Qual: c.Qual, Name: c.As}] = c.E
+	}
+	// Collect predicate references that resolve to projection outputs; all
+	// must be pass-through column references (or constants would also be
+	// fine, but keep it simple).
+	subst := map[algebra.Ref]algebra.Expr{}
+	okToPush := true
+	algebra.VisitExpr(s.Pred, func(x algebra.Expr) {
+		c, isRef := x.(*algebra.ColRef)
+		if !isRef {
+			return
+		}
+		def, isOut := outDefs[algebra.Ref{Qual: c.Qual, Name: c.Name}]
+		if !isOut {
+			return
+		}
+		switch def.(type) {
+		case *algebra.ColRef, *algebra.Const:
+			subst[algebra.Ref{Qual: c.Qual, Name: c.Name}] = def
+		default:
+			okToPush = false
+		}
+	}, nil)
+	if !okToPush {
+		return nil, false
+	}
+	pred := substituteCols(s.Pred, subst)
+	return &algebra.Project{Cols: p.Cols, In: &algebra.Select{Pred: pred, In: p.In}}, true
+}
+
+// rulePruneUnusedApply removes a pure, exactly-one-row cross Apply whose
+// outputs the projection above never references (dead branch computations
+// left behind by conditional merging). Cross product with one row preserves
+// multiplicity, so dropping the inner side is safe.
+func rulePruneUnusedApply(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	p, ok := n.(*algebra.Project)
+	if !ok {
+		return nil, false
+	}
+	a, ok := p.In.(*algebra.Apply)
+	if !ok || len(a.Binds) > 0 {
+		return nil, false
+	}
+	if a.Kind != algebra.CrossJoin && a.Kind != algebra.InnerJoin {
+		return nil, false
+	}
+	if !exactlyOneRow(a.R) {
+		return nil, false
+	}
+	rSchema := a.R.Schema()
+	for _, c := range p.Cols {
+		if algebra.ExprUsesRefsOf(c.E, rSchema) {
+			return nil, false
+		}
+	}
+	return &algebra.Project{Cols: p.Cols, Dedup: p.Dedup, In: a.L}, true
+}
+
+// ruleR3ProjectCompose implements rule R3 (function composition for
+// generalized projection): Π_{f(B)}(Π_{g(A) as B}(r)) = Π_{f(g(A))}(r).
+func ruleR3ProjectCompose(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	outer, ok := n.(*algebra.Project)
+	if !ok {
+		return nil, false
+	}
+	inner, ok := outer.In.(*algebra.Project)
+	if !ok || inner.Dedup {
+		return nil, false
+	}
+	defs := map[algebra.Ref]algebra.Expr{}
+	for _, c := range inner.Cols {
+		defs[algebra.Ref{Qual: c.Qual, Name: c.As}] = c.E
+	}
+	cols := make([]algebra.ProjCol, len(outer.Cols))
+	for i, c := range outer.Cols {
+		cols[i] = algebra.ProjCol{E: substituteCols(c.E, defs), Qual: c.Qual, As: c.As}
+	}
+	return &algebra.Project{Cols: cols, Dedup: outer.Dedup, In: inner.In}, true
+}
+
+// exprCorrelatedOutside reports whether the expression references columns
+// not provided by the given schema (i.e. it is correlated with an enclosing
+// scope). Free parameters are scope-independent and do not count.
+func exprCorrelatedOutside(e algebra.Expr, schema []algebra.Column) bool {
+	probe := &algebra.Select{Pred: e, In: &algebra.Single{}}
+	for ref := range algebra.FreeRefs(probe) {
+		if ref.IsParam {
+			continue
+		}
+		if !algebra.HasRef(schema, ref.Qual, ref.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// rulePushSelectIntoJoin merges the non-correlated conjuncts of a selection
+// into an inner/cross join condition so that equi-join detection (and
+// subsequent predicate pushdown) sees them. Correlated conjuncts stay above
+// the join, where rule K2 can turn an enclosing Apply into a join.
+func rulePushSelectIntoJoin(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	s, ok := n.(*algebra.Select)
+	if !ok {
+		return nil, false
+	}
+	j, ok := s.In.(*algebra.Join)
+	if !ok {
+		return nil, false
+	}
+	if j.Kind != algebra.CrossJoin && j.Kind != algebra.InnerJoin {
+		return nil, false
+	}
+	jSchema := j.Schema()
+	var merge, keep []algebra.Expr
+	for _, c := range algebra.SplitConjuncts(s.Pred) {
+		if exprCorrelatedOutside(c, jSchema) {
+			keep = append(keep, c)
+		} else {
+			merge = append(merge, c)
+		}
+	}
+	if len(merge) == 0 {
+		return nil, false
+	}
+	cond := algebra.AndAll(merge)
+	if j.Cond != nil {
+		cond = &algebra.Logic{Op: algebra.LogicAnd, L: j.Cond, R: cond}
+	}
+	out := &algebra.Join{Kind: algebra.InnerJoin, Cond: cond, L: j.L, R: j.R}
+	if pred := algebra.AndAll(keep); pred != nil {
+		return &algebra.Select{Pred: pred, In: out}, true
+	}
+	return out, true
+}
+
+// refsOnlySchema reports whether every column reference of the expression
+// is satisfied by the schema and the expression has no free parameters that
+// would make its placement ambiguous.
+func refsOnlySchema(e algebra.Expr, schema []algebra.Column) bool {
+	probe := &algebra.Select{Pred: e, In: &algebra.Single{}}
+	for ref := range algebra.FreeRefs(probe) {
+		if ref.IsParam {
+			continue // parameters are scope-independent
+		}
+		if !algebra.HasRef(schema, ref.Qual, ref.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// rulePushdownIntoJoinChildren pushes inner-join condition conjuncts that
+// reference a single side down into that side, so deeper joins become
+// equi-joins the planner can hash (standard predicate pushdown).
+func rulePushdownIntoJoinChildren(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	j, ok := n.(*algebra.Join)
+	if !ok || j.Cond == nil || j.Kind != algebra.InnerJoin {
+		return nil, false
+	}
+	lSchema, rSchema := j.L.Schema(), j.R.Schema()
+	var toL, toR, keep []algebra.Expr
+	for _, c := range algebra.SplitConjuncts(j.Cond) {
+		switch {
+		case refsOnlySchema(c, lSchema):
+			toL = append(toL, c)
+		case refsOnlySchema(c, rSchema):
+			toR = append(toR, c)
+		default:
+			keep = append(keep, c)
+		}
+	}
+	if len(toL) == 0 && len(toR) == 0 {
+		return nil, false
+	}
+	l, r := j.L, j.R
+	if p := algebra.AndAll(toL); p != nil {
+		l = &algebra.Select{Pred: p, In: l}
+	}
+	if p := algebra.AndAll(toR); p != nil {
+		r = &algebra.Select{Pred: p, In: r}
+	}
+	kind := j.Kind
+	cond := algebra.AndAll(keep)
+	if cond == nil {
+		kind = algebra.CrossJoin
+	}
+	return &algebra.Join{Kind: kind, Cond: cond, L: l, R: r}, true
+}
+
+// ruleHoistCorrelatedSelect pulls correlated selection conjuncts out of a
+// join's children above the join, so that an enclosing Apply can see them
+// (the generalization of K3 to predicates buried under joins).
+func ruleHoistCorrelatedSelect(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	j, ok := n.(*algebra.Join)
+	if !ok {
+		return nil, false
+	}
+	if j.Kind != algebra.CrossJoin && j.Kind != algebra.InnerJoin && j.Kind != algebra.LeftOuterJoin {
+		return nil, false
+	}
+	jSchema := j.Schema()
+	hoistFrom := func(child algebra.Rel) (algebra.Rel, []algebra.Expr) {
+		sel, ok := child.(*algebra.Select)
+		if !ok {
+			return child, nil
+		}
+		var hoisted, kept []algebra.Expr
+		for _, c := range algebra.SplitConjuncts(sel.Pred) {
+			if exprCorrelatedOutside(c, jSchema) {
+				hoisted = append(hoisted, c)
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		if len(hoisted) == 0 {
+			return child, nil
+		}
+		if pred := algebra.AndAll(kept); pred != nil {
+			return &algebra.Select{Pred: pred, In: sel.In}, hoisted
+		}
+		return sel.In, hoisted
+	}
+	newL, hoistedL := hoistFrom(j.L)
+	var newR algebra.Rel = j.R
+	var hoistedR []algebra.Expr
+	if j.Kind != algebra.LeftOuterJoin {
+		// Hoisting from the null-extended side of an outer join would
+		// change semantics.
+		newR, hoistedR = hoistFrom(j.R)
+	}
+	all := append(hoistedL, hoistedR...)
+	if len(all) == 0 {
+		return nil, false
+	}
+	return &algebra.Select{
+		Pred: algebra.AndAll(all),
+		In:   &algebra.Join{Kind: j.Kind, Cond: j.Cond, L: newL, R: newR},
+	}, true
+}
+
+// ---------------------------------------------------------------------------
+// Subquery decorrelation entry points
+// ---------------------------------------------------------------------------
+
+// findSubquery locates the first scalar Subquery node in an expression.
+func findSubquery(e algebra.Expr) *algebra.Subquery {
+	var found *algebra.Subquery
+	algebra.VisitExpr(e, func(x algebra.Expr) {
+		if found != nil {
+			return
+		}
+		if sq, ok := x.(*algebra.Subquery); ok {
+			found = sq
+		}
+	}, nil)
+	return found
+}
+
+// replaceExprNode replaces occurrences of the target expression (compared
+// structurally, since tree rewriting rebuilds interior nodes).
+func replaceExprNode(e algebra.Expr, target, repl algebra.Expr) algebra.Expr {
+	if algebra.EqualExpr(e, target) {
+		return repl
+	}
+	return algebra.MapExpr(e, func(x algebra.Expr) algebra.Expr {
+		if algebra.EqualExpr(x, target) {
+			return repl
+		}
+		return x
+	}, nil)
+}
+
+// ruleSubqueryToApply lifts a scalar subquery out of a selection or
+// projection into an Apply (left outer, so an empty subquery yields NULL —
+// matching iterative evaluation). It fires only when the subquery provably
+// produces at most one row, so decorrelation cannot change cardinality.
+func ruleSubqueryToApply(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	switch node := n.(type) {
+	case *algebra.Select:
+		sq := findSubquery(node.Pred)
+		if sq == nil || !maxOneRow(sq.Rel) {
+			return nil, false
+		}
+		inSchema := node.In.Schema()
+		col := rw.FreshName("sq")
+		inner := sq.Rel.Schema()
+		rn := &algebra.Project{Cols: []algebra.ProjCol{{
+			E:  &algebra.ColRef{Qual: inner[0].Qual, Name: inner[0].Name},
+			As: col,
+		}}, In: sq.Rel}
+		apply := &algebra.Apply{Kind: algebra.LeftOuterJoin, L: node.In, R: rn}
+		pred := replaceExprNode(node.Pred, sq, &algebra.ColRef{Name: col})
+		filtered := &algebra.Select{Pred: pred, In: apply}
+		return &algebra.Project{Cols: passthroughCols(inSchema), In: filtered}, true
+
+	case *algebra.Project:
+		for i, c := range node.Cols {
+			sq := findSubquery(c.E)
+			if sq == nil {
+				continue
+			}
+			if !maxOneRow(sq.Rel) {
+				return nil, false
+			}
+			col := rw.FreshName("sq")
+			inner := sq.Rel.Schema()
+			rn := &algebra.Project{Cols: []algebra.ProjCol{{
+				E:  &algebra.ColRef{Qual: inner[0].Qual, Name: inner[0].Name},
+				As: col,
+			}}, In: sq.Rel}
+			apply := &algebra.Apply{Kind: algebra.LeftOuterJoin, L: node.In, R: rn}
+			cols := make([]algebra.ProjCol, len(node.Cols))
+			copy(cols, node.Cols)
+			cols[i] = algebra.ProjCol{
+				E:    replaceExprNode(c.E, sq, &algebra.ColRef{Name: col}),
+				Qual: c.Qual,
+				As:   c.As,
+			}
+			return &algebra.Project{Cols: cols, Dedup: node.Dedup, In: apply}, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// ruleExistsToApply rewrites a top-level [NOT] EXISTS conjunct of a
+// selection into a semijoin (antijoin) Apply.
+func ruleExistsToApply(rw *Rewriter, n algebra.Rel) (algebra.Rel, bool) {
+	s, ok := n.(*algebra.Select)
+	if !ok {
+		return nil, false
+	}
+	conjuncts := algebra.SplitConjuncts(s.Pred)
+	for i, c := range conjuncts {
+		ex, ok := c.(*algebra.Exists)
+		if !ok {
+			continue
+		}
+		kind := algebra.SemiJoin
+		if ex.Neg {
+			kind = algebra.AntiJoin
+		}
+		apply := &algebra.Apply{Kind: kind, L: s.In, R: ex.Rel}
+		rest := append(append([]algebra.Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
+		if pred := algebra.AndAll(rest); pred != nil {
+			return &algebra.Select{Pred: pred, In: apply}, true
+		}
+		return apply, true
+	}
+	return nil, false
+}

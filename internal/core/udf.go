@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/ddg"
+	"udfdecorr/internal/sqltypes"
+)
+
+// ErrUnsupported marks UDFs the algebrizer cannot represent; callers fall
+// back to iterative invocation, mirroring the paper's tool which "does not
+// transform the query" when Apply operators cannot be removed.
+var ErrUnsupported = errors.New("udf not algebraizable")
+
+func unsupportedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUnsupported, fmt.Sprintf(format, args...))
+}
+
+// UDFBuilder constructs parameterized expression trees for UDF bodies
+// (Section IV), including cursor loops via auxiliary aggregates and
+// table-valued UDFs (Section VII).
+type UDFBuilder struct {
+	Cat *catalog.Catalog
+	Alg *Algebrizer
+	rw  *Rewriter
+
+	// NewAggs collects auxiliary aggregate functions synthesized while
+	// algebraizing cursor loops; callers must register them before
+	// executing rewritten queries.
+	NewAggs []*catalog.Aggregate
+
+	building map[string]bool
+}
+
+// NewUDFBuilder creates a builder sharing the rewriter's fresh-name state.
+func NewUDFBuilder(cat *catalog.Catalog, rw *Rewriter) *UDFBuilder {
+	return &UDFBuilder{Cat: cat, Alg: NewAlgebrizer(cat), rw: rw, building: map[string]bool{}}
+}
+
+// bodyState tracks what the statement walker knows about local variables.
+type bodyState struct {
+	// constInit maps variables to their statically-known current value
+	// (needed to initialize auxiliary aggregate state, Section VII cond 1).
+	constInit map[string]sqltypes.Value
+	// symdefs maps variables to inlinable pure definitions (scalar
+	// expressions without embedded queries), enabling prologue values such
+	// as "cost = getCost(pkey)" to flow into loop-body expressions.
+	symdefs map[string]algebra.Expr
+
+	cursor    *ast.DeclareCursorStmt
+	fetchVars []string
+}
+
+func newBodyState() *bodyState {
+	return &bodyState{constInit: map[string]sqltypes.Value{}, symdefs: map[string]algebra.Expr{}}
+}
+
+// BuildScalar constructs the parameterized expression tree of a scalar UDF:
+// a relation with a single column named "retval", parameterized by the
+// function's formal parameters (as algebra.ParamRef).
+func (b *UDFBuilder) BuildScalar(fn *catalog.Function) (algebra.Rel, error) {
+	if fn.IsTableValued() {
+		return nil, unsupportedf("%s is table-valued", fn.Def.Name)
+	}
+	if b.building[fn.Def.Name] {
+		return nil, unsupportedf("recursive UDF %s", fn.Def.Name)
+	}
+	b.building[fn.Def.Name] = true
+	defer delete(b.building, fn.Def.Name)
+
+	st := newBodyState()
+	e, retE, err := b.stmts(&algebra.Single{}, fn.Def.Body, st)
+	if err != nil {
+		return nil, err
+	}
+	if retE == nil {
+		return nil, unsupportedf("%s has no terminal RETURN", fn.Def.Name)
+	}
+	retProj := &algebra.Project{
+		Cols: []algebra.ProjCol{{E: retE, As: "retval"}},
+		In:   &algebra.Single{},
+	}
+	e = &algebra.Apply{Kind: algebra.CrossJoin, L: e, R: retProj}
+	return &algebra.Project{
+		Cols: []algebra.ProjCol{{E: &algebra.ColRef{Name: "retval"}, As: "retval"}},
+		In:   e,
+	}, nil
+}
+
+// BuildTable constructs the expression tree of a table-valued UDF with an
+// insert-only cursor loop (Section VII-B). The result schema matches the
+// declared table columns (unqualified).
+func (b *UDFBuilder) BuildTable(fn *catalog.Function) (algebra.Rel, error) {
+	if !fn.IsTableValued() {
+		return nil, unsupportedf("%s is scalar", fn.Def.Name)
+	}
+	if b.building[fn.Def.Name] {
+		return nil, unsupportedf("recursive UDF %s", fn.Def.Name)
+	}
+	b.building[fn.Def.Name] = true
+	defer delete(b.building, fn.Def.Name)
+
+	st := newBodyState()
+	var e algebra.Rel = &algebra.Single{}
+	var result algebra.Rel
+	for i, s := range fn.Def.Body {
+		switch n := s.(type) {
+		case *ast.WhileStmt:
+			if result != nil {
+				return nil, unsupportedf("%s: multiple loops", fn.Def.Name)
+			}
+			rel, err := b.tableLoop(e, n, st, fn)
+			if err != nil {
+				return nil, err
+			}
+			result = rel
+		case *ast.ReturnStmt:
+			if returnedTable(n) != fn.Def.TableName {
+				return nil, unsupportedf("%s: RETURN of unexpected table", fn.Def.Name)
+			}
+			if i != len(fn.Def.Body)-1 {
+				return nil, unsupportedf("%s: RETURN not last", fn.Def.Name)
+			}
+		case *ast.InsertStmt:
+			// Constraint (iii): no inserts outside the loop.
+			return nil, unsupportedf("%s: INSERT outside the cursor loop", fn.Def.Name)
+		default:
+			ne, ret, err := b.stmts(e, []ast.Stmt{s}, st)
+			if err != nil {
+				return nil, err
+			}
+			if ret != nil {
+				return nil, unsupportedf("%s: scalar RETURN in table function", fn.Def.Name)
+			}
+			e = ne
+		}
+	}
+	if result == nil {
+		return nil, unsupportedf("%s: no cursor loop", fn.Def.Name)
+	}
+	return result, nil
+}
+
+// tableLoop algebraizes the insert-only cursor loop of a table-valued UDF.
+func (b *UDFBuilder) tableLoop(outer algebra.Rel, loop *ast.WhileStmt, st *bodyState, fn *catalog.Function) (algebra.Rel, error) {
+	body, err := b.loopBody(loop, st)
+	if err != nil {
+		return nil, err
+	}
+	// Locate the single INSERT, which may be guarded by a condition
+	// ("IF (p) INSERT ..." algebraizes as a selection over the cursor rows).
+	insertIdx := -1
+	var insert *ast.InsertStmt
+	var guard ast.Expr
+	for i, s := range body {
+		switch ins := s.(type) {
+		case *ast.InsertStmt:
+			if insert != nil {
+				return nil, unsupportedf("%s: multiple INSERTs in loop", fn.Def.Name)
+			}
+			insert, insertIdx = ins, i
+		case *ast.IfStmt:
+			if len(ins.Then) == 1 && len(ins.Else) == 0 {
+				if inner, ok := ins.Then[0].(*ast.InsertStmt); ok {
+					if insert != nil {
+						return nil, unsupportedf("%s: multiple INSERTs in loop", fn.Def.Name)
+					}
+					insert, insertIdx, guard = inner, i, ins.Cond
+				}
+			}
+		}
+	}
+	if insert == nil {
+		return nil, unsupportedf("%s: loop without INSERT", fn.Def.Name)
+	}
+	if insert.Table != fn.Def.TableName {
+		return nil, unsupportedf("%s: INSERT into %q", fn.Def.Name, insert.Table)
+	}
+	if len(insert.Values) != len(fn.Def.TableCols) {
+		return nil, unsupportedf("%s: INSERT arity %d, want %d", fn.Def.Name, len(insert.Values), len(fn.Def.TableCols))
+	}
+	rest := append(append([]ast.Stmt{}, body[:insertIdx]...), body[insertIdx+1:]...)
+	// Condition (i): no cyclic data dependences.
+	if g := ddg.Build(rest); g.FirstCyclic() >= 0 {
+		return nil, unsupportedf("%s: cyclic dependence in table-valued loop", fn.Def.Name)
+	}
+	// Per-row computation over the cursor rows. Statements after the INSERT
+	// only set up the next iteration (the fetch was already stripped); any
+	// other trailing work would be unsupported, so require value reads to
+	// come from the prefix.
+	ein, err := b.perRow(outer, rest, st)
+	if err != nil {
+		return nil, err
+	}
+	loopSc := &scope{schema: ein.Schema(), outer: &scope{schema: outer.Schema()}}
+	if guard != nil {
+		pred, err := b.procExpr(guard, loopSc, st, ein.Schema())
+		if err != nil {
+			return nil, err
+		}
+		ein = &algebra.Select{Pred: pred, In: ein}
+	}
+	cols := make([]algebra.ProjCol, len(insert.Values))
+	for i, v := range insert.Values {
+		e, err := b.procExpr(v, loopSc, st, ein.Schema())
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = algebra.ProjCol{E: e, As: fn.Def.TableCols[i].Name}
+	}
+	return &algebra.Project{Cols: cols, In: ein}, nil
+}
+
+// loopBody validates the cursor-loop shape and returns the body without the
+// trailing re-fetch: the loop must be WHILE @@FETCH_STATUS = 0 over the
+// declared cursor, with a FETCH as its final statement.
+func (b *UDFBuilder) loopBody(loop *ast.WhileStmt, st *bodyState) ([]ast.Stmt, error) {
+	if st.cursor == nil || len(st.fetchVars) == 0 {
+		return nil, unsupportedf("loop without a preceding cursor and fetch")
+	}
+	if !isFetchStatusCond(loop.Cond) {
+		return nil, unsupportedf("loop condition is not @@FETCH_STATUS = 0")
+	}
+	if len(loop.Body) == 0 {
+		return nil, unsupportedf("empty loop body")
+	}
+	last, ok := loop.Body[len(loop.Body)-1].(*ast.FetchStmt)
+	if !ok || last.Cursor != st.cursor.Name {
+		return nil, unsupportedf("loop body must end with FETCH from %s", st.cursor.Name)
+	}
+	if len(last.Into) != len(st.fetchVars) {
+		return nil, unsupportedf("inconsistent FETCH INTO lists")
+	}
+	return loop.Body[:len(loop.Body)-1], nil
+}
+
+// returnedTable extracts the table name of a RETURN statement in a
+// table-valued UDF ("RETURN tt" parses as a bare column reference).
+func returnedTable(n *ast.ReturnStmt) string {
+	if n.Table != "" {
+		return n.Table
+	}
+	if cn, ok := n.Expr.(*ast.ColName); ok && cn.Qual == "" {
+		return cn.Name
+	}
+	return ""
+}
+
+func isFetchStatusCond(e ast.Expr) bool {
+	cmp, ok := e.(*ast.BinExpr)
+	if !ok || cmp.Op != ast.BinEQ {
+		return false
+	}
+	ref, ok := cmp.L.(*ast.ParamRef)
+	if !ok {
+		ref, ok = cmp.R.(*ast.ParamRef)
+	}
+	if !ok || ref.Name != "@@fetch_status" {
+		return false
+	}
+	lit, ok := cmp.R.(*ast.Lit)
+	if !ok {
+		lit, ok = cmp.L.(*ast.Lit)
+	}
+	if !ok {
+		return false
+	}
+	v, vok := lit.Val.AsInt()
+	return vok && v == 0
+}
+
+// perRow builds E_in: the relation of per-iteration values — the cursor
+// query with its outputs renamed to the fetch variables, extended by the
+// given (acyclic) statements.
+func (b *UDFBuilder) perRow(outer algebra.Rel, stmts []ast.Stmt, st *bodyState) (algebra.Rel, error) {
+	curRel, err := b.query(st.cursor.Select, outer, st)
+	if err != nil {
+		return nil, err
+	}
+	outs := curRel.Schema()
+	if len(outs) < len(st.fetchVars) {
+		return nil, unsupportedf("cursor produces %d columns for %d fetch targets", len(outs), len(st.fetchVars))
+	}
+	cols := make([]algebra.ProjCol, len(st.fetchVars))
+	for i, v := range st.fetchVars {
+		cols[i] = algebra.ProjCol{E: &algebra.ColRef{Qual: outs[i].Qual, Name: outs[i].Name}, As: v}
+	}
+	var ein algebra.Rel = &algebra.Project{Cols: cols, In: curRel}
+
+	// Extend with the per-row statements using the Section IV machinery,
+	// with the cursor relation (not Single) as the base.
+	loopState := newBodyState()
+	for k, v := range st.symdefs {
+		loopState.symdefs[k] = v
+	}
+	ein, ret, err := b.stmtsOver(ein, outer, stmts, loopState, st)
+	if err != nil {
+		return nil, err
+	}
+	if ret != nil {
+		return nil, unsupportedf("RETURN inside a cursor loop")
+	}
+	return ein, nil
+}

@@ -1,0 +1,115 @@
+package ddg
+
+import (
+	"reflect"
+	"testing"
+
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/parser"
+)
+
+func parseBody(t *testing.T, body string) []ast.Stmt {
+	t.Helper()
+	script, err := parser.ParseScript("create function w() returns int as begin " + body + " end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return script.Functions[0].Body
+}
+
+func TestReadsWrites(t *testing.T) {
+	stmts := parseBody(t, `
+	  int profit = (@price - @disc) - (cost * @qty);
+	  if (profit < 0) total_loss = total_loss - profit;
+	  select sum(totalprice) into :tb from orders where custkey = :ckey;
+	`)
+	r0, w0 := ReadsWrites(stmts[0])
+	if !reflect.DeepEqual(r0.Sorted(), []string{"cost", "disc", "price", "qty"}) {
+		t.Errorf("reads(decl) = %v", r0.Sorted())
+	}
+	if !reflect.DeepEqual(w0.Sorted(), []string{"profit"}) {
+		t.Errorf("writes(decl) = %v", w0.Sorted())
+	}
+	r1, w1 := ReadsWrites(stmts[1])
+	if !r1["profit"] || !r1["total_loss"] {
+		t.Errorf("reads(if) = %v", r1.Sorted())
+	}
+	if !w1["total_loss"] {
+		t.Errorf("writes(if) = %v", w1.Sorted())
+	}
+	r2, w2 := ReadsWrites(stmts[2])
+	if !r2["ckey"] {
+		t.Errorf("reads(select into) should include the query parameter: %v", r2.Sorted())
+	}
+	if !w2["tb"] {
+		t.Errorf("writes(select into) = %v", w2.Sorted())
+	}
+}
+
+func TestFetchStatusWrite(t *testing.T) {
+	stmts := parseBody(t, `
+	  declare c cursor for select price from lineitem;
+	  open c;
+	  fetch next from c into @p;
+	  return 1;
+	`)
+	_, w := ReadsWrites(stmts[2])
+	if !w["p"] || !w["@@fetch_status"] {
+		t.Errorf("fetch writes = %v", w.Sorted())
+	}
+}
+
+func TestCyclicDependence(t *testing.T) {
+	// Example 5's loop body (without the trailing fetch).
+	body := parseBody(t, `
+	  int profit = (@price - @disc) - (cost * @qty);
+	  if (profit < 0) total_loss = total_loss - profit;
+	`)
+	g := Build(body)
+	cyc := g.CyclicStmts()
+	if cyc[0] {
+		t.Error("profit computation is not cyclic")
+	}
+	if !cyc[1] {
+		t.Error("total_loss accumulation is cyclic (self-dependence)")
+	}
+	if g.FirstCyclic() != 1 {
+		t.Errorf("first cyclic = %d", g.FirstCyclic())
+	}
+}
+
+func TestNoCycle(t *testing.T) {
+	body := parseBody(t, `
+	  int a = @x + 1;
+	  int b = a * 2;
+	`)
+	g := Build(body)
+	if g.FirstCyclic() != -1 {
+		t.Errorf("acyclic body reported cycle at %d", g.FirstCyclic())
+	}
+	// Flow edge a -> b exists.
+	found := false
+	for _, j := range g.Edges[0] {
+		if j == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("flow dependence 0 -> 1 missing")
+	}
+}
+
+func TestMutualCycle(t *testing.T) {
+	body := parseBody(t, `
+	  a = b + 1;
+	  b = a * 2;
+	`)
+	g := Build(body)
+	cyc := g.CyclicStmts()
+	if !cyc[0] || !cyc[1] {
+		t.Errorf("mutual dependence should make both cyclic: %v", cyc)
+	}
+	if g.FirstCyclic() != 0 {
+		t.Errorf("first cyclic = %d", g.FirstCyclic())
+	}
+}

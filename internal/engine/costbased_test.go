@@ -1,0 +1,23 @@
+package engine
+
+import "testing"
+
+// TestCostBasedCrossover pins the cost-based arbitration: small outer
+// cardinalities run iteratively, large ones through the rewrite.
+func TestCostBasedCrossover(t *testing.T) {
+	e := fullEngine(t, ModeCostBased)
+	small, err := e.Query("select custkey, service_level(custkey) from customer where custkey <= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Rewritten {
+		t.Error("tiny outer should run iteratively under cost-based mode")
+	}
+	large, err := e.Query("select custkey, service_level(custkey) from customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !large.Rewritten {
+		t.Error("full-table query should run decorrelated under cost-based mode")
+	}
+}

@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// TestSelfTableAliasCapture is a regression test: a UDF querying the SAME
+// table as the outer query (same default alias) must not capture the
+// outer's qualifier during merging — "where t.k = :k" with :k bound to the
+// outer t.k once turned into the tautology "t.k = t.k".
+func TestSelfTableAliasCapture(t *testing.T) {
+	build := func(mode Mode) *Engine {
+		e := New(SYS1, mode)
+		if err := e.ExecScript(`
+create table t (k int primary key, v float);
+insert into t values (1, 10.5), (2, 20.5), (3, 7.25);
+create function keysum(int k) returns float as
+begin
+  return select sum(v) from t where k = :k;
+end`); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	it := build(ModeIterative)
+	rw := build(ModeRewrite)
+	q := "select k, keysum(k) from t"
+	r1, err := it.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rw.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Rewritten {
+		t.Fatal("expected decorrelation")
+	}
+	assertSameRows(t, r1.Rows, r2.Rows)
+	// Concretely: k=1 must map to 10.5, not the grand total.
+	for _, r := range r2.Rows {
+		k, _ := r[0].AsInt()
+		if k == 1 {
+			if v, _ := r[1].AsFloat(); v != 10.5 {
+				t.Fatalf("keysum(1) = %v, want 10.5 (alias capture!)", r[1])
+			}
+		}
+	}
+}
+
+func TestExistsAndNotExists(t *testing.T) {
+	for _, q := range []string{
+		"select custkey from customer c where exists (select 1 from orders o where o.custkey = c.custkey)",
+		"select custkey from customer c where not exists (select 1 from orders o where o.custkey = c.custkey)",
+	} {
+		rit, rrw := compareModes(t, q, true)
+		if len(rit.Rows) == 0 {
+			t.Errorf("query %q returned nothing", q)
+		}
+		_ = rrw
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	compareModes(t, "select name from customer where custkey in (select custkey from orders)", true)
+	compareModes(t, "select name from customer where custkey not in (select custkey from orders)", true)
+}
+
+func TestUDFCallingUDF(t *testing.T) {
+	e := fullEngine(t, ModeRewrite)
+	err := e.ExecScript(`
+create function double_business(int ckey) returns float as
+begin
+  return totalbusiness(:ckey) * 2;
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := fullEngine(t, ModeIterative)
+	if err := it.ExecScript(`
+create function double_business(int ckey) returns float as
+begin
+  return totalbusiness(:ckey) * 2;
+end`); err != nil {
+		t.Fatal(err)
+	}
+	q := "select custkey, double_business(custkey) from customer"
+	r1, err := it.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Rewritten {
+		t.Fatal("nested UDF call should still decorrelate")
+	}
+	if r2.Counters.UDFCalls != 0 {
+		t.Errorf("decorrelated plan made %d UDF calls", r2.Counters.UDFCalls)
+	}
+	assertSameRows(t, r1.Rows, r2.Rows)
+}
+
+func TestEmptyOuterTable(t *testing.T) {
+	e := New(SYS1, ModeRewrite)
+	if err := e.ExecScript(paperSchema + serviceLevelUDF); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("empty customer table should give no rows, got %d", len(res.Rows))
+	}
+}
+
+func TestNullParameterThroughUDF(t *testing.T) {
+	it := fullEngine(t, ModeIterative)
+	rw := fullEngine(t, ModeRewrite)
+	// A customer row with NULL category exercises NULL propagation through
+	// the discount UDF's second lookup.
+	null := storage.Row{sqltypes.NewInt(9999), sqltypes.NewString("nil"),
+		sqltypes.Null, sqltypes.NewInt(0)}
+	for _, e := range []*Engine{it, rw} {
+		if err := e.Load("customer", []storage.Row{null}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Load("orders", []storage.Row{{
+			sqltypes.NewInt(999900), sqltypes.NewInt(9999), sqltypes.NewFloat(100),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := "select orderkey, discount(totalprice, custkey) from orders where orderkey = 999900"
+	r1, err := it.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rw.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != 1 || len(r2.Rows) != 1 {
+		t.Fatalf("rows: %d vs %d", len(r1.Rows), len(r2.Rows))
+	}
+	if !r1.Rows[0][1].IsNull() || !r2.Rows[0][1].IsNull() {
+		t.Errorf("NULL category should yield NULL discount: %v vs %v", r1.Rows[0][1], r2.Rows[0][1])
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	e := fullEngine(t, ModeRewrite)
+	out, err := e.Explain("select custkey, service_level(custkey) from customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rewritten: true") {
+		t.Errorf("explain should report the rewrite:\n%s", out)
+	}
+	if !strings.Contains(out, "Join") {
+		t.Errorf("explain should show join choices:\n%s", out)
+	}
+	it := fullEngine(t, ModeIterative)
+	out2, err := it.Explain("select custkey, service_level(custkey) from customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "rewritten: false") {
+		t.Errorf("iterative explain:\n%s", out2)
+	}
+}
+
+func TestSYS2ProfileAgrees(t *testing.T) {
+	it := fullEngine(t, ModeIterative)
+	sys2 := New(SYS2, ModeIterative)
+	if err := sys2.ExecScript(paperSchema + serviceLevelUDF); err != nil {
+		t.Fatal(err)
+	}
+	// Mirror the data into the SYS2 engine.
+	for _, tbl := range []string{"customer", "orders"} {
+		src, _ := it.Store.Table(tbl)
+		if err := sys2.Load(tbl, src.Rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, err := it.Query(example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys2.Query(example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, r1.Rows, r2.Rows)
+	// SYS2 re-plans per embedded execution.
+	if r2.Counters.PlanBuilds < r2.Counters.QueryExecs {
+		t.Errorf("SYS2 should re-plan per execution: %d plans for %d execs",
+			r2.Counters.PlanBuilds, r2.Counters.QueryExecs)
+	}
+	if r1.Counters.PlanBuilds >= r1.Counters.QueryExecs && r1.Counters.QueryExecs > 1 {
+		t.Errorf("SYS1 should cache plans: %d plans for %d execs",
+			r1.Counters.PlanBuilds, r1.Counters.QueryExecs)
+	}
+}
+
+func TestCostBasedLargePrefersRewrite(t *testing.T) {
+	e := fullEngine(t, ModeCostBased)
+	res, err := e.Query("select custkey, service_level(custkey) from customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rewritten {
+		t.Error("cost-based mode should decorrelate the full-table query")
+	}
+}
+
+func TestTopLimitsUDFInvocations(t *testing.T) {
+	e := fullEngine(t, ModeIterative)
+	res, err := e.Query("select top 7 custkey, service_level(custkey) from customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Counters.UDFCalls != 7 {
+		t.Errorf("pipelined TOP should invoke the UDF exactly 7 times, got %d", res.Counters.UDFCalls)
+	}
+}
+
+func TestWhereAndSelectUDFTogether(t *testing.T) {
+	compareModes(t,
+		`select custkey, service_level(custkey) from customer
+		 where totalbusiness(custkey) > 100000`, true)
+}
+
+func TestDistinctOverUDF(t *testing.T) {
+	compareModes(t, "select distinct service_level(custkey) from customer", true)
+}
+
+func TestOrderByOverUDFResult(t *testing.T) {
+	it := fullEngine(t, ModeIterative)
+	rw := fullEngine(t, ModeRewrite)
+	q := "select custkey, totalbusiness(custkey) tb from customer order by custkey desc"
+	r1, err := it.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rw.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Rewritten {
+		t.Fatal("expected rewrite")
+	}
+	// Order-sensitive comparison.
+	if len(r1.Rows) != len(r2.Rows) {
+		t.Fatalf("row counts differ")
+	}
+	for i := range r1.Rows {
+		if sqltypes.KeyOf(r1.Rows[i]...) != sqltypes.KeyOf(r2.Rows[i]...) {
+			t.Fatalf("row %d differs: %v vs %v", i, r1.Rows[i], r2.Rows[i])
+		}
+	}
+}

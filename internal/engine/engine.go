@@ -1,0 +1,323 @@
+// Package engine is the database facade: it owns the catalog, storage, the
+// planner and the UDF interpreter, and exposes Query/Explain entry points
+// with three execution modes — iterative UDF invocation (the paper's
+// baseline), forced decorrelation (the paper's rewrite tool), and
+// cost-based choice between the two (the integration the paper argues for).
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/core"
+	"udfdecorr/internal/exec"
+	"udfdecorr/internal/parser"
+	"udfdecorr/internal/plan"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// Mode selects how queries with UDF invocations execute.
+type Mode uint8
+
+// Execution modes.
+const (
+	// ModeIterative never rewrites: UDFs run tuple-at-a-time through the
+	// interpreter.
+	ModeIterative Mode = iota
+	// ModeRewrite always decorrelates when the rules fully remove the
+	// Apply operators, else falls back to iterative execution.
+	ModeRewrite
+	// ModeCostBased plans both forms and picks the cheaper estimate.
+	ModeCostBased
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIterative:
+		return "iterative"
+	case ModeRewrite:
+		return "rewrite"
+	case ModeCostBased:
+		return "cost-based"
+	default:
+		return "?"
+	}
+}
+
+// Profile models the two commercial systems of the paper's evaluation.
+// SYS1 caches embedded-statement plans inside UDFs; SYS2 re-plans every
+// embedded query on each invocation, modelling a system with heavier
+// per-invocation overhead (see DESIGN.md).
+type Profile struct {
+	Name       string
+	CachePlans bool
+}
+
+// Profiles.
+var (
+	SYS1 = Profile{Name: "SYS1", CachePlans: true}
+	SYS2 = Profile{Name: "SYS2", CachePlans: false}
+)
+
+// Engine is an in-memory SQL engine with procedural UDF support.
+type Engine struct {
+	Cat     *catalog.Catalog
+	Store   *storage.Store
+	Interp  *exec.Interp
+	Planner *plan.Planner
+	Mode    Mode
+	Profile Profile
+}
+
+// New creates an empty engine.
+func New(profile Profile, mode Mode) *Engine {
+	e := &Engine{
+		Cat:     catalog.New(),
+		Store:   storage.NewStore(),
+		Mode:    mode,
+		Profile: profile,
+	}
+	e.Interp = exec.NewInterp(e.Cat, e.planEmbedded, profile.CachePlans)
+	e.Planner = plan.New(e.Cat, e.Store, e.Interp)
+	return e
+}
+
+// planEmbedded algebrizes and plans a query embedded in a UDF body. The
+// normalization pass gives embedded queries the ordinary optimizations
+// (predicate pushdown into joins) a commercial system performs.
+func (e *Engine) planEmbedded(sel *ast.SelectStmt) (exec.Node, error) {
+	alg := core.NewAlgebrizer(e.Cat)
+	rel, err := alg.Query(sel)
+	if err != nil {
+		return nil, err
+	}
+	return e.Planner.Build(core.Normalize(e.Cat, rel))
+}
+
+// ExecScript runs DDL: CREATE TABLE and CREATE FUNCTION statements.
+// Any SELECT statements in the script are ignored (use Query).
+func (e *Engine) ExecScript(src string) error {
+	script, err := parser.ParseScript(src)
+	if err != nil {
+		return err
+	}
+	for _, t := range script.Tables {
+		meta, err := e.Cat.AddTableFromAST(t)
+		if err != nil {
+			return err
+		}
+		if _, err := e.Store.CreateTable(meta); err != nil {
+			return err
+		}
+	}
+	for _, f := range script.Functions {
+		if _, err := e.Cat.AddFunction(f); err != nil {
+			return err
+		}
+	}
+	for _, ins := range script.Inserts {
+		if err := e.execInsert(ins); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execInsert evaluates a top-level INSERT's value expressions (constants
+// and pure scalar expressions) and appends the row.
+func (e *Engine) execInsert(ins *ast.InsertStmt) error {
+	meta, ok := e.Cat.Table(ins.Table)
+	if !ok {
+		return fmt.Errorf("unknown table %q", ins.Table)
+	}
+	if len(ins.Values) != len(meta.Cols) {
+		return fmt.Errorf("INSERT into %s: %d values for %d columns",
+			ins.Table, len(ins.Values), len(meta.Cols))
+	}
+	ctx := exec.NewCtx(e.Interp)
+	row := make(storage.Row, len(ins.Values))
+	for i, expr := range ins.Values {
+		v, err := e.Interp.EvalProcExpr(ctx, expr)
+		if err != nil {
+			return fmt.Errorf("INSERT into %s: %w", ins.Table, err)
+		}
+		row[i] = v
+	}
+	return e.Load(ins.Table, []storage.Row{row})
+}
+
+// CreateIndex declares a secondary hash index on a column.
+func (e *Engine) CreateIndex(table, col string) error {
+	meta, ok := e.Cat.Table(table)
+	if !ok {
+		return fmt.Errorf("unknown table %q", table)
+	}
+	if meta.ColIndex(col) < 0 {
+		return fmt.Errorf("table %q has no column %q", table, col)
+	}
+	meta.Indexes = append(meta.Indexes, col)
+	return nil
+}
+
+// Load appends rows to a table.
+func (e *Engine) Load(table string, rows []storage.Row) error {
+	t, ok := e.Store.Table(table)
+	if !ok {
+		return fmt.Errorf("unknown table %q", table)
+	}
+	return t.Append(rows...)
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Cols []string
+	Rows []storage.Row
+	// Counters are the execution metrics (UDF invocations etc.).
+	Counters exec.Counters
+	// Rewritten reports whether the decorrelated form was executed.
+	Rewritten bool
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Cols, "\t"))
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Display()
+		}
+		b.WriteString(strings.Join(parts, "\t"))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// prepare parses, algebrizes and (depending on mode) rewrites a query,
+// returning the plan to execute.
+func (e *Engine) prepare(sql string) (exec.Node, bool, []string, error) {
+	sel, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	alg := core.NewAlgebrizer(e.Cat)
+	rel, err := alg.Query(sel)
+	if err != nil {
+		return nil, false, nil, err
+	}
+
+	useRewrite := false
+	var rewritten algebra.Rel
+	if e.Mode != ModeIterative {
+		d := core.NewDecorrelator(e.Cat)
+		res, err := d.Rewrite(rel)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		if res.Decorrelated && len(res.InlinedUDFs) >= 0 {
+			rewritten = res.Rel
+			useRewrite = true
+			for _, agg := range res.NewAggs {
+				if _, exists := e.Cat.Aggregate(agg.Name); !exists {
+					if err := e.Cat.AddAggregate(agg); err != nil {
+						return nil, false, nil, err
+					}
+				}
+			}
+		}
+	}
+	if useRewrite && e.Mode == ModeCostBased {
+		// Correlated evaluation remains an alternative: compare cost
+		// estimates of the two forms. The iterative form streams the outer
+		// rows and pays a per-invocation penalty (embedded statements).
+		origCost := e.Planner.CostOf(rel) + e.Planner.Estimate(rel)*iterativeRowCost
+		rewCost := e.Planner.CostOf(rewritten)
+		if origCost < rewCost {
+			useRewrite = false
+		}
+	}
+
+	target := rel
+	if useRewrite {
+		target = rewritten
+	}
+	target = core.Normalize(e.Cat, target)
+	node, choices, err := e.Planner.BuildExplain(target)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return node, useRewrite, choices, nil
+}
+
+// iterativeRowCost is the assumed per-row cost multiplier of invoking a UDF
+// iteratively (each invocation runs at least one embedded query).
+const iterativeRowCost = 50
+
+// Query executes a SELECT statement.
+func (e *Engine) Query(sql string) (*Result, error) {
+	node, rewrote, _, err := e.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewCtx(e.Interp)
+	rows, err := exec.Drain(node, ctx)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(node.Schema()))
+	for i, c := range node.Schema() {
+		cols[i] = c.Name
+	}
+	return &Result{Cols: cols, Rows: rows, Counters: *ctx.Counters, Rewritten: rewrote}, nil
+}
+
+// Explain returns a description of the chosen plan: whether the query was
+// rewritten and which physical operators were selected.
+func (e *Engine) Explain(sql string) (string, error) {
+	_, rewrote, choices, err := e.prepare(sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode: %s\nrewritten: %v\n", e.Mode, rewrote)
+	for _, c := range choices {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	return b.String(), nil
+}
+
+// RewriteSQL runs only the rewrite pipeline and reports the decorrelated
+// algebra (for the udfrewrite tool and tests).
+func (e *Engine) RewriteSQL(sql string) (*core.Result, error) {
+	sel, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	alg := core.NewAlgebrizer(e.Cat)
+	rel, err := alg.Query(sel)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDecorrelator(e.Cat).Rewrite(rel)
+}
+
+// MustLoadInts is a test helper: loads rows given as int64 matrices.
+func (e *Engine) MustLoadInts(table string, rows [][]int64) {
+	out := make([]storage.Row, len(rows))
+	for i, r := range rows {
+		row := make(storage.Row, len(r))
+		for j, v := range r {
+			row[j] = sqltypes.NewInt(v)
+		}
+		out[i] = row
+	}
+	if err := e.Load(table, out); err != nil {
+		panic(err)
+	}
+}

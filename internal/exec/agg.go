@@ -1,0 +1,347 @@
+package exec
+
+import (
+	"sort"
+
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// aggState is the running state of one aggregate within one group.
+type aggState interface {
+	add(ctx *Ctx, args []sqltypes.Value) error
+	result(ctx *Ctx) (sqltypes.Value, error)
+}
+
+// ---------------------------------------------------------------------------
+// Builtin aggregate states
+// ---------------------------------------------------------------------------
+
+type sumState struct {
+	acc     sqltypes.Value
+	seenAny bool
+}
+
+func (s *sumState) add(_ *Ctx, args []sqltypes.Value) error {
+	v := args[0]
+	if v.IsNull() {
+		return nil
+	}
+	if !s.seenAny {
+		s.acc = v
+		s.seenAny = true
+		return nil
+	}
+	acc, err := sqltypes.Arith(sqltypes.OpAdd, s.acc, v)
+	if err != nil {
+		return err
+	}
+	s.acc = acc
+	return nil
+}
+
+func (s *sumState) result(*Ctx) (sqltypes.Value, error) {
+	if !s.seenAny {
+		return sqltypes.Null, nil // SUM over empty/all-NULL is NULL
+	}
+	return s.acc, nil
+}
+
+type countState struct {
+	n    int64
+	star bool // count(*) counts every row; count(e) skips NULL
+}
+
+func (s *countState) add(_ *Ctx, args []sqltypes.Value) error {
+	if s.star || (len(args) > 0 && !args[0].IsNull()) {
+		s.n++
+	}
+	return nil
+}
+
+func (s *countState) result(*Ctx) (sqltypes.Value, error) {
+	return sqltypes.NewInt(s.n), nil
+}
+
+type minMaxState struct {
+	best sqltypes.Value
+	max  bool
+	seen bool
+}
+
+func (s *minMaxState) add(_ *Ctx, args []sqltypes.Value) error {
+	v := args[0]
+	if v.IsNull() {
+		return nil
+	}
+	if !s.seen {
+		s.best = v
+		s.seen = true
+		return nil
+	}
+	c := sqltypes.TotalCompare(v, s.best)
+	if (s.max && c > 0) || (!s.max && c < 0) {
+		s.best = v
+	}
+	return nil
+}
+
+func (s *minMaxState) result(*Ctx) (sqltypes.Value, error) {
+	if !s.seen {
+		return sqltypes.Null, nil
+	}
+	return s.best, nil
+}
+
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+func (s *avgState) add(_ *Ctx, args []sqltypes.Value) error {
+	v := args[0]
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return Errorf("avg of non-numeric value %s", v)
+	}
+	s.sum += f
+	s.n++
+	return nil
+}
+
+func (s *avgState) result(*Ctx) (sqltypes.Value, error) {
+	if s.n == 0 {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewFloat(s.sum / float64(s.n)), nil
+}
+
+// userAggState runs a user-defined aggregate (Section VII, Example 6):
+// initialize sets the state variables, accumulate runs the interpreted body
+// once per row, terminate reads the result variable.
+type userAggState struct {
+	def  *catalog.Aggregate
+	vars map[string]sqltypes.Value
+}
+
+func newUserAggState(def *catalog.Aggregate) *userAggState {
+	vars := make(map[string]sqltypes.Value, len(def.State))
+	for _, sv := range def.State {
+		vars[sv.Name] = sv.Init
+	}
+	return &userAggState{def: def, vars: vars}
+}
+
+func (s *userAggState) add(ctx *Ctx, args []sqltypes.Value) error {
+	if ctx.Interp == nil {
+		return Errorf("user-defined aggregate %s requires an interpreter", s.def.Name)
+	}
+	return ctx.Interp.Accumulate(ctx, s.def, s.vars, args)
+}
+
+func (s *userAggState) result(*Ctx) (sqltypes.Value, error) {
+	v, ok := s.vars[s.def.Result]
+	if !ok {
+		return sqltypes.Null, Errorf("aggregate %s: unknown result variable %q", s.def.Name, s.def.Result)
+	}
+	return v, nil
+}
+
+// AggSpec is one compiled aggregate of a HashAgg.
+type AggSpec struct {
+	Func     string
+	Args     []Evaluator // empty for count(*)
+	Distinct bool
+	UserDef  *catalog.Aggregate // non-nil for user-defined aggregates
+}
+
+func (a *AggSpec) newState() (aggState, error) {
+	if a.UserDef != nil {
+		return newUserAggState(a.UserDef), nil
+	}
+	switch a.Func {
+	case "sum":
+		return &sumState{}, nil
+	case "count":
+		return &countState{star: len(a.Args) == 0}, nil
+	case "min":
+		return &minMaxState{}, nil
+	case "max":
+		return &minMaxState{max: true}, nil
+	case "avg":
+		return &avgState{}, nil
+	default:
+		return nil, Errorf("unknown aggregate %q", a.Func)
+	}
+}
+
+// HashAgg groups input rows by key expressions and computes aggregates.
+// With no keys it is scalar aggregation: exactly one output row even for
+// empty input.
+type HashAgg struct {
+	Keys   []Evaluator
+	Aggs   []*AggSpec
+	Child  Node
+	schema []algebra.Column
+}
+
+// NewHashAgg builds a hash aggregation node with the given output schema
+// (keys first, then one column per aggregate).
+func NewHashAgg(keys []Evaluator, aggs []*AggSpec, child Node, schema []algebra.Column) *HashAgg {
+	return &HashAgg{Keys: keys, Aggs: aggs, Child: child, schema: schema}
+}
+
+// Schema implements Node.
+func (h *HashAgg) Schema() []algebra.Column { return h.schema }
+
+type aggGroup struct {
+	keyVals  []sqltypes.Value
+	states   []aggState
+	distinct []map[string]bool // per agg, for DISTINCT
+	order    int
+}
+
+// Open implements Node.
+func (h *HashAgg) Open(ctx *Ctx) (Iter, error) {
+	it, err := h.Child.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	groups := map[string]*aggGroup{}
+	// Fast path: single-column grouping keys that stay integers avoid the
+	// per-row key encoding (the common case for foreign-key grouping).
+	intGroups := map[int64]*aggGroup{}
+	intsOnly := len(h.Keys) == 1
+	nGroups := 0
+	newGroup := func(keyVals []sqltypes.Value) (*aggGroup, error) {
+		g := &aggGroup{keyVals: keyVals, states: make([]aggState, len(h.Aggs)),
+			distinct: make([]map[string]bool, len(h.Aggs)), order: nGroups}
+		nGroups++
+		for i, a := range h.Aggs {
+			st, err := a.newState()
+			if err != nil {
+				return nil, err
+			}
+			g.states[i] = st
+			if a.Distinct {
+				g.distinct[i] = map[string]bool{}
+			}
+		}
+		return g, nil
+	}
+	keyVals := make([]sqltypes.Value, len(h.Keys))
+	argBuf := make([]sqltypes.Value, 8)
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		for i, k := range h.Keys {
+			v, err := k(ctx, row)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		cloneKeys := func() []sqltypes.Value {
+			out := make([]sqltypes.Value, len(keyVals))
+			copy(out, keyVals)
+			return out
+		}
+		var g *aggGroup
+		if intsOnly && len(keyVals) == 1 && keyVals[0].Kind() == sqltypes.KindInt {
+			ik := keyVals[0].Int()
+			g, ok = intGroups[ik]
+			if !ok {
+				g, err = newGroup(cloneKeys())
+				if err != nil {
+					return nil, err
+				}
+				intGroups[ik] = g
+			}
+		} else {
+			if intsOnly {
+				// Mixed key kinds: fold the integer groups into the
+				// general map and disable the fast path.
+				intsOnly = false
+				var buf []byte
+				for ik, ig := range intGroups {
+					buf = sqltypes.EncodeKey(buf[:0], sqltypes.NewInt(ik))
+					groups[string(buf)] = ig
+				}
+				intGroups = nil
+			}
+			key := sqltypes.KeyOf(keyVals...)
+			g, ok = groups[key]
+			if !ok {
+				g, err = newGroup(cloneKeys())
+				if err != nil {
+					return nil, err
+				}
+				groups[key] = g
+			}
+		}
+		for i, a := range h.Aggs {
+			if cap(argBuf) < len(a.Args) {
+				argBuf = make([]sqltypes.Value, len(a.Args))
+			}
+			args := argBuf[:len(a.Args)]
+			for j, ae := range a.Args {
+				v, err := ae(ctx, row)
+				if err != nil {
+					return nil, err
+				}
+				args[j] = v
+			}
+			if a.Distinct {
+				dk := sqltypes.KeyOf(args...)
+				if g.distinct[i][dk] {
+					continue
+				}
+				g.distinct[i][dk] = true
+			}
+			if err := g.states[i].add(ctx, args); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Scalar aggregation over empty input yields one row of "empty" results.
+	if len(h.Keys) == 0 && nGroups == 0 {
+		g, err := newGroup(nil)
+		if err != nil {
+			return nil, err
+		}
+		groups[""] = g
+	}
+	ordered := make([]*aggGroup, 0, nGroups)
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	for _, g := range intGroups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+	rows := make([]storage.Row, 0, len(ordered))
+	for _, g := range ordered {
+		row := make(storage.Row, 0, len(h.Keys)+len(h.Aggs))
+		row = append(row, g.keyVals...)
+		for _, st := range g.states {
+			v, err := st.result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	return &sliceIter{rows: rows}, nil
+}

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/storage"
+)
+
+// CorrBinding maps a parameter name to a column ordinal of the outer row;
+// the Apply operator publishes these into the context before each inner
+// evaluation. This is how correlated (iterative) plans execute when
+// decorrelation is not applied or not possible.
+type CorrBinding struct {
+	Param string
+	Col   int // ordinal in the left row
+}
+
+// ApplyBind is one explicit bind-extension argument: the parameter receives
+// the value of an expression over the left row.
+type ApplyBind struct {
+	Param string
+	Arg   Evaluator
+}
+
+// Apply executes the parameterized right child once per left row, exactly
+// as the paper's Apply operator semantics prescribe: E0 A⊗ E1 =
+// ⋃_{t∈E0} ({t} ⊗ E1(t)).
+type Apply struct {
+	Kind   algebra.JoinKind
+	Corr   []CorrBinding
+	Binds  []ApplyBind
+	L, R   Node
+	schema []algebra.Column
+}
+
+// NewApply constructs a correlated Apply node.
+func NewApply(kind algebra.JoinKind, corr []CorrBinding, binds []ApplyBind, l, r Node) *Apply {
+	return &Apply{Kind: kind, Corr: corr, Binds: binds, L: l, R: r,
+		schema: joinSchema(kind, l, r)}
+}
+
+// Schema implements Node.
+func (a *Apply) Schema() []algebra.Column { return a.schema }
+
+// Open implements Node.
+func (a *Apply) Open(ctx *Ctx) (Iter, error) {
+	li, err := a.L.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &applyIter{a: a, ctx: ctx, li: li, rWidth: len(a.R.Schema())}, nil
+}
+
+type applyIter struct {
+	a      *Apply
+	ctx    *Ctx
+	li     Iter
+	rWidth int
+
+	left    storage.Row
+	inner   []storage.Row
+	pos     int
+	matched bool
+	active  bool
+}
+
+func (it *applyIter) bindAndEval(left storage.Row) ([]storage.Row, error) {
+	ctx := it.ctx
+	ctx.Push()
+	defer ctx.Pop()
+	for _, c := range it.a.Corr {
+		ctx.Set(c.Param, left[c.Col])
+	}
+	for _, b := range it.a.Binds {
+		v, err := b.Arg(ctx, left)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Set(b.Param, v)
+	}
+	return Drain(it.a.R, ctx)
+}
+
+func (it *applyIter) Next() (storage.Row, bool, error) {
+outer:
+	for {
+		if !it.active {
+			l, ok, err := it.li.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			rows, err := it.bindAndEval(l)
+			if err != nil {
+				return nil, false, err
+			}
+			it.left, it.inner, it.pos, it.matched, it.active = l, rows, 0, false, true
+		}
+		for it.pos < len(it.inner) {
+			r := it.inner[it.pos]
+			it.pos++
+			it.matched = true
+			switch it.a.Kind {
+			case algebra.SemiJoin:
+				it.active = false
+				return it.left, true, nil
+			case algebra.AntiJoin:
+				it.active = false
+				continue outer
+			default:
+				return concatRows(it.left, r), true, nil
+			}
+		}
+		it.active = false
+		switch it.a.Kind {
+		case algebra.AntiJoin:
+			if !it.matched {
+				return it.left, true, nil
+			}
+		case algebra.LeftOuterJoin:
+			if !it.matched {
+				return concatRows(it.left, nullRow(it.rWidth)), true, nil
+			}
+		}
+	}
+}
+
+func (it *applyIter) Close() error { return it.li.Close() }

@@ -1,0 +1,146 @@
+// Package exec implements the physical execution engine: volcano-style
+// iterators (scans, index lookups, filters, projections, nested-loop, hash
+// and merge joins, hash aggregation, sorting), a correlated Apply operator
+// for iterative plans, a compiled expression evaluator, and the UDF
+// interpreter that provides the paper's baseline of tuple-at-a-time UDF
+// invocation.
+package exec
+
+import (
+	"fmt"
+
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// Counters collects execution metrics used by the experiment harness.
+type Counters struct {
+	UDFCalls      int64 // scalar UDF invocations
+	QueryExecs    int64 // embedded query executions inside UDFs
+	PlanBuilds    int64 // embedded query plan constructions
+	RowsProcessed int64
+}
+
+// Ctx is the per-query execution context: a stack of variable frames
+// (UDF locals, bind parameters, correlation values), the UDF interpreter,
+// and metric counters. A Ctx is not safe for concurrent use.
+type Ctx struct {
+	frames   []map[string]sqltypes.Value
+	Interp   *Interp
+	Counters *Counters
+}
+
+// NewCtx returns a context with one (global) frame.
+func NewCtx(interp *Interp) *Ctx {
+	return &Ctx{
+		frames:   []map[string]sqltypes.Value{{}},
+		Interp:   interp,
+		Counters: &Counters{},
+	}
+}
+
+// Push adds a new variable frame (entering a UDF call or apply scope).
+func (c *Ctx) Push() {
+	c.frames = append(c.frames, map[string]sqltypes.Value{})
+}
+
+// Pop removes the top frame.
+func (c *Ctx) Pop() {
+	if len(c.frames) <= 1 {
+		panic("exec: frame stack underflow")
+	}
+	c.frames = c.frames[:len(c.frames)-1]
+}
+
+// Depth reports the frame stack depth.
+func (c *Ctx) Depth() int { return len(c.frames) }
+
+// Get looks a variable up, innermost frame first.
+func (c *Ctx) Get(name string) (sqltypes.Value, bool) {
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		if v, ok := c.frames[i][name]; ok {
+			return v, true
+		}
+	}
+	return sqltypes.Null, false
+}
+
+// Set defines (or overwrites) a variable in the top frame.
+func (c *Ctx) Set(name string, v sqltypes.Value) {
+	c.frames[len(c.frames)-1][name] = v
+}
+
+// Assign overwrites the innermost existing binding of name, or defines it
+// in the top frame when absent (assignment to an undeclared variable).
+func (c *Ctx) Assign(name string, v sqltypes.Value) {
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		if _, ok := c.frames[i][name]; ok {
+			c.frames[i][name] = v
+			return
+		}
+	}
+	c.Set(name, v)
+}
+
+// Node is a physical plan node. A Node is immutable after construction and
+// can be opened many times (each Open yields an independent iterator).
+type Node interface {
+	Schema() []algebra.Column
+	Open(ctx *Ctx) (Iter, error)
+}
+
+// Iter is a row iterator. Next returns (row, true, nil) per row and
+// (nil, false, nil) at end of stream.
+type Iter interface {
+	Next() (storage.Row, bool, error)
+	Close() error
+}
+
+// Drain materializes all rows of a node under the given context.
+func Drain(n Node, ctx *Ctx) ([]storage.Row, error) {
+	it, err := n.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []storage.Row
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// sliceIter iterates a materialized row slice.
+type sliceIter struct {
+	rows []storage.Row
+	pos  int
+}
+
+func (s *sliceIter) Next() (storage.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// errIter is an iterator that fails immediately (used by deferred errors).
+type errIter struct{ err error }
+
+func (e *errIter) Next() (storage.Row, bool, error) { return nil, false, e.err }
+func (e *errIter) Close() error                     { return nil }
+
+// Errorf builds an execution error.
+func Errorf(format string, args ...any) error {
+	return fmt.Errorf("exec: %s", fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,575 @@
+package exec
+
+import (
+	"strings"
+	"sync"
+
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// maxLoopIterations bounds WHILE loops as a safety net against runaway UDFs.
+const maxLoopIterations = 100_000_000
+
+// maxCallDepth bounds UDF call recursion.
+const maxCallDepth = 64
+
+// Interp interprets procedural UDF bodies statement by statement. This is
+// the paper's baseline: when a query's plan invokes a UDF per tuple, each
+// embedded SQL statement is executed as a fresh (parameterized) query.
+//
+// PlanSelect is wired by the engine to algebrize and plan an embedded
+// SELECT; when CachePlans is set, plans are cached per statement (profile
+// SYS1), otherwise every invocation re-plans (profile SYS2, modelling a
+// system with heavier per-invocation overhead).
+type Interp struct {
+	Cat        *catalog.Catalog
+	PlanSelect func(sel *ast.SelectStmt) (Node, error)
+	CachePlans bool
+
+	mu        sync.Mutex
+	planCache map[*ast.SelectStmt]Node
+	depth     int
+}
+
+// NewInterp builds an interpreter over a catalog.
+func NewInterp(cat *catalog.Catalog, planSelect func(*ast.SelectStmt) (Node, error), cachePlans bool) *Interp {
+	return &Interp{Cat: cat, PlanSelect: planSelect, CachePlans: cachePlans,
+		planCache: map[*ast.SelectStmt]Node{}}
+}
+
+// procState is per-call interpreter state: open cursors and table variables.
+type procState struct {
+	cursors map[string]*cursorState
+	tables  map[string][]storage.Row
+}
+
+type cursorState struct {
+	sel  *ast.SelectStmt
+	rows []storage.Row
+	pos  int
+	open bool
+}
+
+func newProcState() *procState {
+	return &procState{cursors: map[string]*cursorState{}, tables: map[string][]storage.Row{}}
+}
+
+// control indicates how statement execution terminated.
+type control uint8
+
+const (
+	ctlNext control = iota
+	ctlReturn
+)
+
+// planFor plans (or fetches a cached plan of) an embedded SELECT.
+func (in *Interp) planFor(ctx *Ctx, sel *ast.SelectStmt) (Node, error) {
+	if in.PlanSelect == nil {
+		return nil, Errorf("interpreter has no query planner")
+	}
+	if in.CachePlans {
+		in.mu.Lock()
+		n, ok := in.planCache[sel]
+		in.mu.Unlock()
+		if ok {
+			return n, nil
+		}
+	}
+	ctx.Counters.PlanBuilds++
+	n, err := in.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	if in.CachePlans {
+		in.mu.Lock()
+		in.planCache[sel] = n
+		in.mu.Unlock()
+	}
+	return n, nil
+}
+
+func (in *Interp) runQuery(ctx *Ctx, sel *ast.SelectStmt) ([]storage.Row, error) {
+	n, err := in.planFor(ctx, sel)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Counters.QueryExecs++
+	return Drain(n, ctx)
+}
+
+// CallScalar invokes a scalar UDF with the given arguments.
+func (in *Interp) CallScalar(ctx *Ctx, name string, args []sqltypes.Value) (sqltypes.Value, error) {
+	fn, ok := in.Cat.Function(name)
+	if !ok {
+		return sqltypes.Null, Errorf("unknown function %q", name)
+	}
+	if fn.IsTableValued() {
+		return sqltypes.Null, Errorf("function %q returns a table; scalar context", name)
+	}
+	if len(args) != len(fn.Def.Params) {
+		return sqltypes.Null, Errorf("function %q expects %d args, got %d", name, len(fn.Def.Params), len(args))
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > maxCallDepth {
+		return sqltypes.Null, Errorf("UDF call depth exceeded in %q", name)
+	}
+	ctx.Counters.UDFCalls++
+	ctx.Push()
+	defer ctx.Pop()
+	for i, p := range fn.Def.Params {
+		ctx.Set(p.Name, args[i])
+	}
+	st := newProcState()
+	ctl, ret, err := in.execStmts(ctx, st, fn.Def.Body)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if ctl != ctlReturn {
+		return sqltypes.Null, nil
+	}
+	return ret, nil
+}
+
+// CallTable invokes a table-valued UDF, returning its materialized rows.
+func (in *Interp) CallTable(ctx *Ctx, name string, args []sqltypes.Value) ([]storage.Row, error) {
+	fn, ok := in.Cat.Function(name)
+	if !ok {
+		return nil, Errorf("unknown function %q", name)
+	}
+	if !fn.IsTableValued() {
+		return nil, Errorf("function %q is scalar; table context", name)
+	}
+	if len(args) != len(fn.Def.Params) {
+		return nil, Errorf("function %q expects %d args, got %d", name, len(fn.Def.Params), len(args))
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > maxCallDepth {
+		return nil, Errorf("UDF call depth exceeded in %q", name)
+	}
+	ctx.Counters.UDFCalls++
+	ctx.Push()
+	defer ctx.Pop()
+	for i, p := range fn.Def.Params {
+		ctx.Set(p.Name, args[i])
+	}
+	st := newProcState()
+	st.tables[fn.Def.TableName] = nil
+	_, _, err := in.execStmts(ctx, st, fn.Def.Body)
+	if err != nil {
+		return nil, err
+	}
+	rows := st.tables[fn.Def.TableName]
+	want := len(fn.Def.TableCols)
+	for _, r := range rows {
+		if len(r) != want {
+			return nil, Errorf("function %q: inserted row arity %d, want %d", name, len(r), want)
+		}
+	}
+	return rows, nil
+}
+
+// Accumulate runs a user-defined aggregate's accumulate body once, updating
+// the state map in place.
+func (in *Interp) Accumulate(ctx *Ctx, def *catalog.Aggregate, state map[string]sqltypes.Value, args []sqltypes.Value) error {
+	if len(args) != len(def.Params) {
+		return Errorf("aggregate %q expects %d args, got %d", def.Name, len(def.Params), len(args))
+	}
+	ctx.Push()
+	defer ctx.Pop()
+	for k, v := range state {
+		ctx.Set(k, v)
+	}
+	for i, p := range def.Params {
+		ctx.Set(p, args[i])
+	}
+	st := newProcState()
+	if _, _, err := in.execStmts(ctx, st, def.Body); err != nil {
+		return err
+	}
+	for k := range state {
+		if v, ok := ctx.Get(k); ok {
+			state[k] = v
+		}
+	}
+	return nil
+}
+
+// execStmts executes a statement list.
+func (in *Interp) execStmts(ctx *Ctx, st *procState, stmts []ast.Stmt) (control, sqltypes.Value, error) {
+	for _, s := range stmts {
+		ctl, v, err := in.execStmt(ctx, st, s)
+		if err != nil {
+			return ctlNext, sqltypes.Null, err
+		}
+		if ctl == ctlReturn {
+			return ctlReturn, v, nil
+		}
+	}
+	return ctlNext, sqltypes.Null, nil
+}
+
+func (in *Interp) execStmt(ctx *Ctx, st *procState, s ast.Stmt) (control, sqltypes.Value, error) {
+	switch n := s.(type) {
+	case *ast.DeclareStmt:
+		v := sqltypes.Null // ⊥
+		if n.Init != nil {
+			var err error
+			v, err = in.EvalProcExpr(ctx, n.Init)
+			if err != nil {
+				return ctlNext, sqltypes.Null, err
+			}
+		}
+		ctx.Set(n.Name, v)
+		return ctlNext, sqltypes.Null, nil
+
+	case *ast.AssignStmt:
+		v, err := in.EvalProcExpr(ctx, n.Expr)
+		if err != nil {
+			return ctlNext, sqltypes.Null, err
+		}
+		ctx.Assign(n.Name, v)
+		return ctlNext, sqltypes.Null, nil
+
+	case *ast.IfStmt:
+		c, err := in.EvalProcExpr(ctx, n.Cond)
+		if err != nil {
+			return ctlNext, sqltypes.Null, err
+		}
+		if sqltypes.TriOf(c) == sqltypes.True {
+			return in.execStmts(ctx, st, n.Then)
+		}
+		return in.execStmts(ctx, st, n.Else)
+
+	case *ast.ReturnStmt:
+		if n.Table != "" {
+			// Table return: rows stay in st.tables; signal return.
+			return ctlReturn, sqltypes.Null, nil
+		}
+		// RETURN tt; in a table-valued function: tt resolves to the table
+		// variable, not a scalar.
+		if cn, ok := n.Expr.(*ast.ColName); ok && cn.Qual == "" {
+			if _, isTable := st.tables[cn.Name]; isTable {
+				return ctlReturn, sqltypes.Null, nil
+			}
+		}
+		v, err := in.EvalProcExpr(ctx, n.Expr)
+		if err != nil {
+			return ctlNext, sqltypes.Null, err
+		}
+		return ctlReturn, v, nil
+
+	case *ast.SelectIntoStmt:
+		rows, err := in.runQuery(ctx, n.Select)
+		if err != nil {
+			return ctlNext, sqltypes.Null, err
+		}
+		targets := n.Select.Into
+		switch len(rows) {
+		case 0:
+			// Empty result: assign NULL (see DESIGN.md on ⊥/empty).
+			for _, t := range targets {
+				ctx.Assign(t, sqltypes.Null)
+			}
+		case 1:
+			if len(rows[0]) < len(targets) {
+				return ctlNext, sqltypes.Null, Errorf("SELECT INTO: %d columns for %d targets", len(rows[0]), len(targets))
+			}
+			for i, t := range targets {
+				ctx.Assign(t, rows[0][i])
+			}
+		default:
+			return ctlNext, sqltypes.Null, Errorf("SELECT INTO returned %d rows", len(rows))
+		}
+		return ctlNext, sqltypes.Null, nil
+
+	case *ast.DeclareCursorStmt:
+		st.cursors[n.Name] = &cursorState{sel: n.Select}
+		return ctlNext, sqltypes.Null, nil
+
+	case *ast.OpenStmt:
+		cur, ok := st.cursors[n.Cursor]
+		if !ok {
+			return ctlNext, sqltypes.Null, Errorf("unknown cursor %q", n.Cursor)
+		}
+		rows, err := in.runQuery(ctx, cur.sel)
+		if err != nil {
+			return ctlNext, sqltypes.Null, err
+		}
+		cur.rows, cur.pos, cur.open = rows, 0, true
+		return ctlNext, sqltypes.Null, nil
+
+	case *ast.FetchStmt:
+		cur, ok := st.cursors[n.Cursor]
+		if !ok || !cur.open {
+			return ctlNext, sqltypes.Null, Errorf("cursor %q is not open", n.Cursor)
+		}
+		if cur.pos >= len(cur.rows) {
+			ctx.Assign("@@fetch_status", sqltypes.NewInt(-1))
+			return ctlNext, sqltypes.Null, nil
+		}
+		row := cur.rows[cur.pos]
+		cur.pos++
+		if len(row) < len(n.Into) {
+			return ctlNext, sqltypes.Null, Errorf("FETCH: %d columns for %d targets", len(row), len(n.Into))
+		}
+		for i, t := range n.Into {
+			ctx.Assign(t, row[i])
+		}
+		ctx.Assign("@@fetch_status", sqltypes.NewInt(0))
+		return ctlNext, sqltypes.Null, nil
+
+	case *ast.WhileStmt:
+		for iter := 0; ; iter++ {
+			if iter >= maxLoopIterations {
+				return ctlNext, sqltypes.Null, Errorf("WHILE loop exceeded %d iterations", maxLoopIterations)
+			}
+			c, err := in.EvalProcExpr(ctx, n.Cond)
+			if err != nil {
+				return ctlNext, sqltypes.Null, err
+			}
+			if sqltypes.TriOf(c) != sqltypes.True {
+				return ctlNext, sqltypes.Null, nil
+			}
+			ctl, v, err := in.execStmts(ctx, st, n.Body)
+			if err != nil {
+				return ctlNext, sqltypes.Null, err
+			}
+			if ctl == ctlReturn {
+				return ctlReturn, v, nil
+			}
+		}
+
+	case *ast.CloseStmt:
+		if cur, ok := st.cursors[n.Cursor]; ok {
+			cur.open = false
+		}
+		return ctlNext, sqltypes.Null, nil
+
+	case *ast.DeallocateStmt:
+		delete(st.cursors, n.Cursor)
+		return ctlNext, sqltypes.Null, nil
+
+	case *ast.InsertStmt:
+		row := make(storage.Row, len(n.Values))
+		for i, e := range n.Values {
+			v, err := in.EvalProcExpr(ctx, e)
+			if err != nil {
+				return ctlNext, sqltypes.Null, err
+			}
+			row[i] = v
+		}
+		st.tables[n.Table] = append(st.tables[n.Table], row)
+		return ctlNext, sqltypes.Null, nil
+	}
+	return ctlNext, sqltypes.Null, Errorf("cannot interpret statement %T", s)
+}
+
+// EvalProcExpr evaluates an AST expression in procedural scope: unqualified
+// column names resolve as local variables, subqueries execute as embedded
+// queries.
+func (in *Interp) EvalProcExpr(ctx *Ctx, e ast.Expr) (sqltypes.Value, error) {
+	switch n := e.(type) {
+	case *ast.Lit:
+		return n.Val, nil
+
+	case *ast.ColName:
+		if n.Qual != "" {
+			return sqltypes.Null, Errorf("qualified name %s.%s outside query context", n.Qual, n.Name)
+		}
+		if v, ok := ctx.Get(n.Name); ok {
+			return v, nil
+		}
+		return sqltypes.Null, Errorf("unknown variable %q", n.Name)
+
+	case *ast.ParamRef:
+		if v, ok := ctx.Get(n.Name); ok {
+			return v, nil
+		}
+		return sqltypes.Null, Errorf("unknown variable %q", n.Name)
+
+	case *ast.BinExpr:
+		l, err := in.EvalProcExpr(ctx, n.L)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		// Short-circuit logic.
+		switch n.Op {
+		case ast.BinAnd:
+			if sqltypes.TriOf(l) == sqltypes.False {
+				return sqltypes.NewBool(false), nil
+			}
+		case ast.BinOr:
+			if sqltypes.TriOf(l) == sqltypes.True {
+				return sqltypes.NewBool(true), nil
+			}
+		}
+		r, err := in.EvalProcExpr(ctx, n.R)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		switch {
+		case n.Op == ast.BinAnd:
+			return sqltypes.TriValue(sqltypes.TriOf(l).And(sqltypes.TriOf(r))), nil
+		case n.Op == ast.BinOr:
+			return sqltypes.TriValue(sqltypes.TriOf(l).Or(sqltypes.TriOf(r))), nil
+		case n.Op == ast.BinConcat:
+			return sqltypes.Concat(l, r), nil
+		case n.Op.IsComparison():
+			return sqltypes.TriValue(sqltypes.Cmp(astCmpOp(n.Op), l, r)), nil
+		default:
+			return sqltypes.Arith(astArithOp(n.Op), l, r)
+		}
+
+	case *ast.UnaryExpr:
+		v, err := in.EvalProcExpr(ctx, n.E)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if n.Op == "NOT" {
+			return sqltypes.TriValue(sqltypes.TriOf(v).Not()), nil
+		}
+		return sqltypes.Neg(v)
+
+	case *ast.IsNullExpr:
+		v, err := in.EvalProcExpr(ctx, n.E)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool(v.IsNull() != n.Neg), nil
+
+	case *ast.CaseExpr:
+		for _, w := range n.Whens {
+			c, err := in.EvalProcExpr(ctx, w.Cond)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if sqltypes.TriOf(c) == sqltypes.True {
+				return in.EvalProcExpr(ctx, w.Then)
+			}
+		}
+		if n.Else != nil {
+			return in.EvalProcExpr(ctx, n.Else)
+		}
+		return sqltypes.Null, nil
+
+	case *ast.FuncCall:
+		args := make([]sqltypes.Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := in.EvalProcExpr(ctx, a)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			args[i] = v
+		}
+		if fn, ok := builtinScalar(strings.ToLower(n.Name), len(args)); ok {
+			return fn(args)
+		}
+		return in.CallScalar(ctx, n.Name, args)
+
+	case *ast.SubqueryExpr:
+		rows, err := in.runQuery(ctx, n.Select)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		switch len(rows) {
+		case 0:
+			return sqltypes.Null, nil
+		case 1:
+			if len(rows[0]) != 1 {
+				return sqltypes.Null, Errorf("scalar subquery produced %d columns", len(rows[0]))
+			}
+			return rows[0][0], nil
+		default:
+			return sqltypes.Null, Errorf("scalar subquery returned %d rows", len(rows))
+		}
+
+	case *ast.ExistsExpr:
+		rows, err := in.runQuery(ctx, n.Select)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool((len(rows) > 0) != n.Neg), nil
+
+	case *ast.InExpr:
+		v, err := in.EvalProcExpr(ctx, n.E)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		var candidates []sqltypes.Value
+		if n.Select != nil {
+			rows, err := in.runQuery(ctx, n.Select)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			for _, r := range rows {
+				if len(r) != 1 {
+					return sqltypes.Null, Errorf("IN subquery produced %d columns", len(r))
+				}
+				candidates = append(candidates, r[0])
+			}
+		} else {
+			for _, le := range n.List {
+				lv, err := in.EvalProcExpr(ctx, le)
+				if err != nil {
+					return sqltypes.Null, err
+				}
+				candidates = append(candidates, lv)
+			}
+		}
+		res := sqltypes.False
+		for _, c := range candidates {
+			t := sqltypes.Cmp(sqltypes.CmpEQ, v, c)
+			if t == sqltypes.True {
+				res = sqltypes.True
+				break
+			}
+			if t == sqltypes.Unknown {
+				res = sqltypes.Unknown
+			}
+		}
+		if n.Neg {
+			res = res.Not()
+		}
+		return sqltypes.TriValue(res), nil
+	}
+	return sqltypes.Null, Errorf("cannot evaluate expression %T in procedural scope", e)
+}
+
+// astCmpOp maps AST comparison operators to value comparisons.
+func astCmpOp(op ast.BinOp) sqltypes.CmpOp {
+	switch op {
+	case ast.BinEQ:
+		return sqltypes.CmpEQ
+	case ast.BinNE:
+		return sqltypes.CmpNE
+	case ast.BinLT:
+		return sqltypes.CmpLT
+	case ast.BinLE:
+		return sqltypes.CmpLE
+	case ast.BinGT:
+		return sqltypes.CmpGT
+	default:
+		return sqltypes.CmpGE
+	}
+}
+
+// astArithOp maps AST arithmetic operators to value arithmetic.
+func astArithOp(op ast.BinOp) sqltypes.ArithOp {
+	switch op {
+	case ast.BinAdd:
+		return sqltypes.OpAdd
+	case ast.BinSub:
+		return sqltypes.OpSub
+	case ast.BinMul:
+		return sqltypes.OpMul
+	case ast.BinDiv:
+		return sqltypes.OpDiv
+	default:
+		return sqltypes.OpMod
+	}
+}

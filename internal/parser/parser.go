@@ -1,0 +1,1384 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/sqltypes"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []token
+	i    int
+}
+
+// New creates a Parser for the given source text.
+func New(src string) (*Parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks}, nil
+}
+
+// ParseScript parses a whole script of CREATE TABLE, CREATE FUNCTION and
+// SELECT statements.
+func ParseScript(src string) (*ast.Script, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	script := &ast.Script{}
+	for !p.at(tokEOF) {
+		switch {
+		case p.atKeyword("CREATE"):
+			p.advance()
+			switch {
+			case p.atKeyword("TABLE"):
+				t, err := p.parseCreateTable()
+				if err != nil {
+					return nil, err
+				}
+				script.Tables = append(script.Tables, t)
+			case p.atKeyword("FUNCTION"):
+				f, err := p.parseCreateFunction()
+				if err != nil {
+					return nil, err
+				}
+				script.Functions = append(script.Functions, f)
+			default:
+				return nil, p.errf("expected TABLE or FUNCTION after CREATE")
+			}
+		case p.atKeyword("SELECT"):
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			script.Queries = append(script.Queries, q)
+		case p.atKeyword("INSERT"):
+			ins, err := p.parseInsertRows()
+			if err != nil {
+				return nil, err
+			}
+			script.Inserts = append(script.Inserts, ins...)
+		default:
+			return nil, p.errf("expected CREATE, INSERT or SELECT at top level, got %q", p.cur().text)
+		}
+		p.eatSymbol(";")
+	}
+	return script, nil
+}
+
+// ParseQuery parses a single SELECT statement.
+func ParseQuery(src string) (*ast.SelectStmt, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("SELECT") {
+		return nil, p.errf("expected SELECT")
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.eatSymbol(";")
+	if !p.at(tokEOF) {
+		return nil, p.errf("trailing input after query: %q", p.cur().text)
+	}
+	return q, nil
+}
+
+// ParseExpr parses a single scalar expression.
+func ParseExpr(src string) (ast.Expr, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("trailing input after expression: %q", p.cur().text)
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// token helpers
+// ---------------------------------------------------------------------------
+
+func (p *Parser) cur() token { return p.toks[p.i] }
+
+func (p *Parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *Parser) atSymbol(s string) bool {
+	t := p.cur()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *Parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *Parser) eatKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) eatSymbol(s string) bool {
+	if p.atSymbol(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.eatKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *Parser) expectSymbol(s string) error {
+	if !p.eatSymbol(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// typeKeywords maps type keywords to value kinds.
+var typeKeywords = map[string]sqltypes.Kind{
+	"INT": sqltypes.KindInt, "INTEGER": sqltypes.KindInt,
+	"FLOAT": sqltypes.KindFloat, "REAL": sqltypes.KindFloat,
+	"CHAR": sqltypes.KindString, "VARCHAR": sqltypes.KindString,
+	"STRING":  sqltypes.KindString,
+	"BOOLEAN": sqltypes.KindBool, "BOOL": sqltypes.KindBool,
+}
+
+// atType reports whether the current token starts a type.
+func (p *Parser) atType() bool {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return false
+	}
+	_, ok := typeKeywords[t.text]
+	return ok
+}
+
+// parseType parses a type keyword with an optional ignored length, e.g.
+// CHAR(10).
+func (p *Parser) parseType() (sqltypes.Kind, error) {
+	t := p.cur()
+	k, ok := typeKeywords[t.text]
+	if t.kind != tokKeyword || !ok {
+		return 0, p.errf("expected type, got %q", t.text)
+	}
+	p.advance()
+	if p.eatSymbol("(") {
+		if !p.at(tokNumber) {
+			return 0, p.errf("expected length in type")
+		}
+		p.advance()
+		if err := p.expectSymbol(")"); err != nil {
+			return 0, err
+		}
+	}
+	return k, nil
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseCreateTable() (*ast.CreateTableStmt, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	stmt := &ast.CreateTableStmt{Name: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		cd := ast.ColDef{Name: col, Type: typ}
+		if p.eatKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cd.PrimaryKey = true
+		}
+		stmt.Cols = append(stmt.Cols, cd)
+		if p.eatSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseCreateFunction() (*ast.CreateFunctionStmt, error) {
+	if err := p.expectKeyword("FUNCTION"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f := &ast.CreateFunctionStmt{Name: name}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if !p.atSymbol(")") {
+		for {
+			// Accept both "name TYPE" and "TYPE name" parameter syntax.
+			var pname string
+			var ptype sqltypes.Kind
+			if p.atType() {
+				ptype, err = p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				pname, err = p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				pname, err = p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				ptype, err = p.parseType()
+				if err != nil {
+					return nil, err
+				}
+			}
+			f.Params = append(f.Params, ast.ParamDef{Name: pname, Type: ptype})
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("RETURNS"); err != nil {
+		return nil, err
+	}
+	if p.eatKeyword("TABLE") {
+		tname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		f.TableName = tname
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			f.TableCols = append(f.TableCols, ast.ColDef{Name: col, Type: typ})
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	} else {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		f.ReturnType = typ
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// parseBlock parses BEGIN stmt... END.
+func (p *Parser) parseBlock() ([]ast.Stmt, error) {
+	if err := p.expectKeyword("BEGIN"); err != nil {
+		return nil, err
+	}
+	var stmts []ast.Stmt
+	for !p.atKeyword("END") {
+		if p.at(tokEOF) {
+			return nil, p.errf("unexpected EOF inside block")
+		}
+		ss, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, ss...)
+	}
+	p.advance() // END
+	return stmts, nil
+}
+
+// ---------------------------------------------------------------------------
+// Procedural statements
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseStmt() ([]ast.Stmt, error) {
+	switch {
+	case p.atSymbol(";"):
+		p.advance()
+		return nil, nil
+
+	case p.atKeyword("DECLARE"):
+		return p.parseDeclare()
+
+	case p.atType():
+		// C-style declaration: "int a = 0;" or "float x, y;" (paper
+		// syntax, possibly declaring several variables).
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		var out []ast.Stmt
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			d := &ast.DeclareStmt{Name: name, Type: typ}
+			if p.eatSymbol("=") {
+				d.Init, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, d)
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+		p.eatSymbol(";")
+		return out, nil
+
+	case p.atKeyword("SET"):
+		p.advance()
+		s, err := p.parseAssignTail()
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{s}, nil
+
+	case p.atKeyword("IF"):
+		s, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{s}, nil
+
+	case p.atKeyword("WHILE"):
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{&ast.WhileStmt{Cond: cond, Body: body}}, nil
+
+	case p.atKeyword("RETURN"):
+		p.advance()
+		// Note: "RETURN tt;" where tt is the function's table variable is
+		// parsed as a plain expression; the interpreter and algebrizer
+		// recognize the table return semantically.
+		if p.atKeyword("SELECT") {
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			p.eatSymbol(";")
+			return []ast.Stmt{&ast.ReturnStmt{Expr: &ast.SubqueryExpr{Select: q}}}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSymbol(";")
+		return []ast.Stmt{&ast.ReturnStmt{Expr: e}}, nil
+
+	case p.atKeyword("SELECT"):
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSymbol(";")
+		if len(q.Into) == 0 {
+			return nil, p.errf("SELECT inside a function body must have INTO")
+		}
+		return []ast.Stmt{&ast.SelectIntoStmt{Select: q}}, nil
+
+	case p.atKeyword("OPEN"):
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSymbol(";")
+		return []ast.Stmt{&ast.OpenStmt{Cursor: name}}, nil
+
+	case p.atKeyword("FETCH"):
+		p.advance()
+		p.eatKeyword("NEXT")
+		if err := p.expectKeyword("FROM"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("INTO"); err != nil {
+			return nil, err
+		}
+		var into []string
+		for {
+			t := p.cur()
+			if t.kind != tokParam && t.kind != tokIdent {
+				return nil, p.errf("expected variable in FETCH INTO, got %q", t.text)
+			}
+			p.advance()
+			into = append(into, t.text)
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+		p.eatSymbol(";")
+		return []ast.Stmt{&ast.FetchStmt{Cursor: name, Into: into}}, nil
+
+	case p.atKeyword("CLOSE"):
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSymbol(";")
+		return []ast.Stmt{&ast.CloseStmt{Cursor: name}}, nil
+
+	case p.atKeyword("DEALLOCATE"):
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSymbol(";")
+		return []ast.Stmt{&ast.DeallocateStmt{Cursor: name}}, nil
+
+	case p.atKeyword("INSERT"):
+		p.advance()
+		if err := p.expectKeyword("INTO"); err != nil {
+			return nil, err
+		}
+		tbl, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("VALUES"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, e)
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		p.eatSymbol(";")
+		return []ast.Stmt{&ast.InsertStmt{Table: tbl, Values: vals}}, nil
+
+	case p.at(tokIdent) || p.at(tokParam):
+		// Bare assignment: "v = e;" or "@v = e;".
+		s, err := p.parseAssignTail()
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{s}, nil
+
+	default:
+		return nil, p.errf("unexpected token %q in function body", p.cur().text)
+	}
+}
+
+// parseAssignTail parses "name = expr;" (the name token is current).
+func (p *Parser) parseAssignTail() (ast.Stmt, error) {
+	t := p.cur()
+	if t.kind != tokIdent && t.kind != tokParam {
+		return nil, p.errf("expected variable name, got %q", t.text)
+	}
+	p.advance()
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.eatSymbol(";")
+	return &ast.AssignStmt{Name: t.text, Expr: e}, nil
+}
+
+func (p *Parser) parseDeclare() ([]ast.Stmt, error) {
+	p.advance() // DECLARE
+	t := p.cur()
+	if t.kind != tokIdent && t.kind != tokParam {
+		return nil, p.errf("expected name after DECLARE, got %q", t.text)
+	}
+	name := t.text
+	p.advance()
+	if p.eatKeyword("CURSOR") {
+		if err := p.expectKeyword("FOR"); err != nil {
+			return nil, err
+		}
+		if !p.atKeyword("SELECT") {
+			return nil, p.errf("expected SELECT after CURSOR FOR")
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSymbol(";")
+		return []ast.Stmt{&ast.DeclareCursorStmt{Name: name, Select: q}}, nil
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	d := &ast.DeclareStmt{Name: name, Type: typ}
+	if p.eatSymbol("=") {
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := []ast.Stmt{d}
+	for p.eatSymbol(",") {
+		n2, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d2 := &ast.DeclareStmt{Name: n2, Type: typ}
+		if p.eatSymbol("=") {
+			d2.Init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, d2)
+	}
+	p.eatSymbol(";")
+	return out, nil
+}
+
+func (p *Parser) parseIf() (ast.Stmt, error) {
+	p.advance() // IF
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.IfStmt{Cond: cond, Then: then}
+	if p.eatKeyword("ELSE") {
+		if p.atKeyword("IF") {
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []ast.Stmt{inner}
+		} else {
+			st.Else, err = p.parseStmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// parseStmtOrBlock parses either a BEGIN..END block or a single statement.
+func (p *Parser) parseStmtOrBlock() ([]ast.Stmt, error) {
+	if p.atKeyword("BEGIN") {
+		return p.parseBlock()
+	}
+	return p.parseStmt()
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseSelect() (*ast.SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &ast.SelectStmt{}
+	if p.eatKeyword("TOP") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		q.Top = e
+	}
+	if p.eatKeyword("DISTINCT") {
+		q.Distinct = true
+	}
+	// Select list.
+	for {
+		if p.atSymbol("*") {
+			p.advance()
+			q.Items = append(q.Items, ast.SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.SelectItem{Expr: e}
+			if p.eatKeyword("AS") {
+				a, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.at(tokIdent) {
+				item.Alias = p.advance().text
+			}
+			q.Items = append(q.Items, item)
+		}
+		if p.eatSymbol(",") {
+			continue
+		}
+		break
+	}
+	if p.eatKeyword("INTO") {
+		for {
+			t := p.cur()
+			if t.kind != tokParam && t.kind != tokIdent {
+				return nil, p.errf("expected variable in INTO list, got %q", t.text)
+			}
+			p.advance()
+			q.Into = append(q.Into, t.text)
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.eatKeyword("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			q.From = append(q.From, tr)
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.eatKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.eatKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.eatKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+	if p.eatKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.OrderItem{Expr: e}
+			if p.eatKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.eatKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.eatKeyword("LIMIT") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		q.Top = e
+	}
+	return q, nil
+}
+
+func (p *Parser) parseTableRef() (ast.TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind ast.JoinKind
+		switch {
+		case p.atKeyword("JOIN"):
+			p.advance()
+			kind = ast.JoinInner
+		case p.atKeyword("INNER"):
+			p.advance()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinInner
+		case p.atKeyword("LEFT"):
+			p.advance()
+			p.eatKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinLeftOuter
+		case p.atKeyword("CROSS"):
+			p.advance()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &ast.JoinRef{Kind: kind, L: left, R: right}
+		if kind != ast.JoinCross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			j.On, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		left = j
+	}
+}
+
+func (p *Parser) parseTablePrimary() (ast.TableRef, error) {
+	if p.atSymbol("(") {
+		p.advance()
+		if !p.atKeyword("SELECT") {
+			return nil, p.errf("expected SELECT in derived table")
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		p.eatKeyword("AS")
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.SubqueryRef{Select: q, Alias: alias}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Table-valued function reference: name(args).
+	if p.atSymbol("(") {
+		p.advance()
+		fr := &ast.FuncRef{Name: name}
+		if !p.atSymbol(")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fr.Args = append(fr.Args, e)
+				if p.eatSymbol(",") {
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if p.eatKeyword("AS") {
+			fr.Alias, err = p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+		} else if p.at(tokIdent) {
+			fr.Alias = p.advance().text
+		}
+		return fr, nil
+	}
+	tn := &ast.TableName{Name: name}
+	if p.eatKeyword("AS") {
+		tn.Alias, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+	} else if p.at(tokIdent) {
+		tn.Alias = p.advance().text
+	}
+	return tn, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: ast.BinOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: ast.BinAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (ast.Expr, error) {
+	if p.atKeyword("NOT") {
+		p.advance()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]ast.BinOp{
+	"=": ast.BinEQ, "<>": ast.BinNE, "<": ast.BinLT,
+	"<=": ast.BinLE, ">": ast.BinGT, ">=": ast.BinGE,
+}
+
+func (p *Parser) parseComparison() (ast.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokSymbol {
+		if op, ok := cmpOps[t.text]; ok {
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.atKeyword("IS") {
+		p.advance()
+		neg := p.eatKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &ast.IsNullExpr{Neg: neg, E: l}, nil
+	}
+	neg := false
+	if p.atKeyword("NOT") && p.i+1 < len(p.toks) &&
+		p.toks[p.i+1].kind == tokKeyword &&
+		(p.toks[p.i+1].text == "IN" || p.toks[p.i+1].text == "BETWEEN") {
+		p.advance()
+		neg = true
+	}
+	if p.atKeyword("IN") {
+		p.advance()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		in := &ast.InExpr{Neg: neg, E: l}
+		if p.atKeyword("SELECT") {
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			in.Select = q
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if p.eatSymbol(",") {
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if p.atKeyword("BETWEEN") {
+		p.advance()
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		between := &ast.BinExpr{Op: ast.BinAnd,
+			L: &ast.BinExpr{Op: ast.BinGE, L: l, R: lo},
+			R: &ast.BinExpr{Op: ast.BinLE, L: l, R: hi}}
+		if neg {
+			return &ast.UnaryExpr{Op: "NOT", E: between}, nil
+		}
+		return between, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (ast.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol {
+			return l, nil
+		}
+		var op ast.BinOp
+		switch t.text {
+		case "+":
+			op = ast.BinAdd
+		case "-":
+			op = ast.BinSub
+		case "||":
+			op = ast.BinConcat
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol {
+			return l, nil
+		}
+		var op ast.BinOp
+		switch t.text {
+		case "*":
+			op = ast.BinMul
+		case "/":
+			op = ast.BinDiv
+		case "%":
+			op = ast.BinMod
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (ast.Expr, error) {
+	if p.atSymbol("-") {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "-", E: e}, nil
+	}
+	if p.atSymbol("+") {
+		p.advance()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &ast.Lit{Val: sqltypes.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &ast.Lit{Val: sqltypes.NewInt(n)}, nil
+
+	case tokString:
+		p.advance()
+		return &ast.Lit{Val: sqltypes.NewString(t.text)}, nil
+
+	case tokParam:
+		p.advance()
+		return &ast.ParamRef{Name: t.text}, nil
+
+	case tokAtAt:
+		p.advance()
+		// @@FETCH_STATUS and friends become parameters with the @@ prefix
+		// preserved in the name so they can't collide with user variables.
+		return &ast.ParamRef{Name: "@@" + strings.ToLower(t.text)}, nil
+
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.advance()
+			return &ast.Lit{Val: sqltypes.Null}, nil
+		case "TRUE":
+			p.advance()
+			return &ast.Lit{Val: sqltypes.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &ast.Lit{Val: sqltypes.NewBool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		case "EXISTS":
+			p.advance()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &ast.ExistsExpr{Select: q}, nil
+		case "NOT":
+			p.advance()
+			if err := p.expectKeyword("EXISTS"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &ast.ExistsExpr{Neg: true, Select: q}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+
+	case tokSymbol:
+		switch t.text {
+		case "(":
+			p.advance()
+			if p.atKeyword("SELECT") {
+				q, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &ast.SubqueryExpr{Select: q}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "?":
+			p.advance()
+			return &ast.ParamRef{Name: "?"}, nil
+		}
+		return nil, p.errf("unexpected symbol %q in expression", t.text)
+
+	case tokIdent:
+		p.advance()
+		name := t.text
+		// Function call.
+		if p.atSymbol("(") {
+			p.advance()
+			fc := &ast.FuncCall{Name: name}
+			if p.atSymbol("*") {
+				p.advance()
+				fc.Star = true
+			} else if !p.atSymbol(")") {
+				if p.eatKeyword("DISTINCT") {
+					fc.Distinct = true
+				}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if p.eatSymbol(",") {
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Qualified column.
+		if p.atSymbol(".") {
+			p.advance()
+			if p.atSymbol("*") {
+				p.advance()
+				return &ast.ColName{Qual: name, Name: "*"}, nil
+			}
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.ColName{Qual: name, Name: col}, nil
+		}
+		return &ast.ColName{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+func (p *Parser) parseCase() (ast.Expr, error) {
+	p.advance() // CASE
+	c := &ast.CaseExpr{}
+	for p.atKeyword("WHEN") {
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.When{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.eatKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseInsertRows parses a top-level INSERT INTO t VALUES (...), (...) into
+// one InsertStmt per row.
+func (p *Parser) parseInsertRows() ([]*ast.InsertStmt, error) {
+	p.advance() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	var out []*ast.InsertStmt
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, e)
+			if p.eatSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		out = append(out, &ast.InsertStmt{Table: tbl, Values: vals})
+		if p.eatSymbol(",") {
+			continue
+		}
+		break
+	}
+	p.eatSymbol(";")
+	return out, nil
+}

@@ -1,0 +1,440 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/sqltypes"
+)
+
+// Paper Example 1: scalar UDF with branching.
+const example1UDF = `
+create function service_level(int ckey) returns char(10) as
+begin
+  float totalbusiness; string level;
+  select sum(totalprice) into :totalbusiness
+    from orders where custkey = :ckey;
+  if (totalbusiness > 1000000)
+    level = 'Platinum';
+  else if (totalbusiness > 500000)
+    level = 'Gold';
+  else level = 'Regular';
+  return level;
+end
+`
+
+// Paper Example 5: UDF with a cursor loop.
+const example5UDF = `
+create function totalloss(int pkey) returns int as
+begin
+  int total_loss = 0;
+  int cost = getcost(pkey);
+  declare c cursor for
+    select price, qty, disc from lineitem where partkey = :pkey;
+  open c;
+  fetch next from c into @price, @qty, @disc;
+  while @@FETCH_STATUS = 0
+  begin
+    int profit = (@price - @disc) - (cost * @qty);
+    if (profit < 0)
+      total_loss = total_loss - profit;
+    fetch next from c into @price, @qty, @disc;
+  end
+  close c; deallocate c;
+  return total_loss;
+end
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a.b, 'it''s', 1.5, :v, @@fetch_status <> 3 -- comment\n/* block */ FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokKind{tokKeyword, tokIdent, tokSymbol, tokIdent, tokSymbol,
+		tokString, tokSymbol, tokNumber, tokSymbol, tokParam, tokSymbol,
+		tokAtAt, tokSymbol, tokNumber, tokKeyword, tokIdent, tokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got kind %d, want %d (%q)", i, kinds[i], want[i], toks[i].text)
+		}
+	}
+	if toks[5].text != "it's" {
+		t.Errorf("string literal = %q", toks[5].text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "/* unterminated", "a ~ b", "@ ", ": "} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSimpleQuery(t *testing.T) {
+	q, err := ParseQuery("select custkey, service_level(custkey) from customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 2 {
+		t.Fatalf("items = %d", len(q.Items))
+	}
+	if _, ok := q.Items[0].Expr.(*ast.ColName); !ok {
+		t.Errorf("item 0 should be column, got %T", q.Items[0].Expr)
+	}
+	fc, ok := q.Items[1].Expr.(*ast.FuncCall)
+	if !ok || fc.Name != "service_level" || len(fc.Args) != 1 {
+		t.Errorf("item 1 should be UDF call, got %v", q.Items[1].Expr)
+	}
+	tn, ok := q.From[0].(*ast.TableName)
+	if !ok || tn.Name != "customer" {
+		t.Errorf("from = %v", q.From[0])
+	}
+}
+
+func TestParseNestedSubquery(t *testing.T) {
+	src := `select suppkey, partkey from partsupp p1
+	        where supplycost = (select min(supplycost) from partsupp p2
+	                            where p1.partkey = p2.partkey)`
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ok := q.Where.(*ast.BinExpr)
+	if !ok || be.Op != ast.BinEQ {
+		t.Fatalf("where = %v", q.Where)
+	}
+	sq, ok := be.R.(*ast.SubqueryExpr)
+	if !ok {
+		t.Fatalf("rhs should be subquery, got %T", be.R)
+	}
+	inner, ok := sq.Select.Where.(*ast.BinExpr)
+	if !ok {
+		t.Fatal("inner where missing")
+	}
+	lcol, ok := inner.L.(*ast.ColName)
+	if !ok || lcol.Qual != "p1" {
+		t.Errorf("correlation column = %v", inner.L)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	q, err := ParseQuery(`select * from a join b on a.x = b.x
+	                      left outer join c on b.y = c.y, d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 2 {
+		t.Fatalf("from entries = %d", len(q.From))
+	}
+	j, ok := q.From[0].(*ast.JoinRef)
+	if !ok || j.Kind != ast.JoinLeftOuter {
+		t.Fatalf("outer join ref = %v", q.From[0])
+	}
+	inner, ok := j.L.(*ast.JoinRef)
+	if !ok || inner.Kind != ast.JoinInner {
+		t.Errorf("inner join ref = %v", j.L)
+	}
+}
+
+func TestParseGroupByHavingOrderTop(t *testing.T) {
+	q, err := ParseQuery(`select top 5 custkey, sum(totalprice) as total
+	                      from orders group by custkey
+	                      having sum(totalprice) > 100
+	                      order by total desc, custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Top == nil || len(q.GroupBy) != 1 || q.Having == nil || len(q.OrderBy) != 2 {
+		t.Fatalf("clause parsing broken: %+v", q)
+	}
+	if !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Error("order directions")
+	}
+}
+
+func TestParseCaseExpr(t *testing.T) {
+	e, err := ParseExpr("case when a > 1 then 'x' when b = 2 then 'y' else 'z' end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(*ast.CaseExpr)
+	if !ok || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case = %v", e)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("a + b * c = d and not e or f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ((a + (b*c)) = d AND (NOT e)) OR f
+	or, ok := e.(*ast.BinExpr)
+	if !ok || or.Op != ast.BinOr {
+		t.Fatalf("top should be OR: %v", e.SQL())
+	}
+	and, ok := or.L.(*ast.BinExpr)
+	if !ok || and.Op != ast.BinAnd {
+		t.Fatalf("left of OR should be AND: %v", or.L.SQL())
+	}
+	eq, ok := and.L.(*ast.BinExpr)
+	if !ok || eq.Op != ast.BinEQ {
+		t.Fatalf("left of AND should be =: %v", and.L.SQL())
+	}
+	add, ok := eq.L.(*ast.BinExpr)
+	if !ok || add.Op != ast.BinAdd {
+		t.Fatalf("lhs of = should be +: %v", eq.L.SQL())
+	}
+	if mul, ok := add.R.(*ast.BinExpr); !ok || mul.Op != ast.BinMul {
+		t.Fatalf("rhs of + should be *: %v", add.R.SQL())
+	}
+}
+
+func TestParseInBetweenIsNull(t *testing.T) {
+	if e, err := ParseExpr("x in (1, 2, 3)"); err != nil {
+		t.Fatal(err)
+	} else if in, ok := e.(*ast.InExpr); !ok || len(in.List) != 3 {
+		t.Errorf("in list = %v", e)
+	}
+	if e, err := ParseExpr("x not in (select y from t)"); err != nil {
+		t.Fatal(err)
+	} else if in, ok := e.(*ast.InExpr); !ok || !in.Neg || in.Select == nil {
+		t.Errorf("not in subquery = %v", e)
+	}
+	if e, err := ParseExpr("x between 1 and 10"); err != nil {
+		t.Fatal(err)
+	} else if b, ok := e.(*ast.BinExpr); !ok || b.Op != ast.BinAnd {
+		t.Errorf("between = %v", e)
+	}
+	if e, err := ParseExpr("x is not null"); err != nil {
+		t.Fatal(err)
+	} else if n, ok := e.(*ast.IsNullExpr); !ok || !n.Neg {
+		t.Errorf("is not null = %v", e)
+	}
+	if e, err := ParseExpr("exists (select 1 from t)"); err != nil {
+		t.Fatal(err)
+	} else if _, ok := e.(*ast.ExistsExpr); !ok {
+		t.Errorf("exists = %v", e)
+	}
+}
+
+func TestParseExample1UDF(t *testing.T) {
+	script, err := ParseScript(example1UDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Functions) != 1 {
+		t.Fatalf("functions = %d", len(script.Functions))
+	}
+	f := script.Functions[0]
+	if f.Name != "service_level" || f.ReturnType != sqltypes.KindString {
+		t.Errorf("signature: %s returns %v", f.Name, f.ReturnType)
+	}
+	if len(f.Params) != 1 || f.Params[0].Name != "ckey" || f.Params[0].Type != sqltypes.KindInt {
+		t.Errorf("params: %+v", f.Params)
+	}
+	// Body: declare, declare, select-into, if, return.
+	if len(f.Body) != 5 {
+		t.Fatalf("body statements = %d: %v", len(f.Body), f.Body)
+	}
+	if _, ok := f.Body[0].(*ast.DeclareStmt); !ok {
+		t.Errorf("stmt 0 = %T", f.Body[0])
+	}
+	si, ok := f.Body[2].(*ast.SelectIntoStmt)
+	if !ok || len(si.Select.Into) != 1 || si.Select.Into[0] != "totalbusiness" {
+		t.Errorf("stmt 2 = %#v", f.Body[2])
+	}
+	ifst, ok := f.Body[3].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("stmt 3 = %T", f.Body[3])
+	}
+	if len(ifst.Else) != 1 {
+		t.Fatalf("else chain = %d", len(ifst.Else))
+	}
+	if _, ok := ifst.Else[0].(*ast.IfStmt); !ok {
+		t.Errorf("nested else-if = %T", ifst.Else[0])
+	}
+	if _, ok := f.Body[4].(*ast.ReturnStmt); !ok {
+		t.Errorf("stmt 4 = %T", f.Body[4])
+	}
+}
+
+func TestParseExample5CursorLoop(t *testing.T) {
+	script, err := ParseScript(example5UDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := script.Functions[0]
+	var cursor *ast.DeclareCursorStmt
+	var while *ast.WhileStmt
+	for _, s := range f.Body {
+		switch st := s.(type) {
+		case *ast.DeclareCursorStmt:
+			cursor = st
+		case *ast.WhileStmt:
+			while = st
+		}
+	}
+	if cursor == nil || cursor.Name != "c" {
+		t.Fatal("cursor declaration missing")
+	}
+	if while == nil {
+		t.Fatal("while loop missing")
+	}
+	pr, ok := while.Cond.(*ast.BinExpr)
+	if !ok {
+		t.Fatalf("while cond = %T", while.Cond)
+	}
+	if ref, ok := pr.L.(*ast.ParamRef); !ok || ref.Name != "@@fetch_status" {
+		t.Errorf("fetch status ref = %v", pr.L)
+	}
+	// Loop body: declare profit, if, fetch.
+	if len(while.Body) != 3 {
+		t.Fatalf("loop body = %d stmts", len(while.Body))
+	}
+	if _, ok := while.Body[2].(*ast.FetchStmt); !ok {
+		t.Errorf("last loop stmt = %T", while.Body[2])
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	script, err := ParseScript(`create table customer (
+	  custkey int primary key, name varchar, category int, nationkey int)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := script.Tables[0]
+	if tbl.Name != "customer" || len(tbl.Cols) != 4 {
+		t.Fatalf("table = %+v", tbl)
+	}
+	if !tbl.Cols[0].PrimaryKey || tbl.Cols[1].PrimaryKey {
+		t.Error("primary key flags")
+	}
+}
+
+func TestParseTableValuedFunction(t *testing.T) {
+	src := `
+create function topcust(minbiz int) returns table tt (ckey int, total float) as
+begin
+  declare c cursor for select custkey, totalprice from orders;
+  open c;
+  fetch next from c into @ck, @tp;
+  while @@FETCH_STATUS = 0
+  begin
+    if (@tp > minbiz)
+      insert into tt values (@ck, @tp);
+    fetch next from c into @ck, @tp;
+  end
+  close c;
+  return tt;
+end
+select * from topcust(100) t
+`
+	script, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := script.Functions[0]
+	if f.TableName != "tt" || len(f.TableCols) != 2 {
+		t.Fatalf("table function header: %+v", f)
+	}
+	last := f.Body[len(f.Body)-1].(*ast.ReturnStmt)
+	if cn, ok := last.Expr.(*ast.ColName); !ok || cn.Name != "tt" {
+		t.Errorf("return expr = %v", last.Expr)
+	}
+	q := script.Queries[0]
+	fr, ok := q.From[0].(*ast.FuncRef)
+	if !ok || fr.Name != "topcust" || fr.Alias != "t" {
+		t.Errorf("from func ref = %+v", q.From[0])
+	}
+}
+
+func TestParseReturnSelect(t *testing.T) {
+	src := `create function totalbusiness(int ckey) returns int as
+	begin
+	  return select sum(totalprice) from orders where custkey = :ckey;
+	end`
+	script, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := script.Functions[0].Body[0].(*ast.ReturnStmt)
+	if _, ok := ret.Expr.(*ast.SubqueryExpr); !ok {
+		t.Errorf("return expr = %T", ret.Expr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"select",
+		"select a from",
+		"select a from t where",
+		"create table t",
+		"create function f() returns int as begin return 1",             // no END
+		"create function f() returns int as begin select 1 from t; end", // SELECT w/o INTO
+		"select a from t group by",
+		"case when 1 then 2", // not a query
+	}
+	for _, src := range bad {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("ParseScript(%q) should fail", src)
+		}
+	}
+}
+
+func TestSQLRoundTripParses(t *testing.T) {
+	// Rendering a parsed tree back to SQL must itself parse.
+	sources := []string{
+		"select custkey, service_level(custkey) from customer",
+		"select top 3 a, b as c from t where x > 1 and y < 2 group by a, b having count(*) > 1 order by a desc",
+		"select o.a from orders o left outer join customer c on o.k = c.k where exists (select 1 from t)",
+	}
+	for _, src := range sources {
+		q, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		again, err := ParseQuery(q.SQL())
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q: %v", src, q.SQL(), err)
+		}
+		if !strings.EqualFold(again.SQL(), q.SQL()) {
+			t.Errorf("unstable round trip: %q vs %q", q.SQL(), again.SQL())
+		}
+	}
+}
+
+func TestParseScriptMixed(t *testing.T) {
+	script, err := ParseScript(example1UDF + "\nselect custkey, service_level(custkey) from customer;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Functions) != 1 || len(script.Queries) != 1 {
+		t.Fatalf("script contents: %d funcs, %d queries", len(script.Functions), len(script.Queries))
+	}
+}
+
+func TestParseTopLevelInsert(t *testing.T) {
+	script, err := ParseScript(`
+create table t (k int primary key, v float);
+insert into t values (1, 10.5), (2, 20.5);
+insert into t values (3, 0.25);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Inserts) != 3 {
+		t.Fatalf("inserts = %d, want 3 (one per row)", len(script.Inserts))
+	}
+	if script.Inserts[0].Table != "t" || len(script.Inserts[0].Values) != 2 {
+		t.Errorf("insert 0 = %+v", script.Inserts[0])
+	}
+}

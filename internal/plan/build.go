@@ -1,0 +1,482 @@
+package plan
+
+import (
+	"fmt"
+
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/exec"
+	"udfdecorr/internal/sqltypes"
+)
+
+// joinEstimate estimates inner-join cardinality: product scaled by the
+// larger distinct count of the equi keys (the textbook formula).
+func (p *Planner) joinEstimate(j *algebra.Join, l, r float64) float64 {
+	equi, _ := splitEqui(j.Cond, j.L.Schema(), j.R.Schema())
+	if len(equi) == 0 {
+		if j.Cond == nil {
+			return l * r
+		}
+		return l * r * 0.1
+	}
+	d := 10.0
+	if st, _ := p.columnStats(j.L, equi[0].l); st != nil && st.DistinctCount > 0 {
+		d = float64(st.DistinctCount)
+	}
+	if st, _ := p.columnStats(j.R, equi[0].r); st != nil && float64(st.DistinctCount) > d {
+		d = float64(st.DistinctCount)
+	}
+	est := l * r / d
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// equiPair is one equi-join conjunct col_L = col_R.
+type equiPair struct {
+	l, r *algebra.ColRef
+}
+
+// splitEqui separates a join condition into equi pairs (left col = right
+// col) and a residual predicate.
+func splitEqui(cond algebra.Expr, lSchema, rSchema []algebra.Column) ([]equiPair, algebra.Expr) {
+	var pairs []equiPair
+	var residual []algebra.Expr
+	for _, c := range algebra.SplitConjuncts(cond) {
+		cmp, ok := c.(*algebra.Cmp)
+		if ok && cmp.Op == sqltypes.CmpEQ {
+			lc, lok := cmp.L.(*algebra.ColRef)
+			rc, rok := cmp.R.(*algebra.ColRef)
+			if lok && rok {
+				switch {
+				case algebra.HasRef(lSchema, lc.Qual, lc.Name) && algebra.HasRef(rSchema, rc.Qual, rc.Name):
+					pairs = append(pairs, equiPair{l: lc, r: rc})
+					continue
+				case algebra.HasRef(lSchema, rc.Qual, rc.Name) && algebra.HasRef(rSchema, lc.Qual, lc.Name):
+					pairs = append(pairs, equiPair{l: rc, r: lc})
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return pairs, algebra.AndAll(residual)
+}
+
+func (p *Planner) build(rel algebra.Rel) (exec.Node, error) {
+	switch n := rel.(type) {
+	case *algebra.Scan:
+		return p.buildScan(n)
+
+	case *algebra.Single:
+		return &exec.Single{}, nil
+
+	case *algebra.Select:
+		return p.buildSelect(n)
+
+	case *algebra.Project:
+		child, err := p.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		exprs := make([]algebra.Expr, len(n.Cols))
+		for i, c := range n.Cols {
+			exprs[i] = c.E
+		}
+		evals, err := exec.CompileAll(exprs, child.Schema(), p)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProject(evals, n.Dedup, child, n.Schema()), nil
+
+	case *algebra.Join:
+		return p.buildJoin(n)
+
+	case *algebra.GroupBy:
+		return p.buildGroupBy(n)
+
+	case *algebra.UnionAll:
+		l, err := p.build(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.build(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.UnionAll{L: l, R: r}, nil
+
+	case *algebra.Limit:
+		child, err := p.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Limit{N: n.N, Child: child}, nil
+
+	case *algebra.Sort:
+		child, err := p.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]exec.SortSpec, len(n.Keys))
+		for i, k := range n.Keys {
+			ev, err := exec.Compile(k.E, child.Schema(), p)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = exec.SortSpec{Key: ev, Desc: k.Desc}
+		}
+		return &exec.Sort{Keys: keys, Child: child}, nil
+
+	case *algebra.Apply:
+		return p.buildApply(n)
+
+	case *algebra.TableFunc:
+		args := make([]exec.Evaluator, len(n.Args))
+		for i, a := range n.Args {
+			ev, err := exec.Compile(a, nil, p)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ev
+		}
+		return exec.NewFuncTable(n.Name, args, n.Cols), nil
+
+	case *algebra.ApplyMerge, *algebra.CondApplyMerge:
+		return nil, fmt.Errorf("plan: %s must be removed by the rewriter before execution", rel.Describe())
+	}
+	return nil, fmt.Errorf("plan: unsupported logical operator %T", rel)
+}
+
+func (p *Planner) buildScan(n *algebra.Scan) (exec.Node, error) {
+	t, ok := p.Store.Table(n.Table)
+	if !ok {
+		return nil, fmt.Errorf("plan: no storage for table %q", n.Table)
+	}
+	return exec.NewTableScan(t, n.Cols), nil
+}
+
+// buildSelect plans a selection, preferring an index equality probe when
+// the input is a base table with an indexed column compared to a
+// row-independent expression (constant or parameter) — the access path that
+// makes iterative UDF invocation viable at all.
+func (p *Planner) buildSelect(n *algebra.Select) (exec.Node, error) {
+	if scan, ok := n.In.(*algebra.Scan); ok {
+		t, tok := p.Store.Table(scan.Table)
+		if tok {
+			conjuncts := algebra.SplitConjuncts(n.Pred)
+			for i, c := range conjuncts {
+				cmp, ok := c.(*algebra.Cmp)
+				if !ok || cmp.Op != sqltypes.CmpEQ {
+					continue
+				}
+				col, key := matchIndexablePair(cmp, scan.Cols)
+				if col == nil || !t.HasIndexableCol(col.Name) {
+					continue
+				}
+				keyEval, err := exec.Compile(key, nil, p)
+				if err != nil {
+					continue // key references columns; not a probe
+				}
+				p.note("IndexLookup(%s.%s)", scan.Table, col.Name)
+				var node exec.Node = exec.NewIndexLookup(t, col.Name, keyEval, scan.Cols)
+				rest := append(append([]algebra.Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
+				if residual := algebra.AndAll(rest); residual != nil {
+					ev, err := exec.Compile(residual, scan.Cols, p)
+					if err != nil {
+						return nil, err
+					}
+					node = &exec.Filter{Pred: ev, Child: node}
+				}
+				return node, nil
+			}
+		}
+	}
+	child, err := p.build(n.In)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := exec.Compile(n.Pred, child.Schema(), p)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Filter{Pred: ev, Child: child}, nil
+}
+
+// matchIndexablePair returns (column of the scan, key expression) when the
+// comparison is col = key with key independent of the scanned row.
+func matchIndexablePair(cmp *algebra.Cmp, scanCols []algebra.Column) (*algebra.Column, algebra.Expr) {
+	try := func(colE, keyE algebra.Expr) (*algebra.Column, algebra.Expr) {
+		ref, ok := colE.(*algebra.ColRef)
+		if !ok {
+			return nil, nil
+		}
+		c, ok := algebra.ResolveRef(scanCols, ref.Qual, ref.Name)
+		if !ok {
+			return nil, nil
+		}
+		if algebra.ExprUsesRefsOf(keyE, scanCols) {
+			return nil, nil
+		}
+		return &c, keyE
+	}
+	if c, k := try(cmp.L, cmp.R); c != nil {
+		return c, k
+	}
+	return try(cmp.R, cmp.L)
+}
+
+// buildJoin chooses among index nested-loop join (as a correlated Apply over
+// an index probe), hash join, and plain nested loops by estimated cost.
+func (p *Planner) buildJoin(n *algebra.Join) (exec.Node, error) {
+	lRows, rRows := p.estimate(n.L), p.estimate(n.R)
+	equi, residual := splitEqui(n.Cond, n.L.Schema(), n.R.Schema())
+
+	costNL := lRows * rRows
+	costHash := lRows + p.Cost.HashBuildRow*rRows
+	idxCol, idxTab, idxOK := p.indexableRight(n, equi)
+	costIdx := lRows * p.Cost.ProbeCost
+	if !idxOK {
+		costIdx = costNL + costHash + 1 // never chosen
+	}
+	if len(equi) == 0 {
+		costHash = costNL + 1
+	}
+
+	switch {
+	case idxOK && costIdx <= costHash && costIdx <= costNL:
+		p.note("IndexNLJoin(%s.%s) [l=%.0f r=%.0f]", idxTab, idxCol, lRows, rRows)
+		return p.buildIndexJoin(n, equi, residual)
+	case len(equi) > 0 && costHash <= costNL:
+		p.note("HashJoin(%s) [l=%.0f r=%.0f]", n.Kind, lRows, rRows)
+		return p.buildHashJoin(n, equi, residual)
+	default:
+		p.note("NLJoin(%s) [l=%.0f r=%.0f]", n.Kind, lRows, rRows)
+		return p.buildNLJoin(n)
+	}
+}
+
+// indexableRight reports whether the join's right side is a base-table scan
+// (possibly under a selection) with an index on the right equi column.
+func (p *Planner) indexableRight(n *algebra.Join, equi []equiPair) (string, string, bool) {
+	if len(equi) == 0 {
+		return "", "", false
+	}
+	inner := n.R
+	if sel, ok := inner.(*algebra.Select); ok {
+		inner = sel.In
+	}
+	scan, ok := inner.(*algebra.Scan)
+	if !ok {
+		return "", "", false
+	}
+	t, ok := p.Store.Table(scan.Table)
+	if !ok {
+		return "", "", false
+	}
+	ref := equi[0].r
+	c, ok := algebra.ResolveRef(scan.Cols, ref.Qual, ref.Name)
+	if !ok || !t.HasIndexableCol(c.Name) {
+		return "", "", false
+	}
+	return c.Name, scan.Table, true
+}
+
+// buildIndexJoin lowers the join to a correlated Apply whose right side is
+// an index probe keyed on the outer row: the classic index nested-loop join.
+func (p *Planner) buildIndexJoin(n *algebra.Join, equi []equiPair, residual algebra.Expr) (exec.Node, error) {
+	l, err := p.build(n.L)
+	if err != nil {
+		return nil, err
+	}
+	lSchema := n.L.Schema()
+
+	// Rebuild the right side as selection over the scan with the equi
+	// conditions (minus the probe pair) plus residual folded in; then
+	// substitute left references with correlation params.
+	probe := equi[0]
+	var rightPreds []algebra.Expr
+	for _, pr := range equi[1:] {
+		rightPreds = append(rightPreds, &algebra.Cmp{Op: sqltypes.CmpEQ, L: pr.l, R: pr.r})
+	}
+	if residual != nil {
+		rightPreds = append(rightPreds, residual)
+	}
+	var rightRel algebra.Rel = n.R
+	if pred := algebra.AndAll(rightPreds); pred != nil {
+		rightRel = &algebra.Select{Pred: pred, In: rightRel}
+	}
+	rightRel, corr := p.substituteCorr(rightRel, lSchema)
+
+	// Plan the right side replacing its scan with an index probe.
+	probeParam := fmt.Sprintf("inlj$%d", p.nextCorr())
+	rightNode, err := p.buildProbeSide(rightRel, probe.r, probeParam)
+	if err != nil {
+		return nil, err
+	}
+	keyEval, err := exec.Compile(probe.l, lSchema, p)
+	if err != nil {
+		return nil, err
+	}
+	kind := n.Kind
+	if kind == algebra.CrossJoin {
+		kind = algebra.InnerJoin
+	}
+	return exec.NewApply(kind, corr,
+		[]exec.ApplyBind{{Param: probeParam, Arg: keyEval}}, l, rightNode), nil
+}
+
+func (p *Planner) nextCorr() int {
+	p.corrSeq++
+	return p.corrSeq
+}
+
+// buildProbeSide plans the right side of an index join, replacing its base
+// scan with an IndexLookup on probeCol keyed by the probe parameter.
+func (p *Planner) buildProbeSide(rel algebra.Rel, probeCol *algebra.ColRef, probeParam string) (exec.Node, error) {
+	switch n := rel.(type) {
+	case *algebra.Scan:
+		t, ok := p.Store.Table(n.Table)
+		if !ok {
+			return nil, fmt.Errorf("plan: no storage for table %q", n.Table)
+		}
+		c, ok := algebra.ResolveRef(n.Cols, probeCol.Qual, probeCol.Name)
+		if !ok {
+			return nil, fmt.Errorf("plan: probe column %s missing from %s", probeCol, n.Table)
+		}
+		keyEval, err := exec.Compile(&algebra.ParamRef{Name: probeParam}, nil, p)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewIndexLookup(t, c.Name, keyEval, n.Cols), nil
+	case *algebra.Select:
+		child, err := p.buildProbeSide(n.In, probeCol, probeParam)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := exec.Compile(n.Pred, child.Schema(), p)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Filter{Pred: ev, Child: child}, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported probe side %T", rel)
+	}
+}
+
+func (p *Planner) buildHashJoin(n *algebra.Join, equi []equiPair, residual algebra.Expr) (exec.Node, error) {
+	l, err := p.build(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.build(n.R)
+	if err != nil {
+		return nil, err
+	}
+	lkeys := make([]exec.Evaluator, len(equi))
+	rkeys := make([]exec.Evaluator, len(equi))
+	for i, pr := range equi {
+		le, err := exec.Compile(pr.l, l.Schema(), p)
+		if err != nil {
+			return nil, err
+		}
+		re, err := exec.Compile(pr.r, r.Schema(), p)
+		if err != nil {
+			return nil, err
+		}
+		lkeys[i], rkeys[i] = le, re
+	}
+	var residualEval exec.Evaluator
+	if residual != nil {
+		joined := append(append([]algebra.Column{}, l.Schema()...), r.Schema()...)
+		residualEval, err = exec.Compile(residual, joined, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	kind := n.Kind
+	if kind == algebra.CrossJoin {
+		kind = algebra.InnerJoin
+	}
+	return exec.NewHashJoin(kind, lkeys, rkeys, residualEval, l, r), nil
+}
+
+func (p *Planner) buildNLJoin(n *algebra.Join) (exec.Node, error) {
+	l, err := p.build(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.build(n.R)
+	if err != nil {
+		return nil, err
+	}
+	var cond exec.Evaluator
+	if n.Cond != nil {
+		joined := append(append([]algebra.Column{}, l.Schema()...), r.Schema()...)
+		cond, err = exec.Compile(n.Cond, joined, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return exec.NewNLJoin(n.Kind, cond, l, r, false), nil
+}
+
+func (p *Planner) buildGroupBy(n *algebra.GroupBy) (exec.Node, error) {
+	child, err := p.build(n.In)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]exec.Evaluator, len(n.Keys))
+	for i, k := range n.Keys {
+		ev, err := exec.Compile(k, child.Schema(), p)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = ev
+	}
+	aggs := make([]*exec.AggSpec, len(n.Aggs))
+	for i, a := range n.Aggs {
+		spec := &exec.AggSpec{Func: a.Func, Distinct: a.Distinct}
+		if ud, ok := p.Cat.Aggregate(a.Func); ok {
+			spec.UserDef = ud
+		}
+		for _, arg := range a.Args {
+			ev, err := exec.Compile(arg, child.Schema(), p)
+			if err != nil {
+				return nil, err
+			}
+			spec.Args = append(spec.Args, ev)
+		}
+		aggs[i] = spec
+	}
+	return exec.NewHashAgg(keys, aggs, child, n.Schema()), nil
+}
+
+// buildApply plans a correlated Apply operator: the right side is executed
+// per left row with correlation values published as parameters.
+func (p *Planner) buildApply(n *algebra.Apply) (exec.Node, error) {
+	l, err := p.build(n.L)
+	if err != nil {
+		return nil, err
+	}
+	lSchema := n.L.Schema()
+	right, corr := p.substituteCorr(n.R, lSchema)
+	rNode, err := p.build(right)
+	if err != nil {
+		return nil, err
+	}
+	binds := make([]exec.ApplyBind, len(n.Binds))
+	for i, b := range n.Binds {
+		ev, err := exec.Compile(b.Arg, lSchema, p)
+		if err != nil {
+			return nil, err
+		}
+		binds[i] = exec.ApplyBind{Param: b.Param, Arg: ev}
+	}
+	kind := n.Kind
+	if kind == algebra.CrossJoin {
+		kind = algebra.InnerJoin
+	}
+	p.note("Apply(%s) correlated", n.Kind)
+	return exec.NewApply(kind, corr, binds, l, rNode), nil
+}

@@ -1,0 +1,190 @@
+package sqltypes
+
+import "fmt"
+
+// ArithOp enumerates binary arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String returns the SQL spelling of the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	default:
+		return "?"
+	}
+}
+
+// Arith applies a binary arithmetic operator with SQL semantics:
+// NULL operands yield NULL; INT op INT stays INT (division truncates, as in
+// most commercial dialects); any FLOAT operand promotes to FLOAT.
+// Division or modulo by zero is an error.
+func Arith(op ArithOp, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null, fmt.Errorf("arithmetic on non-numeric values %s %s %s", a, op, b)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		x, y := a.i, b.i
+		switch op {
+		case OpAdd:
+			return NewInt(x + y), nil
+		case OpSub:
+			return NewInt(x - y), nil
+		case OpMul:
+			return NewInt(x * y), nil
+		case OpDiv:
+			if y == 0 {
+				return Null, fmt.Errorf("division by zero")
+			}
+			return NewInt(x / y), nil
+		case OpMod:
+			if y == 0 {
+				return Null, fmt.Errorf("modulo by zero")
+			}
+			return NewInt(x % y), nil
+		}
+	}
+	x, _ := a.AsFloat()
+	y, _ := b.AsFloat()
+	switch op {
+	case OpAdd:
+		return NewFloat(x + y), nil
+	case OpSub:
+		return NewFloat(x - y), nil
+	case OpMul:
+		return NewFloat(x * y), nil
+	case OpDiv:
+		if y == 0 {
+			return Null, fmt.Errorf("division by zero")
+		}
+		return NewFloat(x / y), nil
+	case OpMod:
+		if y == 0 {
+			return Null, fmt.Errorf("modulo by zero")
+		}
+		return NewFloat(float64(int64(x) % int64(y))), nil
+	}
+	return Null, fmt.Errorf("unknown arithmetic operator")
+}
+
+// Neg returns the arithmetic negation of a numeric value.
+func Neg(a Value) (Value, error) {
+	switch a.kind {
+	case KindNull:
+		return Null, nil
+	case KindInt:
+		return NewInt(-a.i), nil
+	case KindFloat:
+		return NewFloat(-a.f), nil
+	default:
+		return Null, fmt.Errorf("negation of non-numeric value %s", a)
+	}
+}
+
+// Concat concatenates two values as strings with NULL propagation.
+func Concat(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	return NewString(a.Display() + b.Display())
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String returns the SQL spelling of the comparison operator.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "<>"
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Negate returns the logical negation of the operator (e.g. = becomes <>).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	case CmpLT:
+		return CmpGE
+	case CmpLE:
+		return CmpGT
+	case CmpGT:
+		return CmpLE
+	case CmpGE:
+		return CmpLT
+	}
+	return op
+}
+
+// Cmp evaluates a comparison with SQL semantics, returning a Tri
+// (Unknown when either side is NULL or the kinds are incomparable).
+func Cmp(op CmpOp, a, b Value) Tri {
+	c, ok := Compare(a, b)
+	if !ok {
+		return Unknown
+	}
+	var r bool
+	switch op {
+	case CmpEQ:
+		r = c == 0
+	case CmpNE:
+		r = c != 0
+	case CmpLT:
+		r = c < 0
+	case CmpLE:
+		r = c <= 0
+	case CmpGT:
+		r = c > 0
+	case CmpGE:
+		r = c >= 0
+	}
+	if r {
+		return True
+	}
+	return False
+}

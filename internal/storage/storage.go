@@ -1,0 +1,189 @@
+// Package storage implements in-memory row storage: tables, hash indexes
+// for equality lookups, and lightweight column statistics (row counts and
+// min/max) used by the cost-based planner.
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/sqltypes"
+)
+
+// Row is one tuple.
+type Row []sqltypes.Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// ColStats holds per-column statistics for selectivity estimation.
+type ColStats struct {
+	Min, Max      sqltypes.Value
+	DistinctCount int64 // approximate
+}
+
+// Table is an in-memory table with optional hash indexes.
+type Table struct {
+	Meta *catalog.Table
+	Rows []Row
+
+	mu      sync.RWMutex
+	indexes map[string]map[string][]int // column -> key -> row ordinals
+	stats   map[string]ColStats
+}
+
+// NewTable creates an empty table for the given metadata.
+func NewTable(meta *catalog.Table) *Table {
+	return &Table{Meta: meta, indexes: map[string]map[string][]int{}, stats: map[string]ColStats{}}
+}
+
+// Append adds rows; indexes and statistics are invalidated and rebuilt
+// lazily.
+func (t *Table) Append(rows ...Row) error {
+	for _, r := range rows {
+		if len(r) != len(t.Meta.Cols) {
+			return fmt.Errorf("table %s: row arity %d, want %d", t.Meta.Name, len(r), len(t.Meta.Cols))
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Rows = append(t.Rows, rows...)
+	t.indexes = map[string]map[string][]int{}
+	t.stats = map[string]ColStats{}
+	return nil
+}
+
+// RowCount returns the number of rows.
+func (t *Table) RowCount() int { return len(t.Rows) }
+
+// EnsureIndex builds (or reuses) a hash index on the named column and
+// returns it.
+func (t *Table) EnsureIndex(col string) (map[string][]int, error) {
+	ord := t.Meta.ColIndex(col)
+	if ord < 0 {
+		return nil, fmt.Errorf("table %s: no column %q", t.Meta.Name, col)
+	}
+	t.mu.RLock()
+	idx, ok := t.indexes[col]
+	t.mu.RUnlock()
+	if ok {
+		return idx, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.indexes[col]; ok {
+		return idx, nil
+	}
+	idx = make(map[string][]int, len(t.Rows))
+	var key []byte
+	for i, r := range t.Rows {
+		key = sqltypes.EncodeKey(key[:0], r[ord])
+		idx[string(key)] = append(idx[string(key)], i)
+	}
+	t.indexes[col] = idx
+	return idx, nil
+}
+
+// HasIndexableCol reports whether the column is declared indexed (primary
+// key or listed secondary index).
+func (t *Table) HasIndexableCol(col string) bool {
+	for _, c := range t.Meta.PKCols {
+		if c == col {
+			return true
+		}
+	}
+	for _, c := range t.Meta.Indexes {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats computes (and caches) statistics for a column.
+func (t *Table) Stats(col string) (ColStats, error) {
+	ord := t.Meta.ColIndex(col)
+	if ord < 0 {
+		return ColStats{}, fmt.Errorf("table %s: no column %q", t.Meta.Name, col)
+	}
+	t.mu.RLock()
+	st, ok := t.stats[col]
+	t.mu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.stats[col]; ok {
+		return st, nil
+	}
+	distinct := map[string]bool{}
+	var key []byte
+	st = ColStats{Min: sqltypes.Null, Max: sqltypes.Null}
+	for _, r := range t.Rows {
+		v := r[ord]
+		if v.IsNull() {
+			continue
+		}
+		if st.Min.IsNull() || sqltypes.TotalCompare(v, st.Min) < 0 {
+			st.Min = v
+		}
+		if st.Max.IsNull() || sqltypes.TotalCompare(v, st.Max) > 0 {
+			st.Max = v
+		}
+		if len(distinct) < 100000 {
+			key = sqltypes.EncodeKey(key[:0], v)
+			distinct[string(key)] = true
+		}
+	}
+	st.DistinctCount = int64(len(distinct))
+	t.stats[col] = st
+	return st, nil
+}
+
+// Store is a collection of tables.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{tables: map[string]*Table{}}
+}
+
+// CreateTable registers an empty table for the metadata.
+func (s *Store) CreateTable(meta *catalog.Table) (*Table, error) {
+	name := strings.ToLower(meta.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("table %q already has storage", meta.Name)
+	}
+	t := NewTable(meta)
+	s.tables[name] = t
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (s *Store) Table(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// MustTable returns the table or panics; for use by tests and generators.
+func (s *Store) MustTable(name string) *Table {
+	t, ok := s.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("no table %q", name))
+	}
+	return t
+}

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"testing"
+
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/sqltypes"
+)
+
+func testMeta() *catalog.Table {
+	return &catalog.Table{
+		Name: "t",
+		Cols: []catalog.Column{
+			{Name: "k", Type: sqltypes.KindInt},
+			{Name: "v", Type: sqltypes.KindString},
+		},
+		PKCols:  []string{"k"},
+		Indexes: []string{"v"},
+	}
+}
+
+func TestAppendAndArity(t *testing.T) {
+	tab := NewTable(testMeta())
+	if err := tab.Append(Row{sqltypes.NewInt(1), sqltypes.NewString("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append(Row{sqltypes.NewInt(1)}); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if tab.RowCount() != 1 {
+		t.Errorf("rows = %d", tab.RowCount())
+	}
+}
+
+func TestIndexLookupAndInvalidation(t *testing.T) {
+	tab := NewTable(testMeta())
+	for i := int64(0); i < 10; i++ {
+		tab.Append(Row{sqltypes.NewInt(i % 3), sqltypes.NewString("x")})
+	}
+	idx, err := tab.EnsureIndex("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sqltypes.KeyOf(sqltypes.NewInt(1))
+	if got := len(idx[key]); got != 3 {
+		t.Errorf("bucket size = %d", got)
+	}
+	// Appending invalidates; a rebuilt index sees the new row.
+	tab.Append(Row{sqltypes.NewInt(1), sqltypes.NewString("y")})
+	idx2, _ := tab.EnsureIndex("k")
+	if got := len(idx2[key]); got != 4 {
+		t.Errorf("rebuilt bucket size = %d", got)
+	}
+	if _, err := tab.EnsureIndex("nosuch"); err == nil {
+		t.Error("unknown column must fail")
+	}
+}
+
+func TestHasIndexableCol(t *testing.T) {
+	tab := NewTable(testMeta())
+	if !tab.HasIndexableCol("k") || !tab.HasIndexableCol("v") {
+		t.Error("pk and declared index should be indexable")
+	}
+	if tab.HasIndexableCol("nope") {
+		t.Error("unknown column is not indexable")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tab := NewTable(testMeta())
+	for i := int64(1); i <= 100; i++ {
+		tab.Append(Row{sqltypes.NewInt(i), sqltypes.NewString("s")})
+	}
+	tab.Append(Row{sqltypes.Null, sqltypes.NewString("s")})
+	st, err := tab.Stats("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn, _ := st.Min.AsInt(); mn != 1 {
+		t.Errorf("min = %v", st.Min)
+	}
+	if mx, _ := st.Max.AsInt(); mx != 100 {
+		t.Errorf("max = %v", st.Max)
+	}
+	if st.DistinctCount != 100 {
+		t.Errorf("distinct = %d", st.DistinctCount)
+	}
+	st2, _ := tab.Stats("v")
+	if st2.DistinctCount != 1 {
+		t.Errorf("distinct(v) = %d", st2.DistinctCount)
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if _, err := s.CreateTable(testMeta()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable(testMeta()); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if _, ok := s.Table("T"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := s.Table("zzz"); ok {
+		t.Error("missing table should not resolve")
+	}
+}
