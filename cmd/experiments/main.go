@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-exp 1|2|3|all] [-sys 1|2|all] [-scale small|default]
-//	            [-customers N] [-parts N] [-categories N]
+//	            [-customers N] [-parts N] [-categories N] [-vectorized]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	customers := flag.Int("customers", 0, "override customer count")
 	parts := flag.Int("parts", 0, "override part count")
 	categories := flag.Int("categories", 0, "override category count")
+	vectorized := flag.Bool("vectorized", false, "use the batch (vectorized) executor")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -51,6 +52,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -sys %q\n", *sysFlag)
 		os.Exit(2)
+	}
+
+	for i := range profiles {
+		profiles[i].Vectorized = *vectorized
 	}
 
 	for _, exp := range bench.Experiments(cfg) {

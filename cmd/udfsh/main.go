@@ -5,6 +5,7 @@
 // Meta commands:
 //
 //	.mode iterative|rewrite|costbased   switch execution mode
+//	.vectorized on|off                  toggle the batch (vectorized) executor
 //	.profile sys1|sys2                  switch engine profile (resets data!)
 //	.explain <query>                    show plan choices for a query
 //	.rewrite <query>                    show the decorrelated SQL
@@ -93,6 +94,7 @@ func meta(e *engine.Engine, cmd string) bool {
 		return false
 	case ".help":
 		fmt.Println(".mode iterative|rewrite|costbased — execution mode")
+		fmt.Println(".vectorized on|off                — batch executor")
 		fmt.Println(".explain <query>                  — plan choices")
 		fmt.Println(".rewrite <query>                  — decorrelated SQL")
 		fmt.Println(".quit")
@@ -110,6 +112,19 @@ func meta(e *engine.Engine, cmd string) bool {
 			e.Mode = engine.ModeCostBased
 		default:
 			fmt.Println("unknown mode", fields[1])
+		}
+	case ".vectorized":
+		if len(fields) < 2 {
+			fmt.Println("vectorized:", e.Profile.Vectorized)
+			break
+		}
+		switch fields[1] {
+		case "on", "true":
+			e.SetVectorized(true)
+		case "off", "false":
+			e.SetVectorized(false)
+		default:
+			fmt.Println("usage: .vectorized on|off")
 		}
 	case ".explain":
 		out, err := e.Explain(strings.TrimPrefix(cmd, ".explain "))

@@ -1,0 +1,3 @@
+module udfdecorr
+
+go 1.22

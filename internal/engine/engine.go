@@ -56,6 +56,11 @@ func (m Mode) String() string {
 type Profile struct {
 	Name       string
 	CachePlans bool
+	// Vectorized selects the batch execution path: operators exchange
+	// column-vector batches instead of single rows, and scalar expressions
+	// evaluate batch-at-a-time. Results are identical to the row engine
+	// (the differential suite asserts this); only throughput changes.
+	Vectorized bool
 }
 
 // Profiles.
@@ -84,7 +89,15 @@ func New(profile Profile, mode Mode) *Engine {
 	}
 	e.Interp = exec.NewInterp(e.Cat, e.planEmbedded, profile.CachePlans)
 	e.Planner = plan.New(e.Cat, e.Store, e.Interp)
+	e.Planner.Vectorized = profile.Vectorized
 	return e
+}
+
+// SetVectorized toggles the batch execution path at runtime (both for
+// top-level queries and for embedded statements planned after the call).
+func (e *Engine) SetVectorized(on bool) {
+	e.Profile.Vectorized = on
+	e.Planner.Vectorized = on
 }
 
 // planEmbedded algebrizes and plans a query embedded in a UDF body. The
@@ -285,7 +298,11 @@ func (e *Engine) Explain(sql string) (string, error) {
 		return "", err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "mode: %s\nrewritten: %v\n", e.Mode, rewrote)
+	executor := "row"
+	if e.Profile.Vectorized {
+		executor = "vectorized"
+	}
+	fmt.Fprintf(&b, "mode: %s\nexecutor: %s\nrewritten: %v\n", e.Mode, executor, rewrote)
 	for _, c := range choices {
 		fmt.Fprintf(&b, "  %s\n", c)
 	}

@@ -1,0 +1,654 @@
+package exec
+
+import (
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// ---------------------------------------------------------------------------
+// BatchScan
+// ---------------------------------------------------------------------------
+
+// BatchScan reads a base table in column-major chunks.
+type BatchScan struct {
+	Tab    *storage.Table
+	schema []algebra.Column
+}
+
+// NewBatchScan builds a vectorized scan over a table.
+func NewBatchScan(tab *storage.Table, schema []algebra.Column) *BatchScan {
+	return &BatchScan{Tab: tab, schema: schema}
+}
+
+// Schema implements Node.
+func (s *BatchScan) Schema() []algebra.Column { return s.schema }
+
+// Open implements Node.
+func (s *BatchScan) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(s, ctx) }
+
+// OpenBatch implements BatchNode.
+func (s *BatchScan) OpenBatch(ctx *Ctx) (BatchIter, error) {
+	return &batchScanIter{rows: s.Tab.Rows, width: len(s.schema)}, nil
+}
+
+type batchScanIter struct {
+	rows  []storage.Row
+	pos   int
+	width int
+	buf   *Batch
+}
+
+func (s *batchScanIter) NextBatch(max int) (*Batch, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	end := s.pos + max
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	if s.buf == nil {
+		s.buf = NewBatch(s.width, max)
+	}
+	b := s.buf
+	b.Sel = nil
+	b.n = end - s.pos
+	chunk := s.rows[s.pos:end]
+	for c := 0; c < s.width; c++ {
+		col := b.Cols[c][:0]
+		for _, r := range chunk {
+			col = append(col, r[c])
+		}
+		b.Cols[c] = col
+	}
+	s.pos = end
+	return b, true, nil
+}
+
+func (s *batchScanIter) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// BatchFilter
+// ---------------------------------------------------------------------------
+
+// BatchFilter keeps the rows whose predicate evaluates to TRUE, refining the
+// selection vector instead of copying data.
+type BatchFilter struct {
+	Pred  VecPredicate
+	Child Node
+}
+
+// Schema implements Node.
+func (f *BatchFilter) Schema() []algebra.Column { return f.Child.Schema() }
+
+// Open implements Node.
+func (f *BatchFilter) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(f, ctx) }
+
+// OpenBatch implements BatchNode.
+func (f *BatchFilter) OpenBatch(ctx *Ctx) (BatchIter, error) {
+	in, err := OpenBatches(f.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &batchFilterIter{pred: f.Pred, in: in, ctx: ctx}, nil
+}
+
+type batchFilterIter struct {
+	pred VecPredicate
+	in   BatchIter
+	ctx  *Ctx
+	sel  []int
+	tri  []sqltypes.Tri
+}
+
+func (f *batchFilterIter) NextBatch(max int) (*Batch, bool, error) {
+	for {
+		b, ok, err := f.in.NextBatch(max)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if cap(f.tri) < b.Physical() {
+			f.tri = make([]sqltypes.Tri, b.Physical())
+		}
+		f.tri = f.tri[:b.Physical()]
+		if err := f.pred(f.ctx, b, f.tri); err != nil {
+			return nil, false, err
+		}
+		f.sel = f.sel[:0]
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			p := b.LiveAt(i)
+			if f.tri[p] == sqltypes.True {
+				f.sel = append(f.sel, p)
+			}
+		}
+		if len(f.sel) == 0 {
+			continue // fully filtered batch; pull the next one
+		}
+		out := b.Narrow(f.sel)
+		return out, true, nil
+	}
+}
+
+func (f *batchFilterIter) Close() error { return f.in.Close() }
+
+// ---------------------------------------------------------------------------
+// BatchProject
+// ---------------------------------------------------------------------------
+
+// BatchProject computes output columns over whole batches. Expression
+// results stay aligned with the input batch's physical positions, so the
+// selection vector carries over without copying.
+type BatchProject struct {
+	Exprs  []VecEvaluator
+	Dedup  bool
+	Child  Node
+	schema []algebra.Column
+}
+
+// NewBatchProject builds a vectorized projection node.
+func NewBatchProject(exprs []VecEvaluator, dedup bool, child Node, schema []algebra.Column) *BatchProject {
+	return &BatchProject{Exprs: exprs, Dedup: dedup, Child: child, schema: schema}
+}
+
+// Schema implements Node.
+func (p *BatchProject) Schema() []algebra.Column { return p.schema }
+
+// Open implements Node.
+func (p *BatchProject) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(p, ctx) }
+
+// OpenBatch implements BatchNode.
+func (p *BatchProject) OpenBatch(ctx *Ctx) (BatchIter, error) {
+	in, err := OpenBatches(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	pi := &batchProjectIter{exprs: p.Exprs, in: in, ctx: ctx}
+	if p.Dedup {
+		pi.seen = map[string]bool{}
+	}
+	return pi, nil
+}
+
+type batchProjectIter struct {
+	exprs []VecEvaluator
+	in    BatchIter
+	ctx   *Ctx
+	seen  map[string]bool // non-nil for DISTINCT
+	out   Batch
+	sel   []int
+	key   []sqltypes.Value
+}
+
+func (p *batchProjectIter) NextBatch(max int) (*Batch, bool, error) {
+	for {
+		b, ok, err := p.in.NextBatch(max)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if p.out.Cols == nil {
+			p.out.Cols = make([][]sqltypes.Value, len(p.exprs))
+		}
+		for i, e := range p.exprs {
+			v, err := e(p.ctx, b)
+			if err != nil {
+				return nil, false, err
+			}
+			p.out.Cols[i] = v
+		}
+		p.out.n = b.Physical()
+		p.out.Sel = b.Sel
+		if p.seen != nil {
+			if cap(p.key) < len(p.exprs) {
+				p.key = make([]sqltypes.Value, len(p.exprs))
+			}
+			key := p.key[:len(p.exprs)]
+			p.sel = p.sel[:0]
+			n := p.out.Len()
+			for i := 0; i < n; i++ {
+				pos := p.out.LiveAt(i)
+				for j, c := range p.out.Cols {
+					key[j] = c[pos]
+				}
+				k := sqltypes.KeyOf(key...)
+				if p.seen[k] {
+					continue
+				}
+				p.seen[k] = true
+				p.sel = append(p.sel, pos)
+			}
+			if len(p.sel) == 0 {
+				continue
+			}
+			p.out.Sel = p.sel
+		}
+		p.ctx.Counters.RowsProcessed += int64(p.out.Len())
+		return &p.out, true, nil
+	}
+}
+
+func (p *batchProjectIter) Close() error { return p.in.Close() }
+
+// ---------------------------------------------------------------------------
+// BatchLimit
+// ---------------------------------------------------------------------------
+
+// BatchLimit passes the first N live rows, truncating the batch that crosses
+// the limit.
+type BatchLimit struct {
+	N     int64
+	Child Node
+}
+
+// Schema implements Node.
+func (l *BatchLimit) Schema() []algebra.Column { return l.Child.Schema() }
+
+// Open implements Node.
+func (l *BatchLimit) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(l, ctx) }
+
+// OpenBatch implements BatchNode.
+func (l *BatchLimit) OpenBatch(ctx *Ctx) (BatchIter, error) {
+	in, err := OpenBatches(l.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &batchLimitIter{remaining: l.N, in: in}, nil
+}
+
+type batchLimitIter struct {
+	remaining int64
+	in        BatchIter
+	sel       []int
+}
+
+func (l *batchLimitIter) NextBatch(max int) (*Batch, bool, error) {
+	if l.remaining <= 0 {
+		return nil, false, nil
+	}
+	if int64(max) > l.remaining {
+		max = int(l.remaining)
+	}
+	b, ok, err := l.in.NextBatch(max)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	live := int64(b.Len())
+	if live <= l.remaining {
+		l.remaining -= live
+		return b, true, nil
+	}
+	// The limit falls mid-batch: keep only the first remaining live rows.
+	l.sel = l.sel[:0]
+	for i := int64(0); i < l.remaining; i++ {
+		l.sel = append(l.sel, b.LiveAt(int(i)))
+	}
+	l.remaining = 0
+	return b.Narrow(l.sel), true, nil
+}
+
+func (l *batchLimitIter) Close() error { return l.in.Close() }
+
+// ---------------------------------------------------------------------------
+// BatchHashJoin
+// ---------------------------------------------------------------------------
+
+// BatchHashJoin is the vectorized hash join: build- and probe-side key
+// expressions evaluate batch-at-a-time, and matches are emitted into output
+// batches in left-row order (identical to the row hash join's order). The
+// residual predicate, when present, is evaluated per candidate row so that
+// outer/semi/anti match bookkeeping stays exact.
+type BatchHashJoin struct {
+	Kind     algebra.JoinKind
+	LKeys    []VecEvaluator
+	RKeys    []VecEvaluator
+	Residual Evaluator // over concat(L, R); nil when none
+	L, R     Node
+	schema   []algebra.Column
+}
+
+// NewBatchHashJoin builds a vectorized hash join node.
+func NewBatchHashJoin(kind algebra.JoinKind, lkeys, rkeys []VecEvaluator, residual Evaluator, l, r Node) *BatchHashJoin {
+	return &BatchHashJoin{Kind: kind, LKeys: lkeys, RKeys: rkeys, Residual: residual,
+		L: l, R: r, schema: joinSchema(kind, l, r)}
+}
+
+// Schema implements Node.
+func (j *BatchHashJoin) Schema() []algebra.Column { return j.schema }
+
+// Open implements Node.
+func (j *BatchHashJoin) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(j, ctx) }
+
+// OpenBatch implements BatchNode.
+func (j *BatchHashJoin) OpenBatch(ctx *Ctx) (BatchIter, error) {
+	// Build phase: drain the right side batch-wise, evaluating key
+	// expressions per batch. Single integer keys use a dedicated map (the
+	// common foreign-key case), mirroring the row hash join.
+	ri, err := OpenBatches(j.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer ri.Close()
+	table := make(map[string][]storage.Row)
+	intTable := make(map[int64][]storage.Row)
+	intsOnly := len(j.RKeys) == 1
+	keyVecs := make([][]sqltypes.Value, len(j.RKeys))
+	keyBuf := make([]sqltypes.Value, len(j.RKeys))
+	for {
+		b, ok, err := ri.NextBatch(DefaultBatchSize)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		for i, k := range j.RKeys {
+			v, err := k(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = v
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			p := b.LiveAt(i)
+			nullKey := false
+			for c := range keyVecs {
+				v := keyVecs[c][p]
+				if v.IsNull() {
+					nullKey = true
+					break
+				}
+				keyBuf[c] = v
+			}
+			if nullKey {
+				continue // NULL keys never join
+			}
+			row := b.Row(p)
+			if intsOnly && keyBuf[0].Kind() == sqltypes.KindInt {
+				ik := keyBuf[0].Int()
+				intTable[ik] = append(intTable[ik], row)
+				continue
+			}
+			if intsOnly {
+				intsOnly = false
+				var kb []byte
+				for ik, rows := range intTable {
+					kb = sqltypes.EncodeKey(kb[:0], sqltypes.NewInt(ik))
+					table[string(kb)] = rows
+				}
+				intTable = nil
+			}
+			k := sqltypes.KeyOf(keyBuf...)
+			table[k] = append(table[k], row)
+		}
+	}
+	li, err := OpenBatches(j.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &batchHashJoinIter{j: j, ctx: ctx, li: li, table: table,
+		intTable: intTable, intsOnly: intsOnly, rWidth: len(j.R.Schema())}, nil
+}
+
+type batchHashJoinIter struct {
+	j        *BatchHashJoin
+	ctx      *Ctx
+	li       BatchIter
+	table    map[string][]storage.Row
+	intTable map[int64][]storage.Row
+	intsOnly bool
+	rWidth   int
+
+	left    *Batch             // current probe batch (nil when exhausted)
+	keyVecs [][]sqltypes.Value // probe key vectors over left
+	pos     int                // next live index in left
+	out     *Batch
+	keyBuf  []sqltypes.Value
+}
+
+// lookup finds the build-side bucket for probe key values.
+func (it *batchHashJoinIter) lookup(keys []sqltypes.Value) []storage.Row {
+	if it.intsOnly {
+		if keys[0].Kind() == sqltypes.KindInt {
+			return it.intTable[keys[0].Int()]
+		}
+		if f, ok := keys[0].AsFloat(); ok && f == float64(int64(f)) {
+			return it.intTable[int64(f)]
+		}
+		return nil
+	}
+	return it.table[sqltypes.KeyOf(keys...)]
+}
+
+func (it *batchHashJoinIter) NextBatch(max int) (*Batch, bool, error) {
+	j := it.j
+	semiAnti := j.Kind == algebra.SemiJoin || j.Kind == algebra.AntiJoin
+	width := len(j.schema)
+	if it.out == nil {
+		it.out = NewBatch(width, max)
+		it.keyBuf = make([]sqltypes.Value, len(j.LKeys))
+	}
+	out := it.out
+	out.Sel = nil
+	out.n = 0
+	for i := range out.Cols {
+		out.Cols[i] = out.Cols[i][:0]
+	}
+	appendJoined := func(l storage.Row, r storage.Row) {
+		for c := 0; c < len(l); c++ {
+			out.Cols[c] = append(out.Cols[c], l[c])
+		}
+		for c := 0; c < it.rWidth; c++ {
+			out.Cols[len(l)+c] = append(out.Cols[len(l)+c], r[c])
+		}
+		out.n++
+	}
+	appendLeft := func(l storage.Row) {
+		for c := 0; c < len(l); c++ {
+			out.Cols[c] = append(out.Cols[c], l[c])
+		}
+		if semiAnti {
+			out.n++
+			return
+		}
+		for c := 0; c < it.rWidth; c++ {
+			out.Cols[len(l)+c] = append(out.Cols[len(l)+c], sqltypes.Null)
+		}
+		out.n++
+	}
+	for {
+		if it.left == nil || it.pos >= it.left.Len() {
+			if out.n >= max {
+				return out, true, nil
+			}
+			b, ok, err := it.li.NextBatch(max)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				it.left = nil
+				if out.n > 0 {
+					return out, true, nil
+				}
+				return nil, false, nil
+			}
+			if it.keyVecs == nil {
+				it.keyVecs = make([][]sqltypes.Value, len(j.LKeys))
+			}
+			for i, k := range j.LKeys {
+				v, err := k(it.ctx, b)
+				if err != nil {
+					return nil, false, err
+				}
+				it.keyVecs[i] = v
+			}
+			it.left, it.pos = b, 0
+		}
+		for it.pos < it.left.Len() {
+			p := it.left.LiveAt(it.pos)
+			it.pos++
+			nullKey := false
+			for c := range it.keyVecs {
+				v := it.keyVecs[c][p]
+				if v.IsNull() {
+					nullKey = true
+					break
+				}
+				it.keyBuf[c] = v
+			}
+			var bucket []storage.Row
+			if !nullKey {
+				bucket = it.lookup(it.keyBuf)
+			}
+			l := it.left.Row(p)
+			matched := false
+			for _, r := range bucket {
+				if j.Residual != nil {
+					joined := concatRows(l, r)
+					v, err := j.Residual(it.ctx, joined)
+					if err != nil {
+						return nil, false, err
+					}
+					if sqltypes.TriOf(v) != sqltypes.True {
+						continue
+					}
+				}
+				matched = true
+				switch j.Kind {
+				case algebra.SemiJoin:
+					appendLeft(l)
+				case algebra.AntiJoin:
+					// No emission on match.
+				default:
+					appendJoined(l, r)
+					continue
+				}
+				break // semi/anti decide on the first match
+			}
+			if !matched {
+				switch j.Kind {
+				case algebra.AntiJoin:
+					appendLeft(l)
+				case algebra.LeftOuterJoin:
+					appendLeft(l)
+				}
+			}
+			if out.n >= max {
+				return out, true, nil
+			}
+		}
+	}
+}
+
+func (it *batchHashJoinIter) Close() error { return it.li.Close() }
+
+// ---------------------------------------------------------------------------
+// BatchScalarAgg
+// ---------------------------------------------------------------------------
+
+// BatchScalarAgg is the vectorized scalar-aggregation path (GROUP BY with no
+// keys): aggregate arguments evaluate batch-at-a-time and feed the same
+// aggregate states as the row operator, so results (including the one-row
+// output for empty input) are identical.
+type BatchScalarAgg struct {
+	Aggs   []*AggSpec // compiled row specs (used for state construction)
+	Args   [][]VecEvaluator
+	Child  Node
+	schema []algebra.Column
+}
+
+// NewBatchScalarAgg builds a vectorized scalar aggregation. args[i] are the
+// batched argument evaluators of Aggs[i].
+func NewBatchScalarAgg(aggs []*AggSpec, args [][]VecEvaluator, child Node, schema []algebra.Column) *BatchScalarAgg {
+	return &BatchScalarAgg{Aggs: aggs, Args: args, Child: child, schema: schema}
+}
+
+// Schema implements Node.
+func (a *BatchScalarAgg) Schema() []algebra.Column { return a.schema }
+
+// Open implements Node.
+func (a *BatchScalarAgg) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(a, ctx) }
+
+// OpenBatch implements BatchNode.
+func (a *BatchScalarAgg) OpenBatch(ctx *Ctx) (BatchIter, error) {
+	in, err := OpenBatches(a.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	states := make([]aggState, len(a.Aggs))
+	for i, spec := range a.Aggs {
+		st, err := spec.newState()
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+	}
+	argVecs := make([][][]sqltypes.Value, len(a.Aggs))
+	for i := range argVecs {
+		argVecs[i] = make([][]sqltypes.Value, len(a.Args[i]))
+	}
+	var rowArgs []sqltypes.Value
+	for {
+		b, ok, err := in.NextBatch(DefaultBatchSize)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		for i := range a.Aggs {
+			for c, ev := range a.Args[i] {
+				v, err := ev(ctx, b)
+				if err != nil {
+					return nil, err
+				}
+				argVecs[i][c] = v
+			}
+		}
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			p := b.LiveAt(r)
+			for i := range a.Aggs {
+				vecs := argVecs[i]
+				if cap(rowArgs) < len(vecs) {
+					rowArgs = make([]sqltypes.Value, len(vecs))
+				}
+				args := rowArgs[:len(vecs)]
+				for c := range vecs {
+					args[c] = vecs[c][p]
+				}
+				if err := states[i].add(ctx, args); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	row := make(storage.Row, 0, len(states))
+	for _, st := range states {
+		v, err := st.result(ctx)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	out := NewBatch(len(row), 1)
+	out.AppendRow(row)
+	return &singleBatchIter{b: out}, nil
+}
+
+// singleBatchIter yields one batch then EOS.
+type singleBatchIter struct {
+	b    *Batch
+	done bool
+}
+
+func (s *singleBatchIter) NextBatch(int) (*Batch, bool, error) {
+	if s.done || s.b == nil {
+		return nil, false, nil
+	}
+	s.done = true
+	return s.b, true, nil
+}
+
+func (s *singleBatchIter) Close() error { return nil }

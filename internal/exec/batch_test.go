@@ -1,0 +1,417 @@
+package exec
+
+// Executor equivalence: every batch operator must produce byte-identical
+// results (values AND order) to its row counterpart, across batch
+// boundaries, on empty inputs, with NULLs, and for every join kind. The
+// tests drive NextBatch with tiny batch sizes so operator state that spans
+// batches (limits, dedup, join buckets) is exercised.
+
+import (
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// drainWithBatchSize drains a node through its batch path using a specific
+// per-call batch size.
+func drainWithBatchSize(t *testing.T, n Node, ctx *Ctx, size int) []storage.Row {
+	t.Helper()
+	bi, err := OpenBatches(n, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bi.Close()
+	var out []storage.Row
+	for {
+		b, ok, err := bi.NextBatch(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = b.AppendTo(out)
+	}
+}
+
+// assertIdenticalRows requires the two results to be equal value-for-value
+// in the same order (byte-identical under the key encoding).
+func assertIdenticalRows(t *testing.T, got, want []storage.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row counts differ: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if sqltypes.KeyOf(got[i]...) != sqltypes.KeyOf(want[i]...) {
+			t.Fatalf("row %d differs: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// rowsWithNulls builds rows where -1 stands for NULL.
+func rowsWithNulls(vals [][]int64) []storage.Row {
+	out := make([]storage.Row, len(vals))
+	for i, r := range vals {
+		row := make(storage.Row, len(r))
+		for j, v := range r {
+			if v == -1 {
+				row[j] = sqltypes.Null
+			} else {
+				row[j] = sqltypes.NewInt(v)
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func col(name string) *algebra.ColRef { return &algebra.ColRef{Name: name} }
+func lit(v int64) *algebra.Const      { return &algebra.Const{Val: sqltypes.NewInt(v)} }
+func cmp(op sqltypes.CmpOp, l, r algebra.Expr) *algebra.Cmp {
+	return &algebra.Cmp{Op: op, L: l, R: r}
+}
+
+// filterPair builds the row and batch filter over the same input.
+func filterPair(t *testing.T, pred algebra.Expr, in Node) (Node, Node) {
+	t.Helper()
+	rowEv, err := Compile(pred, in.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecEv, err := CompilePred(pred, in.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Filter{Pred: rowEv, Child: in}, &BatchFilter{Pred: vecEv, Child: in}
+}
+
+func TestBatchFilterEquivalence(t *testing.T) {
+	sc := schema2("a", "b")
+	cases := []struct {
+		name string
+		rows [][]int64
+		pred algebra.Expr
+	}{
+		{"empty input", nil, cmp(sqltypes.CmpGT, col("b"), lit(5))},
+		{"all pass", [][]int64{{1, 10}, {2, 20}}, cmp(sqltypes.CmpGT, col("b"), lit(5))},
+		{"none pass", [][]int64{{1, 1}, {2, 2}}, cmp(sqltypes.CmpGT, col("b"), lit(5))},
+		{"nulls are not true", [][]int64{{1, 10}, {2, -1}, {3, 30}, {4, -1}},
+			cmp(sqltypes.CmpGT, col("b"), lit(5))},
+		{"and with null operand", [][]int64{{1, 10}, {2, -1}, {3, 2}},
+			&algebra.Logic{Op: algebra.LogicAnd,
+				L: cmp(sqltypes.CmpGT, col("b"), lit(5)),
+				R: cmp(sqltypes.CmpLT, col("a"), lit(3))}},
+		{"or with null operand", [][]int64{{1, 10}, {2, -1}, {3, 2}},
+			&algebra.Logic{Op: algebra.LogicOr,
+				L: cmp(sqltypes.CmpGT, col("b"), lit(15)),
+				R: cmp(sqltypes.CmpLT, col("a"), lit(2))}},
+		{"not", [][]int64{{1, 10}, {2, -1}, {3, 2}},
+			&algebra.Not{E: cmp(sqltypes.CmpGT, col("b"), lit(5))}},
+		{"is null", [][]int64{{1, 10}, {2, -1}, {3, 2}},
+			&algebra.IsNull{E: col("b")}},
+		{"is not null", [][]int64{{1, 10}, {2, -1}, {3, 2}},
+			&algebra.IsNull{E: col("b"), Neg: true}},
+		{"guarded division short-circuits", [][]int64{{0, 8}, {2, 8}, {0, 8}},
+			&algebra.Logic{Op: algebra.LogicAnd,
+				L: cmp(sqltypes.CmpNE, col("a"), lit(0)),
+				R: cmp(sqltypes.CmpGT, &algebra.Arith{Op: sqltypes.OpDiv, L: col("b"), R: col("a")}, lit(1))}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := NewValues(rowsWithNulls(tc.rows), sc)
+			rowPlan, batchPlan := filterPair(t, tc.pred, in)
+			want, err := Drain(rowPlan, NewCtx(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, size := range []int{1, 3, 1024} {
+				got := drainWithBatchSize(t, batchPlan, NewCtx(nil), size)
+				assertIdenticalRows(t, got, want)
+			}
+		})
+	}
+}
+
+func TestBatchProjectEquivalence(t *testing.T) {
+	sc := schema2("a", "b")
+	exprs := []algebra.Expr{
+		&algebra.Arith{Op: sqltypes.OpMul, L: col("a"), R: lit(3)},
+		&algebra.Case{
+			Whens: []algebra.CaseWhen{{Cond: cmp(sqltypes.CmpGT, col("b"), lit(10)), Then: lit(1)}},
+			Else:  lit(0),
+		},
+		&algebra.IsNull{E: col("b")},
+	}
+	outSchema := schema2("x", "y", "z")
+	for _, tc := range []struct {
+		name  string
+		rows  [][]int64
+		dedup bool
+	}{
+		{"empty", nil, false},
+		{"nulls propagate", [][]int64{{1, 5}, {-1, 20}, {3, -1}}, false},
+		{"dedup across batches", [][]int64{{1, 5}, {1, 5}, {2, 20}, {1, 5}, {2, 20}, {3, -1}}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := NewValues(rowsWithNulls(tc.rows), sc)
+			rowEvs, err := CompileAll(exprs, sc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vecEvs, err := CompileVecAll(exprs, sc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowPlan := NewProject(rowEvs, tc.dedup, in, outSchema)
+			batchPlan := NewBatchProject(vecEvs, tc.dedup, in, outSchema)
+			want, err := Drain(rowPlan, NewCtx(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, size := range []int{1, 2, 1024} {
+				got := drainWithBatchSize(t, batchPlan, NewCtx(nil), size)
+				assertIdenticalRows(t, got, want)
+			}
+		})
+	}
+}
+
+func TestBatchLimitEquivalence(t *testing.T) {
+	sc := schema2("a")
+	var rows [][]int64
+	for i := int64(1); i <= 10; i++ {
+		rows = append(rows, []int64{i})
+	}
+	for _, tc := range []struct {
+		name string
+		n    int64
+		rows [][]int64
+	}{
+		{"empty input", 5, nil},
+		{"limit 0", 0, rows},
+		{"limit mid-batch", 5, rows}, // batch size 3: limit falls inside the 2nd batch
+		{"limit at batch edge", 6, rows},
+		{"limit beyond input", 50, rows},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := NewValues(rowsWithNulls(tc.rows), sc)
+			rowPlan := &Limit{N: tc.n, Child: in}
+			batchPlan := &BatchLimit{N: tc.n, Child: in}
+			want, err := Drain(rowPlan, NewCtx(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, size := range []int{1, 3, 1024} {
+				got := drainWithBatchSize(t, batchPlan, NewCtx(nil), size)
+				assertIdenticalRows(t, got, want)
+			}
+		})
+	}
+}
+
+// TestBatchLimitStopsPulling verifies the batch limit does not read past the
+// limit (it must clamp its requests, not drain the child).
+func TestBatchLimitStopsPulling(t *testing.T) {
+	sc := schema2("a")
+	rows := rowsWithNulls([][]int64{{1}, {2}, {3}, {4}})
+	in := NewValues(rows, sc)
+	bi, err := OpenBatches(&BatchLimit{N: 2, Child: in}, NewCtx(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bi.Close()
+	b, ok, err := bi.NextBatch(1024)
+	if err != nil || !ok {
+		t.Fatalf("first batch: ok=%v err=%v", ok, err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("batch len = %d, want 2", b.Len())
+	}
+	if _, ok, _ := bi.NextBatch(1024); ok {
+		t.Fatal("limit returned rows past N")
+	}
+}
+
+func TestBatchHashJoinEquivalence(t *testing.T) {
+	lsc := schema2("lk", "lv")
+	rsc := schema2("rk", "rv")
+	lRows := [][]int64{{1, 10}, {2, 20}, {2, 21}, {3, 30}, {-1, 40}, {5, 50}}
+	rRows := [][]int64{{2, 200}, {2, 201}, {3, 300}, {-1, 400}, {7, 700}, {2, 202}}
+	kinds := []algebra.JoinKind{algebra.InnerJoin, algebra.LeftOuterJoin,
+		algebra.SemiJoin, algebra.AntiJoin}
+	for _, kind := range kinds {
+		for _, tc := range []struct {
+			name     string
+			l, r     [][]int64
+			residual algebra.Expr
+		}{
+			{"dup keys both sides", lRows, rRows, nil},
+			{"empty build side", lRows, nil, nil},
+			{"empty probe side", nil, rRows, nil},
+			{"both empty", nil, nil, nil},
+			{"residual", lRows, rRows,
+				cmp(sqltypes.CmpGT, &algebra.ColRef{Name: "rv"}, lit(200))},
+		} {
+			t.Run(kind.String()+"/"+tc.name, func(t *testing.T) {
+				l := NewValues(rowsWithNulls(tc.l), lsc)
+				r := NewValues(rowsWithNulls(tc.r), rsc)
+				joined := append(append([]algebra.Column{}, lsc...), rsc...)
+				var residual Evaluator
+				if tc.residual != nil {
+					var err error
+					residual, err = Compile(tc.residual, joined, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				lKeyRow, err := Compile(col("lk"), lsc, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rKeyRow, err := Compile(col("rk"), rsc, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lKeyVec, err := CompileVec(col("lk"), lsc, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rKeyVec, err := CompileVec(col("rk"), rsc, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rowPlan := NewHashJoin(kind, []Evaluator{lKeyRow}, []Evaluator{rKeyRow}, residual, l, r)
+				batchPlan := NewBatchHashJoin(kind, []VecEvaluator{lKeyVec}, []VecEvaluator{rKeyVec}, residual, l, r)
+				want, err := Drain(rowPlan, NewCtx(nil))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, size := range []int{1, 2, 1024} {
+					got := drainWithBatchSize(t, batchPlan, NewCtx(nil), size)
+					assertIdenticalRows(t, got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestBatchScalarAggEquivalence(t *testing.T) {
+	sc := schema2("a")
+	aggOf := func(fn string, args ...algebra.Expr) *algebra.AggCall {
+		return &algebra.AggCall{Func: fn, Args: args}
+	}
+	for _, tc := range []struct {
+		name string
+		rows [][]int64
+		aggs []*algebra.AggCall
+	}{
+		{"empty input one row out", nil,
+			[]*algebra.AggCall{aggOf("count"), aggOf("sum", col("a")), aggOf("min", col("a")),
+				aggOf("max", col("a")), aggOf("avg", col("a"))}},
+		{"nulls skipped", [][]int64{{5}, {-1}, {3}, {-1}, {9}},
+			[]*algebra.AggCall{aggOf("count"), aggOf("count", col("a")), aggOf("sum", col("a")),
+				aggOf("min", col("a")), aggOf("max", col("a")), aggOf("avg", col("a"))}},
+		{"all null sum is null", [][]int64{{-1}, {-1}},
+			[]*algebra.AggCall{aggOf("sum", col("a")), aggOf("count", col("a"))}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := NewValues(rowsWithNulls(tc.rows), sc)
+			outSchema := make([]algebra.Column, len(tc.aggs))
+			for i := range tc.aggs {
+				outSchema[i] = algebra.Column{Name: "agg"}
+			}
+			rowSpecs := make([]*AggSpec, len(tc.aggs))
+			vecArgs := make([][]VecEvaluator, len(tc.aggs))
+			for i, a := range tc.aggs {
+				spec := &AggSpec{Func: a.Func}
+				var vecs []VecEvaluator
+				for _, arg := range a.Args {
+					rowEv, err := Compile(arg, sc, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					spec.Args = append(spec.Args, rowEv)
+					vecEv, err := CompileVec(arg, sc, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					vecs = append(vecs, vecEv)
+				}
+				rowSpecs[i], vecArgs[i] = spec, vecs
+			}
+			rowPlan := NewHashAgg(nil, rowSpecs, in, outSchema)
+			batchPlan := NewBatchScalarAgg(rowSpecs, vecArgs, in, outSchema)
+			want, err := Drain(rowPlan, NewCtx(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, size := range []int{1, 2, 1024} {
+				got := drainWithBatchSize(t, batchPlan, NewCtx(nil), size)
+				assertIdenticalRows(t, got, want)
+			}
+		})
+	}
+}
+
+// newTestTable builds an in-memory storage table for scan tests.
+func newTestTable(t *testing.T, name string, cols []string, rows []storage.Row) *storage.Table {
+	t.Helper()
+	meta := &catalog.Table{Name: name}
+	for _, c := range cols {
+		meta.Cols = append(meta.Cols, catalog.Column{Name: c, Type: sqltypes.KindInt})
+	}
+	tab := storage.NewTable(meta)
+	if err := tab.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestBatchScanEquivalence(t *testing.T) {
+	tab := newTestTable(t, "t", []string{"a", "b"},
+		rowsWithNulls([][]int64{{1, 10}, {2, -1}, {3, 30}}))
+	sc := schema2("a", "b")
+	want, err := Drain(NewTableScan(tab, sc), NewCtx(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 2, 1024} {
+		got := drainWithBatchSize(t, NewBatchScan(tab, sc), NewCtx(nil), size)
+		assertIdenticalRows(t, got, want)
+	}
+
+	// Empty table.
+	empty := newTestTable(t, "e", []string{"a", "b"}, nil)
+	got := drainWithBatchSize(t, NewBatchScan(empty, sc), NewCtx(nil), 4)
+	if len(got) != 0 {
+		t.Fatalf("empty scan returned %d rows", len(got))
+	}
+}
+
+// TestVecEvalErrorsMatchRowEval asserts the vectorized evaluator surfaces
+// the same runtime errors as the row evaluator (unguarded division by zero).
+func TestVecEvalErrorsMatchRowEval(t *testing.T) {
+	sc := schema2("a")
+	in := NewValues(rowsWithNulls([][]int64{{2}, {0}}), sc)
+	div := &algebra.Arith{Op: sqltypes.OpDiv, L: lit(10), R: col("a")}
+	rowEv, err := CompileAll([]algebra.Expr{div}, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecEv, err := CompileVecAll([]algebra.Expr{div}, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rowErr := Drain(NewProject(rowEv, false, in, schema2("x")), NewCtx(nil))
+	_, vecErr := Drain(NewBatchProject(vecEv, false, in, schema2("x")), NewCtx(nil))
+	if rowErr == nil || vecErr == nil {
+		t.Fatalf("expected both engines to fail: row=%v vec=%v", rowErr, vecErr)
+	}
+	if !strings.Contains(vecErr.Error(), "division by zero") {
+		t.Fatalf("vectorized error = %v, want division by zero", vecErr)
+	}
+}

@@ -97,8 +97,12 @@ type Iter interface {
 	Close() error
 }
 
-// Drain materializes all rows of a node under the given context.
+// Drain materializes all rows of a node under the given context. Nodes with
+// a native batch path are drained batch-wise.
 func Drain(n Node, ctx *Ctx) ([]storage.Row, error) {
+	if _, ok := n.(BatchNode); ok {
+		return DrainBatches(n, ctx)
+	}
 	it, err := n.Open(ctx)
 	if err != nil {
 		return nil, err

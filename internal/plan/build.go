@@ -83,6 +83,13 @@ func (p *Planner) build(rel algebra.Rel) (exec.Node, error) {
 		for i, c := range n.Cols {
 			exprs[i] = c.E
 		}
+		if p.Vectorized {
+			evals, err := exec.CompileVecAll(exprs, child.Schema(), p)
+			if err != nil {
+				return nil, err
+			}
+			return exec.NewBatchProject(evals, n.Dedup, child, n.Schema()), nil
+		}
 		evals, err := exec.CompileAll(exprs, child.Schema(), p)
 		if err != nil {
 			return nil, err
@@ -110,6 +117,9 @@ func (p *Planner) build(rel algebra.Rel) (exec.Node, error) {
 		child, err := p.build(n.In)
 		if err != nil {
 			return nil, err
+		}
+		if p.Vectorized {
+			return &exec.BatchLimit{N: n.N, Child: child}, nil
 		}
 		return &exec.Limit{N: n.N, Child: child}, nil
 
@@ -153,6 +163,9 @@ func (p *Planner) buildScan(n *algebra.Scan) (exec.Node, error) {
 	if !ok {
 		return nil, fmt.Errorf("plan: no storage for table %q", n.Table)
 	}
+	if p.Vectorized {
+		return exec.NewBatchScan(t, n.Cols), nil
+	}
 	return exec.NewTableScan(t, n.Cols), nil
 }
 
@@ -195,6 +208,13 @@ func (p *Planner) buildSelect(n *algebra.Select) (exec.Node, error) {
 	child, err := p.build(n.In)
 	if err != nil {
 		return nil, err
+	}
+	if p.Vectorized {
+		ev, err := exec.CompilePred(n.Pred, child.Schema(), p)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.BatchFilter{Pred: ev, Child: child}, nil
 	}
 	ev, err := exec.Compile(n.Pred, child.Schema(), p)
 	if err != nil {
@@ -373,6 +393,34 @@ func (p *Planner) buildHashJoin(n *algebra.Join, equi []equiPair, residual algeb
 	if err != nil {
 		return nil, err
 	}
+	var residualEval exec.Evaluator
+	if residual != nil {
+		joined := append(append([]algebra.Column{}, l.Schema()...), r.Schema()...)
+		residualEval, err = exec.Compile(residual, joined, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	kind := n.Kind
+	if kind == algebra.CrossJoin {
+		kind = algebra.InnerJoin
+	}
+	if p.Vectorized {
+		lkeys := make([]exec.VecEvaluator, len(equi))
+		rkeys := make([]exec.VecEvaluator, len(equi))
+		for i, pr := range equi {
+			le, err := exec.CompileVec(pr.l, l.Schema(), p)
+			if err != nil {
+				return nil, err
+			}
+			re, err := exec.CompileVec(pr.r, r.Schema(), p)
+			if err != nil {
+				return nil, err
+			}
+			lkeys[i], rkeys[i] = le, re
+		}
+		return exec.NewBatchHashJoin(kind, lkeys, rkeys, residualEval, l, r), nil
+	}
 	lkeys := make([]exec.Evaluator, len(equi))
 	rkeys := make([]exec.Evaluator, len(equi))
 	for i, pr := range equi {
@@ -385,18 +433,6 @@ func (p *Planner) buildHashJoin(n *algebra.Join, equi []equiPair, residual algeb
 			return nil, err
 		}
 		lkeys[i], rkeys[i] = le, re
-	}
-	var residualEval exec.Evaluator
-	if residual != nil {
-		joined := append(append([]algebra.Column{}, l.Schema()...), r.Schema()...)
-		residualEval, err = exec.Compile(residual, joined, p)
-		if err != nil {
-			return nil, err
-		}
-	}
-	kind := n.Kind
-	if kind == algebra.CrossJoin {
-		kind = algebra.InnerJoin
 	}
 	return exec.NewHashJoin(kind, lkeys, rkeys, residualEval, l, r), nil
 }
@@ -426,6 +462,13 @@ func (p *Planner) buildGroupBy(n *algebra.GroupBy) (exec.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.Vectorized && len(n.Keys) == 0 {
+		if node, ok, err := p.buildBatchScalarAgg(n, child); err != nil {
+			return nil, err
+		} else if ok {
+			return node, nil
+		}
+	}
 	keys := make([]exec.Evaluator, len(n.Keys))
 	for i, k := range n.Keys {
 		ev, err := exec.Compile(k, child.Schema(), p)
@@ -450,6 +493,36 @@ func (p *Planner) buildGroupBy(n *algebra.GroupBy) (exec.Node, error) {
 		aggs[i] = spec
 	}
 	return exec.NewHashAgg(keys, aggs, child, n.Schema()), nil
+}
+
+// buildBatchScalarAgg lowers a key-less GROUP BY with builtin non-DISTINCT
+// aggregates onto the vectorized scalar-aggregation operator. DISTINCT and
+// user-defined aggregates keep the row operator (ok=false).
+func (p *Planner) buildBatchScalarAgg(n *algebra.GroupBy, child exec.Node) (exec.Node, bool, error) {
+	aggs := make([]*exec.AggSpec, len(n.Aggs))
+	args := make([][]exec.VecEvaluator, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Distinct {
+			return nil, false, nil
+		}
+		if _, userDef := p.Cat.Aggregate(a.Func); userDef {
+			return nil, false, nil
+		}
+		// The spec's Args carry only the arity (count(expr) vs count(*))
+		// for state construction; BatchScalarAgg evaluates arguments
+		// exclusively through the batched evaluators.
+		spec := &exec.AggSpec{Func: a.Func, Args: make([]exec.Evaluator, len(a.Args))}
+		vecs := make([]exec.VecEvaluator, len(a.Args))
+		for j, arg := range a.Args {
+			ev, err := exec.CompileVec(arg, child.Schema(), p)
+			if err != nil {
+				return nil, false, err
+			}
+			vecs[j] = ev
+		}
+		aggs[i], args[i] = spec, vecs
+	}
+	return exec.NewBatchScalarAgg(aggs, args, child, n.Schema()), true, nil
 }
 
 // buildApply plans a correlated Apply operator: the right side is executed

@@ -40,6 +40,11 @@ type Planner struct {
 	Store  *storage.Store
 	Interp *exec.Interp
 	Cost   Costs
+	// Vectorized selects the batch execution path for the hot operators
+	// (scan, filter, project, limit, hash join, scalar aggregation); row
+	// operators bridge to batch children through adapters, so any plan shape
+	// remains executable.
+	Vectorized bool
 
 	// Explain, when non-nil, collects physical operator choices.
 	choices []string

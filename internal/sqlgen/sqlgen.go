@@ -239,6 +239,24 @@ func (g *generator) toQuery(rel algebra.Rel) (*query, error) {
 		}
 		q.distinct = n.Dedup
 		q.passthrough = pure && !n.Dedup
+		if q.passthrough {
+			// A pure renaming projection may be collapsed by enclosing
+			// operators (GROUP BY replaces the select list entirely), so its
+			// output aliases must substitute back to their source columns.
+			ren := renameMap{}
+			for k, v := range m {
+				ren[k] = v
+			}
+			outCols := n.Schema()
+			for i, c := range n.Cols {
+				repl := subst(c.E, m)
+				ren[algebra.Ref{Qual: outCols[i].Qual, Name: outCols[i].Name}] = repl
+				if outCols[i].Qual != "" {
+					ren[algebra.Ref{Name: outCols[i].Name}] = repl
+				}
+			}
+			q.renames = ren
+		}
 		return q, nil
 
 	case *algebra.Join:
