@@ -8,10 +8,12 @@ package udfdecorr_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"udfdecorr/internal/bench"
 	"udfdecorr/internal/engine"
+	"udfdecorr/internal/server"
 )
 
 // benchCfg is a mid-scale dataset: large enough that the iterative and
@@ -234,4 +236,64 @@ func BenchmarkCostBasedSmall(b *testing.B) {
 func BenchmarkCostBasedLarge(b *testing.B) {
 	e := getEngine(b, engine.SYS1, engine.ModeCostBased)
 	runQuery(b, e, "select custkey, service_level(custkey) from customer where custkey <= 10000")
+}
+
+// --------------------------------------------------------------------------
+// Query service throughput: concurrent sessions over one shared service.
+// --------------------------------------------------------------------------
+
+var (
+	benchSvcOnce sync.Once
+	benchSvc     *server.Service
+	benchSvcErr  error
+)
+
+// serverService builds (once) a query service over the small bench dataset
+// with the shared corpus UDFs installed.
+func serverService(b *testing.B) *server.Service {
+	benchSvcOnce.Do(func() {
+		boot, err := bench.NewEngine(engine.SYS1, engine.ModeRewrite, bench.SmallConfig())
+		if err != nil {
+			benchSvcErr = err
+			return
+		}
+		if err := boot.ExecScript(bench.ExtraUDFs); err != nil {
+			benchSvcErr = err
+			return
+		}
+		benchSvc = server.NewServiceFromEngine(boot, server.DefaultOptions())
+	})
+	if benchSvcErr != nil {
+		b.Fatal(benchSvcErr)
+	}
+	return benchSvc
+}
+
+// BenchmarkServerParallel measures end-to-end service throughput (plan-cache
+// lookup + concurrent execution) with one session per worker goroutine, all
+// replaying the shared differential corpus against cached plans. This is the
+// throughput-scaling axis (clients × executor × mode) the daemon serves.
+func BenchmarkServerParallel(b *testing.B) {
+	svc := serverService(b)
+	profile := engine.SYS1
+	profile.Vectorized = true
+	// Warm the cache so the steady state measures the repeat-query path.
+	warm := svc.CreateSession(profile, engine.ModeRewrite)
+	for _, q := range bench.Corpus {
+		if _, err := svc.Query(warm, q.SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sess := svc.CreateSession(profile, engine.ModeRewrite)
+		i := 0
+		for pb.Next() {
+			q := bench.Corpus[i%len(bench.Corpus)]
+			i++
+			if _, err := svc.Query(sess, q.SQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,276 @@
+// Command udfserverd is the concurrent query daemon: it serves the engine's
+// HTTP/JSON API (sessions, /query, /exec, /explain, /stats) over a shared
+// catalog+storage with the cross-session plan/rewrite cache.
+//
+// Server mode:
+//
+//	udfserverd -addr :8080 -dataset small -cache 256 -workers 32
+//
+// Load-client mode (-load) replays the shared differential corpus against a
+// running daemon from N concurrent clients, checks every response against a
+// serial baseline, and reports QPS, latency percentiles and the server-side
+// plan-cache hit rate:
+//
+//	udfserverd -load -addr http://localhost:8080 -clients 8 -rounds 3
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"udfdecorr/internal/bench"
+	"udfdecorr/internal/engine"
+	"udfdecorr/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (server) or base URL (load client)")
+		dataset = flag.String("dataset", "small", "preloaded dataset: none|small|bench")
+		cache   = flag.Int("cache", 256, "plan cache capacity (0 disables)")
+		workers = flag.Int("workers", 32, "max concurrently executing statements")
+		load    = flag.Bool("load", false, "run as load-generating client instead of server")
+		clients = flag.Int("clients", 8, "load mode: concurrent client goroutines")
+		rounds  = flag.Int("rounds", 3, "load mode: corpus replays per client")
+	)
+	flag.Parse()
+
+	if *load {
+		if err := runLoad(*addr, *clients, *rounds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runServer(*addr, *dataset, *cache, *workers); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runServer(addr, dataset string, cacheSize, workers int) error {
+	boot, err := bootEngine(dataset)
+	if err != nil {
+		return err
+	}
+	svc := server.NewServiceFromEngine(boot, server.Options{CacheSize: cacheSize, MaxConcurrent: workers})
+	log.Printf("udfserverd listening on %s (dataset=%s cache=%d workers=%d)", addr, dataset, cacheSize, workers)
+	return http.ListenAndServe(addr, server.NewHandler(svc))
+}
+
+// bootEngine loads the requested dataset into a fresh catalog+store.
+func bootEngine(dataset string) (*engine.Engine, error) {
+	switch dataset {
+	case "none":
+		return engine.New(engine.SYS1, engine.ModeRewrite), nil
+	case "small", "bench":
+		cfg := bench.SmallConfig()
+		if dataset == "bench" {
+			cfg = bench.Config{Customers: 10_000, OrdersPerCustomer: 5, Parts: 20_000,
+				LineitemsPerPart: 3, Categories: 200, Seed: 20140331}
+		}
+		e, err := bench.NewEngine(engine.SYS1, engine.ModeRewrite, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.ExecScript(bench.ExtraUDFs); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want none|small|bench)", dataset)
+	}
+}
+
+// --------------------------------------------------------------------------
+// Load client
+// --------------------------------------------------------------------------
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("POST %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &e)
+		return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+type queryReply struct {
+	Rows     [][]string `json:"rows"`
+	RowCount int        `json:"row_count"`
+	CacheHit bool       `json:"cache_hit"`
+}
+
+// canonical renders a row multiset order-insensitively for comparison.
+func canonical(rows [][]string) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = strings.Join(r, "\x1f")
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x1e")
+}
+
+// sessionCombo is one client's session settings.
+type sessionCombo struct {
+	mode       string
+	profile    string
+	vectorized bool
+}
+
+var combos = []sessionCombo{
+	{"rewrite", "sys1", false},
+	{"rewrite", "sys1", true},
+	{"costbased", "sys1", false},
+	{"rewrite", "sys2", true},
+	{"iterative", "sys1", false},
+	{"costbased", "sys2", true},
+}
+
+func runLoad(base string, clients, rounds int) error {
+	if !strings.HasPrefix(base, "http") {
+		base = "http://localhost" + base // allow -addr :8080 shorthand
+	}
+	c := &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}}
+
+	// Serial baseline on a dedicated iterative session (ground truth).
+	var sess struct {
+		Session string `json:"session"`
+	}
+	if err := c.post("/session", map[string]any{"mode": "iterative", "profile": "sys1"}, &sess); err != nil {
+		return fmt.Errorf("creating baseline session (is the daemon running?): %w", err)
+	}
+	baseline := make(map[string]string, len(bench.Corpus))
+	for _, q := range bench.Corpus {
+		var reply queryReply
+		if err := c.post("/query", map[string]any{"session": sess.Session, "sql": q.SQL}, &reply); err != nil {
+			return fmt.Errorf("baseline %s: %w", q.Name, err)
+		}
+		baseline[q.Name] = canonical(reply.Rows)
+	}
+	log.Printf("baseline recorded: %d corpus queries", len(bench.Corpus))
+
+	type stats struct {
+		queries    int64
+		mismatches int64
+		latencies  []time.Duration
+	}
+	results := make([]stats, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	// Sized for the worst case (every query of every client mismatching):
+	// a send must never block, or a result-corrupting server bug would
+	// deadlock the load client instead of failing it.
+	errs := make(chan error, clients*(1+rounds*len(bench.Corpus)))
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			combo := combos[i%len(combos)]
+			cl := &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}}
+			var mine struct {
+				Session string `json:"session"`
+			}
+			if err := cl.post("/session", map[string]any{
+				"mode": combo.mode, "profile": combo.profile, "vectorized": combo.vectorized,
+			}, &mine); err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				for _, q := range bench.Corpus {
+					t0 := time.Now()
+					var reply queryReply
+					if err := cl.post("/query", map[string]any{"session": mine.Session, "sql": q.SQL}, &reply); err != nil {
+						errs <- fmt.Errorf("client %d (%+v) %s: %w", i, combo, q.Name, err)
+						return
+					}
+					results[i].latencies = append(results[i].latencies, time.Since(t0))
+					results[i].queries++
+					if canonical(reply.Rows) != baseline[q.Name] {
+						results[i].mismatches++
+						errs <- fmt.Errorf("client %d (%+v) %s: rows differ from serial baseline", i, combo, q.Name)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	failed := false
+	for err := range errs {
+		failed = true
+		log.Printf("ERROR: %v", err)
+	}
+
+	var all []time.Duration
+	var total int64
+	for _, r := range results {
+		total += r.queries
+		all = append(all, r.latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return all[idx]
+	}
+	fmt.Printf("clients=%d rounds=%d queries=%d elapsed=%s\n", clients, rounds, total, elapsed.Round(time.Millisecond))
+	if elapsed > 0 {
+		fmt.Printf("throughput: %.1f queries/sec\n", float64(total)/elapsed.Seconds())
+	}
+	fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+
+	// Server-side cache effectiveness.
+	resp, err := c.http.Get(base + "/stats")
+	if err == nil {
+		defer resp.Body.Close()
+		var st server.Stats
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			fmt.Printf("server plan cache: %d hits / %d misses (%.1f%% hit rate), %d entries, %d evictions\n",
+				st.Cache.Hits, st.Cache.Misses, 100*st.Cache.HitRate(), st.Cache.Size, st.Cache.Evictions)
+			fmt.Printf("server queries by mode: %v\n", st.QueriesByMode)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("all responses matched the serial baseline")
+	return nil
+}

@@ -1,14 +1,21 @@
-// Command udfsh is an interactive shell over the bundled engine: type DDL
-// (CREATE TABLE / CREATE FUNCTION), INSERT rows, and run queries that
-// invoke UDFs under any of the three execution modes.
+// Command udfsh is an interactive shell over the bundled engine, running
+// through the same concurrent query service (and shared plan cache) as
+// udfserverd: type DDL (CREATE TABLE / CREATE FUNCTION), INSERT rows, and
+// run queries that invoke UDFs under any of the three execution modes.
+//
+// Non-interactive use: `udfsh -f script.sql` executes a statement script and
+// exits; piping a script on stdin (`udfsh < script.sql`) behaves the same —
+// prompts are suppressed whenever stdin is not a terminal, so CI and fixture
+// replay need no flags.
 //
 // Meta commands:
 //
 //	.mode iterative|rewrite|costbased   switch execution mode
 //	.vectorized on|off                  toggle the batch (vectorized) executor
-//	.profile sys1|sys2                  switch engine profile (resets data!)
+//	.profile sys1|sys2                  switch engine profile
 //	.explain <query>                    show plan choices for a query
 //	.rewrite <query>                    show the decorrelated SQL
+//	.stats                              plan-cache and per-mode query counters
 //	.help                               this text
 //	.quit
 //
@@ -17,23 +24,66 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"udfdecorr/internal/engine"
+	"udfdecorr/internal/server"
 	"udfdecorr/internal/sqlgen"
 )
 
-func main() {
-	e := engine.New(engine.SYS1, engine.ModeRewrite)
-	fmt.Println("udfdecorr shell — mode=rewrite profile=SYS1 (.help for commands)")
+// shell bundles the service, the single local session, and output settings.
+type shell struct {
+	svc         *server.Service
+	sess        *server.Session
+	interactive bool
+}
 
-	sc := bufio.NewScanner(os.Stdin)
+func main() {
+	scriptPath := flag.String("f", "", "execute the statement script and exit")
+	flag.Parse()
+
+	boot := engine.New(engine.SYS1, engine.ModeRewrite)
+	svc := server.NewServiceFromEngine(boot, server.DefaultOptions())
+	sh := &shell{svc: svc, sess: svc.CreateSession(engine.SYS1, engine.ModeRewrite)}
+
+	var in io.Reader = os.Stdin
+	if *scriptPath != "" {
+		f, err := os.Open(*scriptPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		sh.interactive = true
+	}
+
+	if sh.interactive {
+		fmt.Println("udfdecorr shell — mode=rewrite profile=SYS1 (.help for commands)")
+	}
+	if err := sh.repl(in); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// repl reads statements (and meta commands) until EOF or .quit. In script
+// mode an error aborts with a non-zero exit; interactively it is printed and
+// the loop continues.
+func (sh *shell) repl(in io.Reader) error {
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	prompt := func() {
+		if !sh.interactive {
+			return
+		}
 		if buf.Len() == 0 {
 			fmt.Print("udf> ")
 		} else {
@@ -45,9 +95,17 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
-			if !meta(e, trimmed) {
-				return
+			quit, err := sh.meta(trimmed)
+			if err != nil && !sh.interactive {
+				return err
 			}
+			if quit {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		if buf.Len() == 0 && trimmed == "" {
 			prompt()
 			continue
 		}
@@ -61,9 +119,21 @@ func main() {
 			continue
 		}
 		buf.Reset()
-		run(e, full)
+		if err := sh.run(full); err != nil {
+			if !sh.interactive {
+				return err
+			}
+			fmt.Println("error:", err)
+		}
 		prompt()
 	}
+	if rest := strings.TrimSpace(buf.String()); rest != "" {
+		// Script ended without a trailing ';' — run the remainder anyway.
+		if err := sh.run(rest); err != nil && !sh.interactive {
+			return err
+		}
+	}
+	return sc.Err()
 }
 
 // complete reports whether the buffered text forms a full statement: either
@@ -86,58 +156,72 @@ func complete(src string) bool {
 	return strings.HasSuffix(strings.TrimSpace(src), ";")
 }
 
-// meta executes a dot-command; returns false to exit.
-func meta(e *engine.Engine, cmd string) bool {
+// meta executes a dot-command; quit is true on .quit/.exit.
+func (sh *shell) meta(cmd string) (quit bool, err error) {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case ".quit", ".exit":
-		return false
+		return true, nil
 	case ".help":
 		fmt.Println(".mode iterative|rewrite|costbased — execution mode")
 		fmt.Println(".vectorized on|off                — batch executor")
+		fmt.Println(".profile sys1|sys2                — engine profile")
 		fmt.Println(".explain <query>                  — plan choices")
 		fmt.Println(".rewrite <query>                  — decorrelated SQL")
+		fmt.Println(".stats                            — plan cache + query counters")
 		fmt.Println(".quit")
 	case ".mode":
+		_, mode := sh.sess.Settings()
 		if len(fields) < 2 {
-			fmt.Println("current mode:", e.Mode)
+			fmt.Println("current mode:", mode)
 			break
 		}
-		switch fields[1] {
-		case "iterative":
-			e.Mode = engine.ModeIterative
-		case "rewrite":
-			e.Mode = engine.ModeRewrite
-		case "costbased":
-			e.Mode = engine.ModeCostBased
-		default:
-			fmt.Println("unknown mode", fields[1])
+		m, perr := server.ParseMode(fields[1])
+		if perr != nil {
+			fmt.Println(perr)
+			return false, perr
 		}
+		sh.sess.SetMode(m)
 	case ".vectorized":
+		profile, _ := sh.sess.Settings()
 		if len(fields) < 2 {
-			fmt.Println("vectorized:", e.Profile.Vectorized)
+			fmt.Println("vectorized:", profile.Vectorized)
 			break
 		}
 		switch fields[1] {
 		case "on", "true":
-			e.SetVectorized(true)
+			sh.sess.SetVectorized(true)
 		case "off", "false":
-			e.SetVectorized(false)
+			sh.sess.SetVectorized(false)
 		default:
 			fmt.Println("usage: .vectorized on|off")
 		}
-	case ".explain":
-		out, err := e.Explain(strings.TrimPrefix(cmd, ".explain "))
-		if err != nil {
-			fmt.Println("error:", err)
+	case ".profile":
+		profile, _ := sh.sess.Settings()
+		if len(fields) < 2 {
+			fmt.Println("current profile:", profile.Name)
 			break
+		}
+		p, perr := server.ParseProfile(fields[1])
+		if perr != nil {
+			fmt.Println(perr)
+			return false, perr
+		}
+		sh.sess.SetProfile(p)
+	case ".stats":
+		fmt.Print(sh.svc.Stats().Format())
+	case ".explain":
+		out, eerr := sh.svc.Explain(sh.sess, strings.TrimPrefix(cmd, ".explain "))
+		if eerr != nil {
+			fmt.Println("error:", eerr)
+			return false, eerr
 		}
 		fmt.Print(out)
 	case ".rewrite":
-		res, err := e.RewriteSQL(strings.TrimPrefix(cmd, ".rewrite "))
-		if err != nil {
-			fmt.Println("error:", err)
-			break
+		res, rerr := sh.sess.Engine().RewriteSQL(strings.TrimPrefix(cmd, ".rewrite "))
+		if rerr != nil {
+			fmt.Println("error:", rerr)
+			return false, rerr
 		}
 		if !res.Decorrelated {
 			fmt.Println("-- not fully decorrelated; query left unchanged")
@@ -146,39 +230,41 @@ func meta(e *engine.Engine, cmd string) bool {
 		for _, agg := range res.NewAggs {
 			fmt.Println(agg.SQL())
 		}
-		sql, err := sqlgen.Generate(res.Rel)
-		if err != nil {
-			fmt.Println("error:", err)
-			break
+		sql, gerr := sqlgen.Generate(res.Rel)
+		if gerr != nil {
+			fmt.Println("error:", gerr)
+			return false, gerr
 		}
 		fmt.Println(sql)
 	default:
 		fmt.Println("unknown command; .help for help")
 	}
-	return true
+	return false, nil
 }
 
-// run executes one SQL statement (DDL, INSERT, or query).
-func run(e *engine.Engine, src string) {
+// run executes one SQL statement (DDL, INSERT, or query) through the query
+// service, so the shared plan cache and the .stats counters see it.
+func (sh *shell) run(src string) error {
 	trimmed := strings.TrimSpace(src)
 	upper := strings.ToUpper(trimmed)
 	switch {
 	case strings.HasPrefix(upper, "SELECT"):
 		t0 := time.Now()
-		res, err := e.Query(trimmed)
+		res, err := sh.svc.Query(sh.sess, trimmed)
 		if err != nil {
-			fmt.Println("error:", err)
-			return
+			return err
 		}
 		fmt.Print(res.Format())
-		fmt.Printf("(%d rows, %s, rewritten=%v, udf calls=%d)\n",
+		fmt.Printf("(%d rows, %s, rewritten=%v, cached=%v, udf calls=%d)\n",
 			len(res.Rows), time.Since(t0).Round(time.Microsecond),
-			res.Rewritten, res.Counters.UDFCalls)
+			res.Rewritten, res.CacheHit, res.Counters.UDFCalls)
 	default:
-		if err := e.ExecScript(trimmed); err != nil {
-			fmt.Println("error:", err)
-			return
+		if err := sh.svc.Exec(sh.sess, trimmed); err != nil {
+			return err
 		}
-		fmt.Println("ok")
+		if sh.interactive {
+			fmt.Println("ok")
+		}
 	}
+	return nil
 }

@@ -1,0 +1,16 @@
+create table t (k int primary key, v float);
+insert into t values (1, 10.5);
+insert into t values (2, 20.0);
+insert into t values (3, 7.25);
+
+create function dbl(float x) returns float as
+begin
+  return x * 2.0;
+end
+
+select k, dbl(v) from t where k <= 2;
+.mode iterative
+select k, dbl(v) from t where k <= 2;
+.mode rewrite
+select k, dbl(v) from t where k <= 2;
+.stats

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"udfdecorr/internal/ast"
 	"udfdecorr/internal/sqltypes"
@@ -19,6 +20,11 @@ type Column struct {
 }
 
 // Table describes a base table.
+//
+// A *Table is effectively immutable once registered: the only mutation after
+// registration is AddIndex, which the catalog serializes under its lock and
+// which callers must not interleave with concurrent planning (the query
+// service takes its DDL write lock around index creation).
 type Table struct {
 	Name    string
 	Cols    []Column
@@ -91,6 +97,21 @@ func (a *Aggregate) SQL() string {
 	return b.String()
 }
 
+// Fingerprint renders the aggregate's full definition (everything except the
+// name) for content comparison and content-addressed naming.
+func (a *Aggregate) Fingerprint() string {
+	var b strings.Builder
+	for _, s := range a.State {
+		fmt.Fprintf(&b, "S:%s=%s;", s.Name, s.Init.String())
+	}
+	fmt.Fprintf(&b, "P:%s;", strings.Join(a.Params, ","))
+	for _, s := range a.Body {
+		fmt.Fprintf(&b, "B:%s;", s.SQL())
+	}
+	fmt.Fprintf(&b, "R:%s", a.Result)
+	return b.String()
+}
+
 // BuiltinAggregates is the set of aggregate function names the engine
 // implements natively.
 var BuiltinAggregates = map[string]bool{
@@ -98,10 +119,20 @@ var BuiltinAggregates = map[string]bool{
 }
 
 // Catalog is a named collection of tables, functions and aggregates.
+//
+// A Catalog is safe for concurrent use: lookups take a read lock and DDL
+// registration takes a write lock. The schema version counter increments on
+// every mutation that can change what plans a query text compiles to
+// (CREATE TABLE, CREATE FUNCTION, index creation); the query service uses it
+// to invalidate cached plans on DDL. Registering an auxiliary aggregate does
+// NOT bump the version: auxiliary aggregates are content-addressed artifacts
+// derived from existing functions and never invalidate an existing plan.
 type Catalog struct {
-	tables map[string]*Table
-	funcs  map[string]*Function
-	aggs   map[string]*Aggregate
+	mu      sync.RWMutex
+	version int64
+	tables  map[string]*Table
+	funcs   map[string]*Function
+	aggs    map[string]*Aggregate
 }
 
 // New returns an empty catalog.
@@ -113,13 +144,24 @@ func New() *Catalog {
 	}
 }
 
+// Version returns the schema version: it changes whenever a table or
+// function is added or an index is declared.
+func (c *Catalog) Version() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
 // AddTable registers a table; it is an error to register the same name twice.
 func (c *Catalog) AddTable(t *Table) error {
 	name := strings.ToLower(t.Name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.tables[name]; dup {
 		return fmt.Errorf("table %q already exists", t.Name)
 	}
 	c.tables[name] = t
+	c.version++
 	return nil
 }
 
@@ -138,14 +180,40 @@ func (c *Catalog) AddTableFromAST(stmt *ast.CreateTableStmt) (*Table, error) {
 	return t, nil
 }
 
+// AddIndex declares a secondary hash index on a column and bumps the schema
+// version (an index changes the physical plans the planner picks).
+func (c *Catalog) AddIndex(table, col string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("unknown table %q", table)
+	}
+	if t.ColIndex(col) < 0 {
+		return fmt.Errorf("table %q has no column %q", table, col)
+	}
+	for _, existing := range t.Indexes {
+		if existing == col {
+			return nil
+		}
+	}
+	t.Indexes = append(t.Indexes, col)
+	c.version++
+	return nil
+}
+
 // Table looks up a table by name (case-insensitive).
 func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[strings.ToLower(name)]
 	return t, ok
 }
 
 // Tables returns all tables sorted by name.
 func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]*Table, 0, len(c.tables))
 	for _, t := range c.tables {
 		out = append(out, t)
@@ -157,22 +225,29 @@ func (c *Catalog) Tables() []*Table {
 // AddFunction registers a UDF.
 func (c *Catalog) AddFunction(def *ast.CreateFunctionStmt) (*Function, error) {
 	name := strings.ToLower(def.Name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.funcs[name]; dup {
 		return nil, fmt.Errorf("function %q already exists", def.Name)
 	}
 	f := &Function{Def: def}
 	c.funcs[name] = f
+	c.version++
 	return f, nil
 }
 
 // Function looks up a UDF by name.
 func (c *Catalog) Function(name string) (*Function, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	f, ok := c.funcs[strings.ToLower(name)]
 	return f, ok
 }
 
 // Functions returns all UDFs sorted by name.
 func (c *Catalog) Functions() []*Function {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]*Function, 0, len(c.funcs))
 	for _, f := range c.funcs {
 		out = append(out, f)
@@ -183,6 +258,12 @@ func (c *Catalog) Functions() []*Function {
 
 // AddAggregate registers a user-defined aggregate.
 func (c *Catalog) AddAggregate(a *Aggregate) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addAggregateLocked(a)
+}
+
+func (c *Catalog) addAggregateLocked(a *Aggregate) error {
 	name := strings.ToLower(a.Name)
 	if BuiltinAggregates[name] {
 		return fmt.Errorf("aggregate %q shadows a builtin", a.Name)
@@ -194,8 +275,27 @@ func (c *Catalog) AddAggregate(a *Aggregate) error {
 	return nil
 }
 
+// EnsureAggregate registers an aggregate unless an identical definition is
+// already present (the check and the insert are one atomic step, so
+// concurrent rewrites of the same UDF can both call it). Auxiliary
+// aggregates are content-addressed (see core's synthAggName), so a name
+// collision with a different definition indicates corruption and fails.
+func (c *Catalog) EnsureAggregate(a *Aggregate) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.aggs[strings.ToLower(a.Name)]; ok {
+		if existing.Fingerprint() != a.Fingerprint() {
+			return fmt.Errorf("aggregate %q already exists with a different definition", a.Name)
+		}
+		return nil
+	}
+	return c.addAggregateLocked(a)
+}
+
 // Aggregate looks up a user-defined aggregate by name.
 func (c *Catalog) Aggregate(name string) (*Aggregate, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	a, ok := c.aggs[strings.ToLower(name)]
 	return a, ok
 }
@@ -207,6 +307,8 @@ func (c *Catalog) IsAggregate(name string) bool {
 	if BuiltinAggregates[n] {
 		return true
 	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	_, ok := c.aggs[n]
 	return ok
 }
@@ -214,6 +316,8 @@ func (c *Catalog) IsAggregate(name string) bool {
 // FreshName returns a name with the given prefix that collides with no
 // table, function, or aggregate in the catalog.
 func (c *Catalog) FreshName(prefix string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for i := 1; ; i++ {
 		name := fmt.Sprintf("%s_%d", prefix, i)
 		if _, ok := c.tables[name]; ok {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"sort"
 
 	"udfdecorr/internal/algebra"
@@ -8,6 +10,17 @@ import (
 	"udfdecorr/internal/catalog"
 	"udfdecorr/internal/ddg"
 )
+
+// synthAggName derives a content-addressed name for a synthesized auxiliary
+// aggregate. Deterministic naming makes aggregate registration idempotent:
+// two concurrent rewrites of the same UDF produce the same name for the same
+// definition, so the catalog's EnsureAggregate can de-duplicate them without
+// any risk of one query's plan resolving another query's aggregate body
+// (which sequence-numbered fresh names raced on).
+func synthAggName(def *catalog.Aggregate) string {
+	sum := sha256.Sum256([]byte(def.Fingerprint()))
+	return fmt.Sprintf("aux_agg_%x", sum[:4])
+}
 
 // stmts processes a top-level statement list over relation e (initially the
 // Single relation), returning the extended relation and the RETURN
@@ -425,18 +438,17 @@ func (b *UDFBuilder) scalarLoop(e algebra.Rel, loop *ast.WhileStmt, st *bodyStat
 	var calls []algebra.AggCall
 	var assigns []algebra.MergeAssign
 	for _, res := range results {
-		aggName := b.Cat.FreshName("aux_agg")
 		def := &catalog.Aggregate{
-			Name:   aggName,
 			State:  state,
 			Params: params,
 			Body:   suffix,
 			Result: res,
 		}
+		def.Name = synthAggName(def)
 		b.NewAggs = append(b.NewAggs, def)
 		b.rw.RegisterAux(def)
 		alias := b.rw.FreshName("agg")
-		calls = append(calls, algebra.AggCall{Func: aggName, Args: args, As: alias})
+		calls = append(calls, algebra.AggCall{Func: def.Name, Args: args, As: alias})
 		assigns = append(assigns, algebra.MergeAssign{Target: res, Source: alias})
 		delete(st.constInit, res)
 		delete(st.symdefs, res)

@@ -70,6 +70,15 @@ var (
 )
 
 // Engine is an in-memory SQL engine with procedural UDF support.
+//
+// Concurrency: Query, Explain, Prepare, Run and RewriteSQL are safe to call
+// concurrently from many goroutines on one Engine, PROVIDED no DDL or data
+// load runs concurrently (ExecScript, CreateIndex and Load require exclusive
+// access — the query service serializes them behind a write lock). The
+// Mode/Profile fields and SetVectorized are configuration, not runtime
+// switches: mutate them only while no queries are in flight. Sessions that
+// need distinct settings over the same data use NewShared to get independent
+// engine views of one catalog+store.
 type Engine struct {
 	Cat     *catalog.Catalog
 	Store   *storage.Store
@@ -81,9 +90,17 @@ type Engine struct {
 
 // New creates an empty engine.
 func New(profile Profile, mode Mode) *Engine {
+	return NewShared(catalog.New(), storage.NewStore(), profile, mode)
+}
+
+// NewShared creates an engine view over an existing catalog and store. Each
+// view has its own interpreter (and therefore its own embedded-plan cache)
+// and planner settings, so concurrent sessions with different modes,
+// profiles or executors can share one dataset.
+func NewShared(cat *catalog.Catalog, store *storage.Store, profile Profile, mode Mode) *Engine {
 	e := &Engine{
-		Cat:     catalog.New(),
-		Store:   storage.NewStore(),
+		Cat:     cat,
+		Store:   store,
 		Mode:    mode,
 		Profile: profile,
 	}
@@ -164,17 +181,11 @@ func (e *Engine) execInsert(ins *ast.InsertStmt) error {
 	return e.Load(ins.Table, []storage.Row{row})
 }
 
-// CreateIndex declares a secondary hash index on a column.
+// CreateIndex declares a secondary hash index on a column. This is DDL: it
+// bumps the catalog schema version (invalidating cached plans) and must not
+// run concurrently with queries.
 func (e *Engine) CreateIndex(table, col string) error {
-	meta, ok := e.Cat.Table(table)
-	if !ok {
-		return fmt.Errorf("unknown table %q", table)
-	}
-	if meta.ColIndex(col) < 0 {
-		return fmt.Errorf("table %q has no column %q", table, col)
-	}
-	meta.Indexes = append(meta.Indexes, col)
-	return nil
+	return e.Cat.AddIndex(table, col)
 }
 
 // Load appends rows to a table.
@@ -212,17 +223,46 @@ func (r *Result) Format() string {
 	return b.String()
 }
 
-// prepare parses, algebrizes and (depending on mode) rewrites a query,
-// returning the plan to execute.
-func (e *Engine) prepare(sql string) (exec.Node, bool, []string, error) {
+// Prepared is a compiled query: the physical plan plus everything needed to
+// execute or explain it. A Prepared is immutable and safe to execute
+// concurrently (and from different engine views sharing the same catalog and
+// store): all execution state flows through the per-call Ctx, so the query
+// service caches Prepared values across sessions.
+type Prepared struct {
+	Node      exec.Node
+	Cols      []string
+	Rewritten bool
+	Choices   []string
+}
+
+// Describe renders the plan description shown by EXPLAIN (shared by
+// Engine.Explain and the query service's /explain endpoint, so the two
+// surfaces cannot drift; the golden tests pin this format).
+func (p *Prepared) Describe(mode Mode, vectorized bool) string {
+	var b strings.Builder
+	executor := "row"
+	if vectorized {
+		executor = "vectorized"
+	}
+	fmt.Fprintf(&b, "mode: %s\nexecutor: %s\nrewritten: %v\n", mode, executor, p.Rewritten)
+	for _, c := range p.Choices {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	return b.String()
+}
+
+// Prepare parses, algebrizes and (depending on mode) rewrites a query,
+// returning the compiled plan. This is the per-invocation planning work the
+// plan cache amortizes.
+func (e *Engine) Prepare(sql string) (*Prepared, error) {
 	sel, err := parser.ParseQuery(sql)
 	if err != nil {
-		return nil, false, nil, err
+		return nil, err
 	}
 	alg := core.NewAlgebrizer(e.Cat)
 	rel, err := alg.Query(sel)
 	if err != nil {
-		return nil, false, nil, err
+		return nil, err
 	}
 
 	useRewrite := false
@@ -231,16 +271,16 @@ func (e *Engine) prepare(sql string) (exec.Node, bool, []string, error) {
 		d := core.NewDecorrelator(e.Cat)
 		res, err := d.Rewrite(rel)
 		if err != nil {
-			return nil, false, nil, err
+			return nil, err
 		}
-		if res.Decorrelated && len(res.InlinedUDFs) >= 0 {
+		if res.Decorrelated {
 			rewritten = res.Rel
 			useRewrite = true
 			for _, agg := range res.NewAggs {
-				if _, exists := e.Cat.Aggregate(agg.Name); !exists {
-					if err := e.Cat.AddAggregate(agg); err != nil {
-						return nil, false, nil, err
-					}
+				// Auxiliary aggregates are content-addressed, so the
+				// check-and-register is idempotent under concurrency.
+				if err := e.Cat.EnsureAggregate(agg); err != nil {
+					return nil, err
 				}
 			}
 		}
@@ -263,50 +303,49 @@ func (e *Engine) prepare(sql string) (exec.Node, bool, []string, error) {
 	target = core.Normalize(e.Cat, target)
 	node, choices, err := e.Planner.BuildExplain(target)
 	if err != nil {
-		return nil, false, nil, err
-	}
-	return node, useRewrite, choices, nil
-}
-
-// iterativeRowCost is the assumed per-row cost multiplier of invoking a UDF
-// iteratively (each invocation runs at least one embedded query).
-const iterativeRowCost = 50
-
-// Query executes a SELECT statement.
-func (e *Engine) Query(sql string) (*Result, error) {
-	node, rewrote, _, err := e.prepare(sql)
-	if err != nil {
-		return nil, err
-	}
-	ctx := exec.NewCtx(e.Interp)
-	rows, err := exec.Drain(node, ctx)
-	if err != nil {
 		return nil, err
 	}
 	cols := make([]string, len(node.Schema()))
 	for i, c := range node.Schema() {
 		cols[i] = c.Name
 	}
-	return &Result{Cols: cols, Rows: rows, Counters: *ctx.Counters, Rewritten: rewrote}, nil
+	return &Prepared{Node: node, Cols: cols, Rewritten: useRewrite, Choices: choices}, nil
+}
+
+// iterativeRowCost is the assumed per-row cost multiplier of invoking a UDF
+// iteratively (each invocation runs at least one embedded query).
+const iterativeRowCost = 50
+
+// Run executes a prepared query under a fresh context. The Prepared may
+// have been compiled by a different engine view over the same catalog and
+// store (the shared plan cache path): UDF calls resolve through this
+// engine's interpreter via the context.
+func (e *Engine) Run(p *Prepared) (*Result, error) {
+	ctx := exec.NewCtx(e.Interp)
+	rows, err := exec.Drain(p.Node, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: p.Cols, Rows: rows, Counters: *ctx.Counters, Rewritten: p.Rewritten}, nil
+}
+
+// Query executes a SELECT statement.
+func (e *Engine) Query(sql string) (*Result, error) {
+	p, err := e.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(p)
 }
 
 // Explain returns a description of the chosen plan: whether the query was
 // rewritten and which physical operators were selected.
 func (e *Engine) Explain(sql string) (string, error) {
-	_, rewrote, choices, err := e.prepare(sql)
+	p, err := e.Prepare(sql)
 	if err != nil {
 		return "", err
 	}
-	var b strings.Builder
-	executor := "row"
-	if e.Profile.Vectorized {
-		executor = "vectorized"
-	}
-	fmt.Fprintf(&b, "mode: %s\nexecutor: %s\nrewritten: %v\n", e.Mode, executor, rewrote)
-	for _, c := range choices {
-		fmt.Fprintf(&b, "  %s\n", c)
-	}
-	return b.String(), nil
+	return p.Describe(e.Mode, e.Profile.Vectorized), nil
 }
 
 // RewriteSQL runs only the rewrite pipeline and reports the decorrelated

@@ -74,7 +74,7 @@ func (s *batchScanIter) Close() error { return nil }
 // BatchFilter keeps the rows whose predicate evaluates to TRUE, refining the
 // selection vector instead of copying data.
 type BatchFilter struct {
-	Pred  VecPredicate
+	Pred  PredFactory
 	Child Node
 }
 
@@ -90,7 +90,7 @@ func (f *BatchFilter) OpenBatch(ctx *Ctx) (BatchIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &batchFilterIter{pred: f.Pred, in: in, ctx: ctx}, nil
+	return &batchFilterIter{pred: f.Pred(), in: in, ctx: ctx}, nil
 }
 
 type batchFilterIter struct {
@@ -140,14 +140,14 @@ func (f *batchFilterIter) Close() error { return f.in.Close() }
 // results stay aligned with the input batch's physical positions, so the
 // selection vector carries over without copying.
 type BatchProject struct {
-	Exprs  []VecEvaluator
+	Exprs  []VecFactory
 	Dedup  bool
 	Child  Node
 	schema []algebra.Column
 }
 
 // NewBatchProject builds a vectorized projection node.
-func NewBatchProject(exprs []VecEvaluator, dedup bool, child Node, schema []algebra.Column) *BatchProject {
+func NewBatchProject(exprs []VecFactory, dedup bool, child Node, schema []algebra.Column) *BatchProject {
 	return &BatchProject{Exprs: exprs, Dedup: dedup, Child: child, schema: schema}
 }
 
@@ -163,7 +163,7 @@ func (p *BatchProject) OpenBatch(ctx *Ctx) (BatchIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	pi := &batchProjectIter{exprs: p.Exprs, in: in, ctx: ctx}
+	pi := &batchProjectIter{exprs: Instantiate(p.Exprs), in: in, ctx: ctx}
 	if p.Dedup {
 		pi.seen = map[string]bool{}
 	}
@@ -299,15 +299,15 @@ func (l *batchLimitIter) Close() error { return l.in.Close() }
 // outer/semi/anti match bookkeeping stays exact.
 type BatchHashJoin struct {
 	Kind     algebra.JoinKind
-	LKeys    []VecEvaluator
-	RKeys    []VecEvaluator
+	LKeys    []VecFactory
+	RKeys    []VecFactory
 	Residual Evaluator // over concat(L, R); nil when none
 	L, R     Node
 	schema   []algebra.Column
 }
 
 // NewBatchHashJoin builds a vectorized hash join node.
-func NewBatchHashJoin(kind algebra.JoinKind, lkeys, rkeys []VecEvaluator, residual Evaluator, l, r Node) *BatchHashJoin {
+func NewBatchHashJoin(kind algebra.JoinKind, lkeys, rkeys []VecFactory, residual Evaluator, l, r Node) *BatchHashJoin {
 	return &BatchHashJoin{Kind: kind, LKeys: lkeys, RKeys: rkeys, Residual: residual,
 		L: l, R: r, schema: joinSchema(kind, l, r)}
 }
@@ -331,8 +331,9 @@ func (j *BatchHashJoin) OpenBatch(ctx *Ctx) (BatchIter, error) {
 	table := make(map[string][]storage.Row)
 	intTable := make(map[int64][]storage.Row)
 	intsOnly := len(j.RKeys) == 1
-	keyVecs := make([][]sqltypes.Value, len(j.RKeys))
-	keyBuf := make([]sqltypes.Value, len(j.RKeys))
+	rkeys := Instantiate(j.RKeys)
+	keyVecs := make([][]sqltypes.Value, len(rkeys))
+	keyBuf := make([]sqltypes.Value, len(rkeys))
 	for {
 		b, ok, err := ri.NextBatch(DefaultBatchSize)
 		if err != nil {
@@ -341,7 +342,7 @@ func (j *BatchHashJoin) OpenBatch(ctx *Ctx) (BatchIter, error) {
 		if !ok {
 			break
 		}
-		for i, k := range j.RKeys {
+		for i, k := range rkeys {
 			v, err := k(ctx, b)
 			if err != nil {
 				return nil, err
@@ -387,13 +388,15 @@ func (j *BatchHashJoin) OpenBatch(ctx *Ctx) (BatchIter, error) {
 		return nil, err
 	}
 	return &batchHashJoinIter{j: j, ctx: ctx, li: li, table: table,
-		intTable: intTable, intsOnly: intsOnly, rWidth: len(j.R.Schema())}, nil
+		lkeys: Instantiate(j.LKeys), intTable: intTable, intsOnly: intsOnly,
+		rWidth: len(j.R.Schema())}, nil
 }
 
 type batchHashJoinIter struct {
 	j        *BatchHashJoin
 	ctx      *Ctx
 	li       BatchIter
+	lkeys    []VecEvaluator
 	table    map[string][]storage.Row
 	intTable map[int64][]storage.Row
 	intsOnly bool
@@ -426,7 +429,7 @@ func (it *batchHashJoinIter) NextBatch(max int) (*Batch, bool, error) {
 	width := len(j.schema)
 	if it.out == nil {
 		it.out = NewBatch(width, max)
-		it.keyBuf = make([]sqltypes.Value, len(j.LKeys))
+		it.keyBuf = make([]sqltypes.Value, len(it.lkeys))
 	}
 	out := it.out
 	out.Sel = nil
@@ -473,9 +476,9 @@ func (it *batchHashJoinIter) NextBatch(max int) (*Batch, bool, error) {
 				return nil, false, nil
 			}
 			if it.keyVecs == nil {
-				it.keyVecs = make([][]sqltypes.Value, len(j.LKeys))
+				it.keyVecs = make([][]sqltypes.Value, len(it.lkeys))
 			}
-			for i, k := range j.LKeys {
+			for i, k := range it.lkeys {
 				v, err := k(it.ctx, b)
 				if err != nil {
 					return nil, false, err
@@ -552,14 +555,14 @@ func (it *batchHashJoinIter) Close() error { return it.li.Close() }
 // output for empty input) are identical.
 type BatchScalarAgg struct {
 	Aggs   []*AggSpec // compiled row specs (used for state construction)
-	Args   [][]VecEvaluator
+	Args   [][]VecFactory
 	Child  Node
 	schema []algebra.Column
 }
 
 // NewBatchScalarAgg builds a vectorized scalar aggregation. args[i] are the
 // batched argument evaluators of Aggs[i].
-func NewBatchScalarAgg(aggs []*AggSpec, args [][]VecEvaluator, child Node, schema []algebra.Column) *BatchScalarAgg {
+func NewBatchScalarAgg(aggs []*AggSpec, args [][]VecFactory, child Node, schema []algebra.Column) *BatchScalarAgg {
 	return &BatchScalarAgg{Aggs: aggs, Args: args, Child: child, schema: schema}
 }
 
@@ -584,8 +587,10 @@ func (a *BatchScalarAgg) OpenBatch(ctx *Ctx) (BatchIter, error) {
 		}
 		states[i] = st
 	}
+	argEvs := make([][]VecEvaluator, len(a.Aggs))
 	argVecs := make([][][]sqltypes.Value, len(a.Aggs))
 	for i := range argVecs {
+		argEvs[i] = Instantiate(a.Args[i])
 		argVecs[i] = make([][]sqltypes.Value, len(a.Args[i]))
 	}
 	var rowArgs []sqltypes.Value
@@ -598,7 +603,7 @@ func (a *BatchScalarAgg) OpenBatch(ctx *Ctx) (BatchIter, error) {
 			break
 		}
 		for i := range a.Aggs {
-			for c, ev := range a.Args[i] {
+			for c, ev := range argEvs[i] {
 				v, err := ev(ctx, b)
 				if err != nil {
 					return nil, err

@@ -285,7 +285,7 @@ func TestBatchHashJoinEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				rowPlan := NewHashJoin(kind, []Evaluator{lKeyRow}, []Evaluator{rKeyRow}, residual, l, r)
-				batchPlan := NewBatchHashJoin(kind, []VecEvaluator{lKeyVec}, []VecEvaluator{rKeyVec}, residual, l, r)
+				batchPlan := NewBatchHashJoin(kind, []VecFactory{lKeyVec}, []VecFactory{rKeyVec}, residual, l, r)
 				want, err := Drain(rowPlan, NewCtx(nil))
 				if err != nil {
 					t.Fatal(err)
@@ -325,10 +325,10 @@ func TestBatchScalarAggEquivalence(t *testing.T) {
 				outSchema[i] = algebra.Column{Name: "agg"}
 			}
 			rowSpecs := make([]*AggSpec, len(tc.aggs))
-			vecArgs := make([][]VecEvaluator, len(tc.aggs))
+			vecArgs := make([][]VecFactory, len(tc.aggs))
 			for i, a := range tc.aggs {
 				spec := &AggSpec{Func: a.Func}
-				var vecs []VecEvaluator
+				var vecs []VecFactory
 				for _, arg := range a.Args {
 					rowEv, err := Compile(arg, sc, nil)
 					if err != nil {

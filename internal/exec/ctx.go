@@ -24,11 +24,14 @@ type Counters struct {
 
 // Ctx is the per-query execution context: a stack of variable frames
 // (UDF locals, bind parameters, correlation values), the UDF interpreter,
-// and metric counters. A Ctx is not safe for concurrent use.
+// the UDF call depth, and metric counters. A Ctx is not safe for concurrent
+// use; concurrent queries each get their own Ctx (all cross-query state —
+// catalog, storage, cached plans — lives behind locks in those packages).
 type Ctx struct {
 	frames   []map[string]sqltypes.Value
 	Interp   *Interp
 	Counters *Counters
+	depth    int // current UDF call nesting (bounded by maxCallDepth)
 }
 
 // NewCtx returns a context with one (global) frame.

@@ -24,14 +24,20 @@ const maxCallDepth = 64
 // SELECT; when CachePlans is set, plans are cached per statement (profile
 // SYS1), otherwise every invocation re-plans (profile SYS2, modelling a
 // system with heavier per-invocation overhead).
+//
+// An Interp is safe for concurrent use by multiple queries: the only
+// mutable state it owns is the embedded-plan cache, guarded by mu. All
+// per-invocation state (variable frames, call depth, counters, cursors)
+// lives in the Ctx each caller supplies, and cached plan Nodes are immutable
+// after construction (each Open yields an independent iterator). Fields are
+// set once at construction and must not be reassigned afterwards.
 type Interp struct {
 	Cat        *catalog.Catalog
 	PlanSelect func(sel *ast.SelectStmt) (Node, error)
 	CachePlans bool
 
-	mu        sync.Mutex
+	mu        sync.Mutex // guards planCache
 	planCache map[*ast.SelectStmt]Node
-	depth     int
 }
 
 // NewInterp builds an interpreter over a catalog.
@@ -112,9 +118,9 @@ func (in *Interp) CallScalar(ctx *Ctx, name string, args []sqltypes.Value) (sqlt
 	if len(args) != len(fn.Def.Params) {
 		return sqltypes.Null, Errorf("function %q expects %d args, got %d", name, len(fn.Def.Params), len(args))
 	}
-	in.depth++
-	defer func() { in.depth-- }()
-	if in.depth > maxCallDepth {
+	ctx.depth++
+	defer func() { ctx.depth-- }()
+	if ctx.depth > maxCallDepth {
 		return sqltypes.Null, Errorf("UDF call depth exceeded in %q", name)
 	}
 	ctx.Counters.UDFCalls++
@@ -146,9 +152,9 @@ func (in *Interp) CallTable(ctx *Ctx, name string, args []sqltypes.Value) ([]sto
 	if len(args) != len(fn.Def.Params) {
 		return nil, Errorf("function %q expects %d args, got %d", name, len(fn.Def.Params), len(args))
 	}
-	in.depth++
-	defer func() { in.depth-- }()
-	if in.depth > maxCallDepth {
+	ctx.depth++
+	defer func() { ctx.depth-- }()
+	if ctx.depth > maxCallDepth {
 		return nil, Errorf("UDF call depth exceeded in %q", name)
 	}
 	ctx.Counters.UDFCalls++

@@ -9,162 +9,182 @@ import (
 // three-valued truth bytes instead of boolean Values: filters never
 // materialize boolean vectors (and never pay pointer write barriers for
 // them). out has the batch's physical length and is meaningful only at live
-// positions.
+// positions. Like VecEvaluator, an instance owns scratch buffers and is not
+// safe for concurrent use; plans hold PredFactory values and instantiate per
+// execution.
 type VecPredicate func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error
 
-// CompilePred translates a predicate expression into a batched three-valued
-// evaluator. Comparisons, AND/OR, NOT and IS NULL compile natively (with the
-// same masked short-circuit semantics as CompileVec); any other expression
-// evaluates through CompileVec and converts with TriOf, exactly as the row
-// engine's filter does.
-func CompilePred(e algebra.Expr, schema []algebra.Column, r CallResolver) (VecPredicate, error) {
+// PredFactory instantiates a per-execution VecPredicate.
+type PredFactory func() VecPredicate
+
+// CompilePred translates a predicate expression into a factory of batched
+// three-valued evaluators. Comparisons, AND/OR, NOT and IS NULL compile
+// natively (with the same masked short-circuit semantics as CompileVec); any
+// other expression evaluates through CompileVec and converts with TriOf,
+// exactly as the row engine's filter does.
+func CompilePred(e algebra.Expr, schema []algebra.Column, r CallResolver) (PredFactory, error) {
 	switch x := e.(type) {
 	case *algebra.Cmp:
-		l, err := CompileVec(x.L, schema, r)
+		lF, err := CompileVec(x.L, schema, r)
 		if err != nil {
 			return nil, err
 		}
-		rhs, err := CompileVec(x.R, schema, r)
+		rF, err := CompileVec(x.R, schema, r)
 		if err != nil {
 			return nil, err
 		}
 		op := x.Op
 		accepts, haveTable := cmpAccepts(op)
-		return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
-			lv, err := l(ctx, b)
-			if err != nil {
-				return err
-			}
-			rv, err := rhs(ctx, b)
-			if err != nil {
-				return err
-			}
-			n := b.Len()
-			for i := 0; i < n; i++ {
-				p := b.LiveAt(i)
-				a, c := lv[p], rv[p]
-				if haveTable {
-					if cmp, ok := numericThreeWay(a, c); ok {
-						if accepts[cmp+1] {
-							out[p] = sqltypes.True
-						} else {
-							out[p] = sqltypes.False
-						}
-						continue
-					}
+		return func() VecPredicate {
+			l, rhs := lF(), rF()
+			return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
+				lv, err := l(ctx, b)
+				if err != nil {
+					return err
 				}
-				out[p] = sqltypes.Cmp(op, a, c)
+				rv, err := rhs(ctx, b)
+				if err != nil {
+					return err
+				}
+				n := b.Len()
+				for i := 0; i < n; i++ {
+					p := b.LiveAt(i)
+					a, c := lv[p], rv[p]
+					if haveTable {
+						if cmp, ok := numericThreeWay(a, c); ok {
+							if accepts[cmp+1] {
+								out[p] = sqltypes.True
+							} else {
+								out[p] = sqltypes.False
+							}
+							continue
+						}
+					}
+					out[p] = sqltypes.Cmp(op, a, c)
+				}
+				return nil
 			}
-			return nil
 		}, nil
 
 	case *algebra.Logic:
-		l, err := CompilePred(x.L, schema, r)
+		lF, err := CompilePred(x.L, schema, r)
 		if err != nil {
 			return nil, err
 		}
-		rhs, err := CompilePred(x.R, schema, r)
+		rF, err := CompilePred(x.R, schema, r)
 		if err != nil {
 			return nil, err
 		}
 		isAnd := x.Op == algebra.LogicAnd
-		var need []int
-		var rt []sqltypes.Tri
-		return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
-			if err := l(ctx, b, out); err != nil {
-				return err
-			}
-			need = need[:0]
-			n := b.Len()
-			for i := 0; i < n; i++ {
-				p := b.LiveAt(i)
-				lt := out[p]
-				// Same short-circuit mask as the row engine: AND skips the
-				// right side only when the left is False, OR only when True.
-				if isAnd && lt == sqltypes.False {
-					continue
+		return func() VecPredicate {
+			l, rhs := lF(), rF()
+			var need []int
+			var rt []sqltypes.Tri
+			return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
+				if err := l(ctx, b, out); err != nil {
+					return err
 				}
-				if !isAnd && lt == sqltypes.True {
-					continue
+				need = need[:0]
+				n := b.Len()
+				for i := 0; i < n; i++ {
+					p := b.LiveAt(i)
+					lt := out[p]
+					// Same short-circuit mask as the row engine: AND skips the
+					// right side only when the left is False, OR only when True.
+					if isAnd && lt == sqltypes.False {
+						continue
+					}
+					if !isAnd && lt == sqltypes.True {
+						continue
+					}
+					need = append(need, p)
 				}
-				need = append(need, p)
-			}
-			if len(need) == 0 {
+				if len(need) == 0 {
+					return nil
+				}
+				if cap(rt) < len(out) {
+					rt = make([]sqltypes.Tri, len(out))
+				}
+				rt = rt[:len(out)]
+				if err := rhs(ctx, b.Narrow(need), rt); err != nil {
+					return err
+				}
+				for _, p := range need {
+					if isAnd {
+						out[p] = out[p].And(rt[p])
+					} else {
+						out[p] = out[p].Or(rt[p])
+					}
+				}
 				return nil
 			}
-			if cap(rt) < len(out) {
-				rt = make([]sqltypes.Tri, len(out))
-			}
-			rt = rt[:len(out)]
-			if err := rhs(ctx, b.Narrow(need), rt); err != nil {
-				return err
-			}
-			for _, p := range need {
-				if isAnd {
-					out[p] = out[p].And(rt[p])
-				} else {
-					out[p] = out[p].Or(rt[p])
-				}
-			}
-			return nil
 		}, nil
 
 	case *algebra.Not:
-		inner, err := CompilePred(x.E, schema, r)
+		innerF, err := CompilePred(x.E, schema, r)
 		if err != nil {
 			return nil, err
 		}
-		return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
-			if err := inner(ctx, b, out); err != nil {
-				return err
+		return func() VecPredicate {
+			inner := innerF()
+			return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
+				if err := inner(ctx, b, out); err != nil {
+					return err
+				}
+				n := b.Len()
+				for i := 0; i < n; i++ {
+					p := b.LiveAt(i)
+					out[p] = out[p].Not()
+				}
+				return nil
 			}
-			n := b.Len()
-			for i := 0; i < n; i++ {
-				p := b.LiveAt(i)
-				out[p] = out[p].Not()
-			}
-			return nil
 		}, nil
 
 	case *algebra.IsNull:
-		inner, err := CompileVec(x.E, schema, r)
+		innerF, err := CompileVec(x.E, schema, r)
 		if err != nil {
 			return nil, err
 		}
 		neg := x.Neg
-		return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
-			iv, err := inner(ctx, b)
-			if err != nil {
-				return err
-			}
-			n := b.Len()
-			for i := 0; i < n; i++ {
-				p := b.LiveAt(i)
-				if iv[p].IsNull() != neg {
-					out[p] = sqltypes.True
-				} else {
-					out[p] = sqltypes.False
+		return func() VecPredicate {
+			inner := innerF()
+			return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
+				iv, err := inner(ctx, b)
+				if err != nil {
+					return err
 				}
+				n := b.Len()
+				for i := 0; i < n; i++ {
+					p := b.LiveAt(i)
+					if iv[p].IsNull() != neg {
+						out[p] = sqltypes.True
+					} else {
+						out[p] = sqltypes.False
+					}
+				}
+				return nil
 			}
-			return nil
 		}, nil
 
 	default:
-		ev, err := CompileVec(e, schema, r)
+		evF, err := CompileVec(e, schema, r)
 		if err != nil {
 			return nil, err
 		}
-		return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
-			v, err := ev(ctx, b)
-			if err != nil {
-				return err
+		return func() VecPredicate {
+			ev := evF()
+			return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
+				v, err := ev(ctx, b)
+				if err != nil {
+					return err
+				}
+				n := b.Len()
+				for i := 0; i < n; i++ {
+					p := b.LiveAt(i)
+					out[p] = sqltypes.TriOf(v[p])
+				}
+				return nil
 			}
-			n := b.Len()
-			for i := 0; i < n; i++ {
-				p := b.LiveAt(i)
-				out[p] = sqltypes.TriOf(v[p])
-			}
-			return nil
 		}, nil
 	}
 }

@@ -406,8 +406,8 @@ func (p *Planner) buildHashJoin(n *algebra.Join, equi []equiPair, residual algeb
 		kind = algebra.InnerJoin
 	}
 	if p.Vectorized {
-		lkeys := make([]exec.VecEvaluator, len(equi))
-		rkeys := make([]exec.VecEvaluator, len(equi))
+		lkeys := make([]exec.VecFactory, len(equi))
+		rkeys := make([]exec.VecFactory, len(equi))
 		for i, pr := range equi {
 			le, err := exec.CompileVec(pr.l, l.Schema(), p)
 			if err != nil {
@@ -500,7 +500,7 @@ func (p *Planner) buildGroupBy(n *algebra.GroupBy) (exec.Node, error) {
 // user-defined aggregates keep the row operator (ok=false).
 func (p *Planner) buildBatchScalarAgg(n *algebra.GroupBy, child exec.Node) (exec.Node, bool, error) {
 	aggs := make([]*exec.AggSpec, len(n.Aggs))
-	args := make([][]exec.VecEvaluator, len(n.Aggs))
+	args := make([][]exec.VecFactory, len(n.Aggs))
 	for i, a := range n.Aggs {
 		if a.Distinct {
 			return nil, false, nil
@@ -512,7 +512,7 @@ func (p *Planner) buildBatchScalarAgg(n *algebra.GroupBy, child exec.Node) (exec
 		// for state construction; BatchScalarAgg evaluates arguments
 		// exclusively through the batched evaluators.
 		spec := &exec.AggSpec{Func: a.Func, Args: make([]exec.Evaluator, len(a.Args))}
-		vecs := make([]exec.VecEvaluator, len(a.Args))
+		vecs := make([]exec.VecFactory, len(a.Args))
 		for j, arg := range a.Args {
 			ev, err := exec.CompileVec(arg, child.Schema(), p)
 			if err != nil {

@@ -35,6 +35,14 @@ func DefaultCosts() Costs {
 }
 
 // Planner builds physical plans.
+//
+// A Planner is safe for concurrent Build/BuildExplain calls: each call runs
+// on a private fork carrying the per-build scratch state (the choice log and
+// the correlation-parameter sequence), while the shared fields (catalog,
+// store, interpreter, cost model, Vectorized) are read-only after
+// construction. Do not mutate Cost or Vectorized while queries are in
+// flight; the query service builds a fresh engine view per settings change
+// instead.
 type Planner struct {
 	Cat    *catalog.Catalog
 	Store  *storage.Store
@@ -46,7 +54,11 @@ type Planner struct {
 	// remains executable.
 	Vectorized bool
 
-	// Explain, when non-nil, collects physical operator choices.
+	// Per-build scratch state; only ever touched on a fork (see fork).
+	// choices collects physical operator choices for EXPLAIN; corrSeq
+	// numbers correlation parameters uniquely within one build (the Apply
+	// operator scopes them in a fresh frame, so cross-plan reuse of the
+	// same parameter name is harmless).
 	choices []string
 	corrSeq int
 }
@@ -56,17 +68,25 @@ func New(cat *catalog.Catalog, store *storage.Store, interp *exec.Interp) *Plann
 	return &Planner{Cat: cat, Store: store, Interp: interp, Cost: DefaultCosts()}
 }
 
+// fork returns a shallow copy with cleared per-build state, so concurrent
+// builds on the same planner never share mutable fields.
+func (p *Planner) fork() *Planner {
+	cp := *p
+	cp.choices = nil
+	cp.corrSeq = 0
+	return &cp
+}
+
 // Build compiles a logical tree into an executable plan.
 func (p *Planner) Build(rel algebra.Rel) (exec.Node, error) {
-	p.choices = nil
-	return p.build(rel)
+	return p.fork().build(rel)
 }
 
 // BuildExplain compiles and also returns the physical choice log.
 func (p *Planner) BuildExplain(rel algebra.Rel) (exec.Node, []string, error) {
-	p.choices = nil
-	n, err := p.build(rel)
-	return n, p.choices, err
+	f := p.fork()
+	n, err := f.build(rel)
+	return n, f.choices, err
 }
 
 func (p *Planner) note(format string, args ...any) {

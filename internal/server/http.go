@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"udfdecorr/internal/engine"
+)
+
+// NewHandler builds the HTTP/JSON API over a service:
+//
+//	POST /session  {"mode","profile","vectorized"}  -> {"session"}
+//	POST /session/close {"session"}                 -> {"ok"}
+//	POST /query    {"session","sql"}                -> rows + metadata
+//	POST /exec     {"session","script"}             -> {"ok"}
+//	POST /explain  {"session","sql"}                -> {"explain"}
+//	GET  /stats                                     -> Stats
+//
+// The empty session ID addresses a shared default session (SYS1, rewrite
+// mode). Row values are rendered in SQL literal syntax (strings quoted,
+// NULL bare) so clients can compare results unambiguously.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) { handleSession(svc, w, r) })
+	mux.HandleFunc("/session/close", func(w http.ResponseWriter, r *http.Request) { handleSessionClose(svc, w, r) })
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { handleQuery(svc, w, r) })
+	mux.HandleFunc("/exec", func(w http.ResponseWriter, r *http.Request) { handleExec(svc, w, r) })
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { handleExplain(svc, w, r) })
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(svc, w, r) })
+	return mux
+}
+
+type sessionRequest struct {
+	Mode       string `json:"mode"`
+	Profile    string `json:"profile"`
+	Vectorized bool   `json:"vectorized"`
+}
+
+type sessionResponse struct {
+	Session    string `json:"session"`
+	Mode       string `json:"mode"`
+	Profile    string `json:"profile"`
+	Vectorized bool   `json:"vectorized"`
+}
+
+type queryRequest struct {
+	Session string `json:"session"`
+	SQL     string `json:"sql"`
+}
+
+type queryResponse struct {
+	Cols       []string   `json:"cols"`
+	Rows       [][]string `json:"rows"`
+	RowCount   int        `json:"row_count"`
+	Rewritten  bool       `json:"rewritten"`
+	CacheHit   bool       `json:"cache_hit"`
+	ElapsedUS  int64      `json:"elapsed_us"`
+	UDFCalls   int64      `json:"udf_calls"`
+	PlanBuilds int64      `json:"plan_builds"`
+}
+
+type execRequest struct {
+	Session string `json:"session"`
+	Script  string `json:"script"`
+}
+
+type explainResponse struct {
+	Explain string `json:"explain"`
+}
+
+type okResponse struct {
+	OK bool `json:"ok"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodePost rejects non-POST methods and parses the JSON body into v.
+func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func resolveSession(svc *Service, w http.ResponseWriter, id string) (*Session, bool) {
+	sess, ok := svc.Session(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+func handleSession(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	profile := engine.SYS1
+	if req.Profile != "" {
+		p, err := ParseProfile(req.Profile)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		profile = p
+	}
+	mode := engine.ModeRewrite
+	if req.Mode != "" {
+		m, err := ParseMode(req.Mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		mode = m
+	}
+	profile.Vectorized = req.Vectorized
+	sess := svc.CreateSession(profile, mode)
+	writeJSON(w, http.StatusOK, sessionResponse{
+		Session:    sess.ID,
+		Mode:       mode.String(),
+		Profile:    profile.Name,
+		Vectorized: profile.Vectorized,
+	})
+}
+
+func handleSessionClose(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	svc.CloseSession(req.Session)
+	writeJSON(w, http.StatusOK, okResponse{OK: true})
+}
+
+func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	sess, ok := resolveSession(svc, w, req.Session)
+	if !ok {
+		return
+	}
+	res, err := svc.Query(sess, req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rows := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		out := make([]string, len(row))
+		for j, v := range row {
+			out[j] = v.String()
+		}
+		rows[i] = out
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Cols:       res.Cols,
+		Rows:       rows,
+		RowCount:   len(rows),
+		Rewritten:  res.Rewritten,
+		CacheHit:   res.CacheHit,
+		ElapsedUS:  res.Elapsed.Microseconds(),
+		UDFCalls:   res.Counters.UDFCalls,
+		PlanBuilds: res.Counters.PlanBuilds,
+	})
+}
+
+func handleExec(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	sess, ok := resolveSession(svc, w, req.Session)
+	if !ok {
+		return
+	}
+	if err := svc.Exec(sess, req.Script); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, okResponse{OK: true})
+}
+
+func handleExplain(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	sess, ok := resolveSession(svc, w, req.Session)
+	if !ok {
+		return
+	}
+	out, err := svc.Explain(sess, req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{Explain: out})
+}
+
+func handleStats(svc *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, svc.Stats())
+}

@@ -1,0 +1,74 @@
+package server
+
+import "strings"
+
+// NormalizeSQL canonicalizes a query text for plan-cache keying: comments
+// are stripped and runs of whitespace collapse to a single space (both only
+// outside string literals, mirroring the lexer exactly), and leading and
+// trailing whitespace plus one trailing semicolon are dropped. The
+// normalization is strictly semantics-preserving — bytes inside
+// single-quoted literals (including ” escapes) are kept verbatim, so two
+// queries that differ only inside a literal never share a cache key, and
+// identifier case is left untouched so result-column header casing is not
+// unified across distinct spellings. Comment stripping matters for
+// correctness, not just hit rate: a `--` comment runs to end of line, so
+// collapsing the newline without removing the comment would merge queries
+// that parse differently.
+func NormalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if inStr {
+			b.WriteByte(c)
+			if c == '\'' {
+				if i+1 < len(sql) && sql[i+1] == '\'' {
+					b.WriteByte('\'')
+					i++
+				} else {
+					inStr = false
+				}
+			}
+			continue
+		}
+		switch {
+		case c == '-' && i+1 < len(sql) && sql[i+1] == '-':
+			// Line comment: runs to end of line (or EOF), like the lexer.
+			for i < len(sql) && sql[i] != '\n' {
+				i++
+			}
+			i-- // the newline (if any) is handled as whitespace next round
+			pendingSpace = true
+		case c == '/' && i+1 < len(sql) && sql[i+1] == '*':
+			end := strings.Index(sql[i+2:], "*/")
+			if end < 0 {
+				// Unterminated block comment: the lexer rejects this query,
+				// so keep the raw text as its own key — stripping to EOF
+				// would collide it with the valid query's key and serve
+				// cached rows for text that must error.
+				return strings.TrimSpace(sql)
+			}
+			i += 2 + end + 1 // loop increment steps past the trailing '/'
+			pendingSpace = true
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v':
+			pendingSpace = true
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			if c == '\'' {
+				inStr = true
+			}
+			b.WriteByte(c)
+		}
+	}
+	if inStr {
+		// Unterminated string literal: invalid query, raw text as key (see
+		// the unterminated-block-comment case).
+		return strings.TrimSpace(sql)
+	}
+	return strings.TrimSpace(strings.TrimSuffix(b.String(), ";"))
+}

@@ -1,0 +1,432 @@
+// Package server is the concurrent query service: it wraps the engine in a
+// session manager (per-session mode/profile/executor settings over one
+// shared catalog+storage), a shared bounded LRU plan/rewrite cache keyed by
+// normalized query text × mode × profile × executor × catalog version, a
+// reader/writer DDL gate, and a worker-pool admission limit. This turns the
+// paper's SYS1 "cached plans" behavior into a first-class subsystem: repeat
+// queries skip parsing, algebrization, decorrelation and physical planning
+// entirely, across any number of concurrent clients.
+//
+// Locking order (outermost first): admission slot → ddl gate → session lock
+// → catalog/storage/cache internal locks. Queries hold the ddl gate in read
+// mode, so any number run concurrently; ExecScript/CreateIndex take it in
+// write mode and therefore see no in-flight queries, which is what makes
+// the lock-free row scans in storage safe.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/engine"
+	"udfdecorr/internal/storage"
+)
+
+// Options configures a Service.
+type Options struct {
+	// CacheSize bounds the shared plan cache (entries). <=0 disables
+	// caching; DefaultOptions uses 256.
+	CacheSize int
+	// MaxConcurrent bounds simultaneously executing statements (the
+	// admission worker pool). <=0 means 4×GOMAXPROCS-ish default of 32.
+	MaxConcurrent int
+}
+
+// DefaultOptions returns the default service configuration.
+func DefaultOptions() Options {
+	return Options{CacheSize: 256, MaxConcurrent: 32}
+}
+
+// Service is the concurrent query service. See the package comment for the
+// locking design.
+type Service struct {
+	cat   *catalog.Catalog
+	store *storage.Store
+	cache *PlanCache
+
+	// ddl gates queries (read side) against DDL and data loads (write
+	// side).
+	ddl sync.RWMutex
+
+	// admission is the worker-pool semaphore.
+	admission chan struct{}
+
+	mu       sync.Mutex // guards sessions, seq, and the stat counters below
+	sessions map[string]*Session
+	seq      int64
+
+	queriesByMode map[string]int64
+	execs         int64
+	queryErrors   int64
+	started       time.Time
+}
+
+// NewService builds a service over an existing catalog and store (usually
+// taken from a bootstrap engine that loaded schema and data).
+func NewService(cat *catalog.Catalog, store *storage.Store, opts Options) *Service {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 32
+	}
+	return &Service{
+		cat:           cat,
+		store:         store,
+		cache:         NewPlanCache(opts.CacheSize),
+		admission:     make(chan struct{}, opts.MaxConcurrent),
+		sessions:      map[string]*Session{},
+		queriesByMode: map[string]int64{},
+		started:       time.Now(),
+	}
+}
+
+// NewServiceFromEngine adopts a bootstrap engine's catalog and store.
+func NewServiceFromEngine(e *engine.Engine, opts Options) *Service {
+	return NewService(e.Cat, e.Store, opts)
+}
+
+// Catalog exposes the shared catalog (read-mostly; DDL goes through Exec).
+func (s *Service) Catalog() *catalog.Catalog { return s.cat }
+
+// Session is one client session: a named engine view with its own
+// mode/profile/executor settings (and its own embedded-statement plan cache
+// via the view's interpreter) over the service's shared data. Settings
+// changes swap in a fresh engine view rather than mutating the old one, so
+// in-flight queries on the previous view are unaffected.
+type Session struct {
+	ID string
+
+	svc *Service
+
+	mu      sync.Mutex
+	eng     *engine.Engine
+	queries int64
+	created time.Time
+}
+
+// CreateSession registers a new session with the given settings.
+func (s *Service) CreateSession(profile engine.Profile, mode engine.Mode) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	sess := &Session{
+		ID:      fmt.Sprintf("s%d", s.seq),
+		svc:     s,
+		eng:     engine.NewShared(s.cat, s.store, profile, mode),
+		created: time.Now(),
+	}
+	s.sessions[sess.ID] = sess
+	return sess
+}
+
+// Session looks a session up by ID. The empty ID resolves to a shared
+// default session (created on first use with profile SYS1, mode rewrite).
+func (s *Service) Session(id string) (*Session, bool) {
+	if id == "" {
+		return s.defaultSession(), true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+const defaultSessionID = "default"
+
+func (s *Service) defaultSession() *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[defaultSessionID]; ok {
+		return sess
+	}
+	sess := &Session{
+		ID:      defaultSessionID,
+		svc:     s,
+		eng:     engine.NewShared(s.cat, s.store, engine.SYS1, engine.ModeRewrite),
+		created: time.Now(),
+	}
+	s.sessions[defaultSessionID] = sess
+	return sess
+}
+
+// CloseSession drops a session. Closing an unknown ID is a no-op.
+func (s *Service) CloseSession(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, id)
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Service) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Engine returns the session's current engine view.
+func (sess *Session) Engine() *engine.Engine {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.eng
+}
+
+// Settings returns the session's current profile and mode.
+func (sess *Session) Settings() (engine.Profile, engine.Mode) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.eng.Profile, sess.eng.Mode
+}
+
+// swap installs a new engine view derived from the current settings via fn.
+func (sess *Session) swap(fn func(profile engine.Profile, mode engine.Mode) (engine.Profile, engine.Mode)) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	profile, mode := fn(sess.eng.Profile, sess.eng.Mode)
+	sess.eng = engine.NewShared(sess.svc.cat, sess.svc.store, profile, mode)
+}
+
+// SetMode switches the session's execution mode (subsequent queries only).
+func (sess *Session) SetMode(m engine.Mode) {
+	sess.swap(func(p engine.Profile, _ engine.Mode) (engine.Profile, engine.Mode) { return p, m })
+}
+
+// SetProfile switches the session's engine profile.
+func (sess *Session) SetProfile(p engine.Profile) {
+	sess.swap(func(old engine.Profile, m engine.Mode) (engine.Profile, engine.Mode) {
+		p.Vectorized = old.Vectorized
+		return p, m
+	})
+}
+
+// SetVectorized toggles the session's batch executor.
+func (sess *Session) SetVectorized(on bool) {
+	sess.swap(func(p engine.Profile, m engine.Mode) (engine.Profile, engine.Mode) {
+		p.Vectorized = on
+		return p, m
+	})
+}
+
+// QueryCount returns the number of queries the session has run.
+func (sess *Session) QueryCount() int64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.queries
+}
+
+func (sess *Session) countQuery() {
+	sess.mu.Lock()
+	sess.queries++
+	sess.mu.Unlock()
+}
+
+// QueryResult is an executed query with service-level metadata.
+type QueryResult struct {
+	*engine.Result
+	// CacheHit reports whether the plan came from the shared cache.
+	CacheHit bool
+	// Elapsed is the end-to-end service time (plan lookup + execution).
+	Elapsed time.Duration
+}
+
+func (s *Service) acquire() func() {
+	s.admission <- struct{}{}
+	return func() { <-s.admission }
+}
+
+// Query executes a SELECT through the session, going through the shared
+// plan cache.
+func (s *Service) Query(sess *Session, sql string) (*QueryResult, error) {
+	release := s.acquire()
+	defer release()
+	s.ddl.RLock()
+	defer s.ddl.RUnlock()
+
+	start := time.Now()
+	eng := sess.Engine()
+	prep, hit, err := s.prepare(eng, sql)
+	if err != nil {
+		s.countQueryResult(eng.Mode, true)
+		return nil, err
+	}
+	res, err := eng.Run(prep)
+	s.countQueryResult(eng.Mode, err != nil)
+	if err != nil {
+		return nil, err
+	}
+	sess.countQuery()
+	return &QueryResult{Result: res, CacheHit: hit, Elapsed: time.Since(start)}, nil
+}
+
+// Explain returns the plan description for a query, sharing the cache with
+// Query (an EXPLAIN warms the cache for the later execution).
+func (s *Service) Explain(sess *Session, sql string) (string, error) {
+	release := s.acquire()
+	defer release()
+	s.ddl.RLock()
+	defer s.ddl.RUnlock()
+
+	eng := sess.Engine()
+	prep, _, err := s.prepare(eng, sql)
+	if err != nil {
+		return "", err
+	}
+	return prep.Describe(eng.Mode, eng.Profile.Vectorized), nil
+}
+
+// prepare fetches a plan from the shared cache or compiles and caches it.
+// Callers hold the ddl read lock.
+func (s *Service) prepare(eng *engine.Engine, sql string) (*engine.Prepared, bool, error) {
+	key := CacheKey{
+		SQL:            NormalizeSQL(sql),
+		Mode:           eng.Mode,
+		Profile:        eng.Profile.Name,
+		Vectorized:     eng.Profile.Vectorized,
+		CatalogVersion: s.cat.Version(),
+	}
+	if prep, ok := s.cache.Get(key); ok {
+		return prep, true, nil
+	}
+	prep, err := eng.Prepare(sql)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.Put(key, prep)
+	return prep, false, nil
+}
+
+// Exec runs DDL and DML (CREATE TABLE / CREATE FUNCTION / INSERT) under the
+// exclusive side of the DDL gate, then invalidates the plan cache if the
+// schema version changed. Pure-INSERT scripts leave cached plans valid (a
+// plan never captures row data) and so do not purge.
+func (s *Service) Exec(sess *Session, script string) error {
+	release := s.acquire()
+	defer release()
+	s.ddl.Lock()
+	defer s.ddl.Unlock()
+
+	before := s.cat.Version()
+	err := sess.Engine().ExecScript(script)
+	if s.cat.Version() != before {
+		// DDL happened (possibly partially, on error): drop stale plans.
+		// Version-keying already makes them unreachable; purging frees them.
+		s.cache.Purge()
+	}
+	s.mu.Lock()
+	s.execs++
+	s.mu.Unlock()
+	return err
+}
+
+// CreateIndex declares a secondary index (DDL: exclusive, invalidates).
+func (s *Service) CreateIndex(table, col string) error {
+	release := s.acquire()
+	defer release()
+	s.ddl.Lock()
+	defer s.ddl.Unlock()
+	before := s.cat.Version()
+	if err := s.cat.AddIndex(table, col); err != nil {
+		return err
+	}
+	if s.cat.Version() != before {
+		s.cache.Purge()
+	}
+	return nil
+}
+
+func (s *Service) countQueryResult(mode engine.Mode, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if failed {
+		s.queryErrors++
+		return
+	}
+	s.queriesByMode[mode.String()]++
+}
+
+// CacheStats snapshots the shared plan cache counters.
+func (s *Service) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Stats is the service-wide metrics snapshot served by /stats and udfsh's
+// .stats command.
+type Stats struct {
+	Cache          CacheStats       `json:"cache"`
+	Sessions       int              `json:"sessions"`
+	CatalogVersion int64            `json:"catalog_version"`
+	QueriesByMode  map[string]int64 `json:"queries_by_mode"`
+	Queries        int64            `json:"queries"`
+	Execs          int64            `json:"execs"`
+	QueryErrors    int64            `json:"query_errors"`
+	UptimeSeconds  float64          `json:"uptime_seconds"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	byMode := make(map[string]int64, len(s.queriesByMode))
+	var total int64
+	for k, v := range s.queriesByMode {
+		byMode[k] = v
+		total += v
+	}
+	st := Stats{
+		Sessions:      len(s.sessions),
+		QueriesByMode: byMode,
+		Queries:       total,
+		Execs:         s.execs,
+		QueryErrors:   s.queryErrors,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	s.mu.Unlock()
+	st.Cache = s.cache.Stats()
+	st.CatalogVersion = s.cat.Version()
+	return st
+}
+
+// Format renders the stats as aligned text for the shell's .stats command.
+func (st Stats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan cache: %d/%d entries, %d hits, %d misses (%.1f%% hit rate), %d evictions\n",
+		st.Cache.Size, st.Cache.Capacity, st.Cache.Hits, st.Cache.Misses,
+		100*st.Cache.HitRate(), st.Cache.Evictions)
+	fmt.Fprintf(&b, "catalog version: %d   sessions: %d   execs: %d   query errors: %d\n",
+		st.CatalogVersion, st.Sessions, st.Execs, st.QueryErrors)
+	modes := make([]string, 0, len(st.QueriesByMode))
+	for m := range st.QueriesByMode {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	fmt.Fprintf(&b, "queries: %d", st.Queries)
+	for _, m := range modes {
+		fmt.Fprintf(&b, "  %s=%d", m, st.QueriesByMode[m])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// ParseMode maps a mode name to an engine.Mode.
+func ParseMode(name string) (engine.Mode, error) {
+	switch strings.ToLower(name) {
+	case "iterative":
+		return engine.ModeIterative, nil
+	case "rewrite":
+		return engine.ModeRewrite, nil
+	case "costbased", "cost-based":
+		return engine.ModeCostBased, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want iterative|rewrite|costbased)", name)
+	}
+}
+
+// ParseProfile maps a profile name to an engine.Profile.
+func ParseProfile(name string) (engine.Profile, error) {
+	switch strings.ToUpper(name) {
+	case "SYS1":
+		return engine.SYS1, nil
+	case "SYS2":
+		return engine.SYS2, nil
+	default:
+		return engine.Profile{}, fmt.Errorf("unknown profile %q (want sys1|sys2)", name)
+	}
+}

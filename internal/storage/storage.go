@@ -29,6 +29,12 @@ type ColStats struct {
 }
 
 // Table is an in-memory table with optional hash indexes.
+//
+// Concurrency: index and statistics caches are guarded by mu, so any number
+// of concurrent readers (scans, index probes, stats lookups) are safe. The
+// Rows slice itself is read lock-free by the scan operators for speed, so
+// Append must not run concurrently with queries — the engine/query service
+// serializes data loads behind a DDL/DML write lock.
 type Table struct {
 	Meta *catalog.Table
 	Rows []Row
