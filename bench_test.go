@@ -32,7 +32,7 @@ var engineCache = map[string]*engine.Engine{}
 
 func getEngine(b *testing.B, profile engine.Profile, mode engine.Mode) *engine.Engine {
 	b.Helper()
-	key := fmt.Sprintf("%s/%d/%v", profile.Name, mode, profile.Vectorized)
+	key := fmt.Sprintf("%s/%d/%v/%d", profile.Name, mode, profile.Vectorized, profile.Parallelism)
 	if e, ok := engineCache[key]; ok {
 		return e
 	}
@@ -297,3 +297,20 @@ func BenchmarkServerParallel(b *testing.B) {
 		}
 	})
 }
+
+// --------------------------------------------------------------------------
+// Intra-query parallelism: scan-heavy grouped aggregation, serial vs
+// morsel-driven parallel vectorized execution (the `experiments
+// -parallelbench` JSON report measures the same pair standalone).
+// --------------------------------------------------------------------------
+
+func benchParallelGroupBy(b *testing.B, degree int) {
+	profile := engine.SYS1
+	profile.Vectorized = true
+	profile.Parallelism = degree
+	e := getEngine(b, profile, engine.ModeIterative)
+	runQuery(b, e, "select custkey, count(*), sum(totalprice), max(totalprice) from orders group by custkey")
+}
+
+func BenchmarkParallelGroupBy_Serial(b *testing.B)    { benchParallelGroupBy(b, 0) }
+func BenchmarkParallelGroupBy_Parallel4(b *testing.B) { benchParallelGroupBy(b, 4) }

@@ -6,9 +6,17 @@
 //
 //	experiments [-exp 1|2|3|all] [-sys 1|2|all] [-scale small|default]
 //	            [-customers N] [-parts N] [-categories N] [-vectorized]
+//	            [-parallelism N]
+//
+// The -parallelbench mode instead measures serial vs parallel vectorized
+// QPS on a scan-heavy grouped aggregation and writes the JSON report (the
+// bench-trajectory artifact) to -out:
+//
+//	experiments -parallelbench -parallelism 4 -out BENCH_parallel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +33,18 @@ func main() {
 	parts := flag.Int("parts", 0, "override part count")
 	categories := flag.Int("categories", 0, "override category count")
 	vectorized := flag.Bool("vectorized", false, "use the batch (vectorized) executor")
+	parallelism := flag.Int("parallelism", 0, "intra-query worker degree for vectorized plans (0 = serial)")
+	parallelBench := flag.Bool("parallelbench", false, "run the serial-vs-parallel grouped-aggregation benchmark and exit")
+	out := flag.String("out", "", "parallelbench: write the JSON report to this file (default stdout)")
 	flag.Parse()
+
+	if *parallelBench {
+		if err := runParallelBench(*parallelism, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "parallelbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.DefaultConfig()
 	if *scale == "small" {
@@ -56,6 +75,7 @@ func main() {
 
 	for i := range profiles {
 		profiles[i].Vectorized = *vectorized
+		profiles[i].Parallelism = *parallelism
 	}
 
 	for _, exp := range bench.Experiments(cfg) {
@@ -72,4 +92,29 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// runParallelBench measures serial vs parallel vectorized QPS on the
+// scan-heavy grouped aggregation and writes the JSON report.
+func runParallelBench(degree int, outPath string) error {
+	res, err := bench.RunParallelBench(bench.ParallelBenchConfig(), degree)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("parallel bench: %s (%d rows, %d groups): serial %.2fms/q, parallel(%d) %.2fms/q, speedup %.2fx (GOMAXPROCS=%d)\n",
+		outPath, res.DatasetRows, res.Groups, res.SerialMSPerQ, res.Parallelism,
+		res.ParallelMSPer, res.Speedup, res.GOMAXPROCS)
+	return nil
 }

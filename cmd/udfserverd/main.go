@@ -4,7 +4,7 @@
 //
 // Server mode:
 //
-//	udfserverd -addr :8080 -dataset small -cache 256 -workers 32
+//	udfserverd -addr :8080 -dataset small -cache 256 -workers 32 -parallelism 4
 //
 // Load-client mode (-load) replays the shared differential corpus against a
 // running daemon from N concurrent clients, checks every response against a
@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -38,31 +40,34 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address (server) or base URL (load client)")
 		dataset = flag.String("dataset", "small", "preloaded dataset: none|small|bench")
 		cache   = flag.Int("cache", 256, "plan cache capacity (0 disables)")
-		workers = flag.Int("workers", 32, "max concurrently executing statements")
+		workers = flag.Int("workers", 32, "worker pool: max concurrently executing query-local workers")
 		load    = flag.Bool("load", false, "run as load-generating client instead of server")
 		clients = flag.Int("clients", 8, "load mode: concurrent client goroutines")
 		rounds  = flag.Int("rounds", 3, "load mode: corpus replays per client")
+		par     = flag.Int("parallelism", 0, "server: default intra-query degree for sessions; load: degree requested by vectorized client sessions (0 = serial)")
 	)
 	flag.Parse()
 
 	if *load {
-		if err := runLoad(*addr, *clients, *rounds); err != nil {
+		if err := runLoad(*addr, *clients, *rounds, *par); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := runServer(*addr, *dataset, *cache, *workers); err != nil {
+	if err := runServer(*addr, *dataset, *cache, *workers, *par); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runServer(addr, dataset string, cacheSize, workers int) error {
+func runServer(addr, dataset string, cacheSize, workers, parallelism int) error {
 	boot, err := bootEngine(dataset)
 	if err != nil {
 		return err
 	}
-	svc := server.NewServiceFromEngine(boot, server.Options{CacheSize: cacheSize, MaxConcurrent: workers})
-	log.Printf("udfserverd listening on %s (dataset=%s cache=%d workers=%d)", addr, dataset, cacheSize, workers)
+	svc := server.NewServiceFromEngine(boot, server.Options{
+		CacheSize: cacheSize, MaxConcurrent: workers, DefaultParallelism: parallelism})
+	log.Printf("udfserverd listening on %s (dataset=%s cache=%d workers=%d parallelism=%d)",
+		addr, dataset, cacheSize, workers, parallelism)
 	return http.ListenAndServe(addr, server.NewHandler(svc))
 }
 
@@ -132,11 +137,34 @@ type queryReply struct {
 	CacheHit bool       `json:"cache_hit"`
 }
 
+// canonicalCell normalizes one rendered value: every numeric cell rounds to
+// 9 significant digits, because parallel aggregation may re-associate float
+// additions across worker partials. The renderer prints whole-valued floats
+// without a decimal point (12345.0 becomes "12345"), so integers and floats
+// are indistinguishable here and ALL in-range numerics must canonicalize
+// the same way for both sides of a comparison to agree; integers beyond
+// float53 precision stay exact strings (a float could not have produced
+// them losslessly). String literals arrive quoted and are left alone.
+func canonicalCell(s string) string {
+	if s == "" || strings.HasPrefix(s, "'") {
+		return s
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.Abs(f) >= 1<<53 {
+		return s
+	}
+	return fmt.Sprintf("f:%.9g", f)
+}
+
 // canonical renders a row multiset order-insensitively for comparison.
 func canonical(rows [][]string) string {
 	keys := make([]string, len(rows))
 	for i, r := range rows {
-		keys[i] = strings.Join(r, "\x1f")
+		cells := make([]string, len(r))
+		for j, c := range r {
+			cells[j] = canonicalCell(c)
+		}
+		keys[i] = strings.Join(cells, "\x1f")
 	}
 	sort.Strings(keys)
 	return strings.Join(keys, "\x1e")
@@ -158,7 +186,7 @@ var combos = []sessionCombo{
 	{"costbased", "sys2", true},
 }
 
-func runLoad(base string, clients, rounds int) error {
+func runLoad(base string, clients, rounds, parallelism int) error {
 	if !strings.HasPrefix(base, "http") {
 		base = "http://localhost" + base // allow -addr :8080 shorthand
 	}
@@ -202,9 +230,13 @@ func runLoad(base string, clients, rounds int) error {
 			var mine struct {
 				Session string `json:"session"`
 			}
-			if err := cl.post("/session", map[string]any{
+			sessionReq := map[string]any{
 				"mode": combo.mode, "profile": combo.profile, "vectorized": combo.vectorized,
-			}, &mine); err != nil {
+			}
+			if combo.vectorized && parallelism > 0 {
+				sessionReq["parallelism"] = parallelism
+			}
+			if err := cl.post("/session", sessionReq, &mine); err != nil {
 				errs <- err
 				return
 			}
@@ -263,9 +295,13 @@ func runLoad(base string, clients, rounds int) error {
 		defer resp.Body.Close()
 		var st server.Stats
 		if json.NewDecoder(resp.Body).Decode(&st) == nil {
-			fmt.Printf("server plan cache: %d hits / %d misses (%.1f%% hit rate), %d entries, %d evictions\n",
-				st.Cache.Hits, st.Cache.Misses, 100*st.Cache.HitRate(), st.Cache.Size, st.Cache.Evictions)
+			fmt.Printf("server plan cache: %d hits / %d misses (%.1f%% hit rate), %d entries, %d evictions, %d deduped prepares\n",
+				st.Cache.Hits, st.Cache.Misses, 100*st.Cache.HitRate(), st.Cache.Size, st.Cache.Evictions,
+				st.PrepareDeduped)
 			fmt.Printf("server queries by mode: %v\n", st.QueriesByMode)
+			fmt.Printf("server parallel: pool=%d workers, %d parallel queries, %d morsels, %d worker launches, %d admission waits\n",
+				st.Parallel.WorkersConfigured, st.Parallel.ParallelQueries,
+				st.Parallel.MorselsExecuted, st.Parallel.WorkerLaunches, st.Parallel.AdmissionWaits)
 		}
 	}
 	if failed {

@@ -12,10 +12,11 @@
 //
 //	.mode iterative|rewrite|costbased   switch execution mode
 //	.vectorized on|off                  toggle the batch (vectorized) executor
+//	.parallel <n>                       intra-query worker degree (1 = serial)
 //	.profile sys1|sys2                  switch engine profile
 //	.explain <query>                    show plan choices for a query
 //	.rewrite <query>                    show the decorrelated SQL
-//	.stats                              plan-cache and per-mode query counters
+//	.stats                              plan-cache, parallel and query counters
 //	.help                               this text
 //	.quit
 //
@@ -28,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -165,10 +167,11 @@ func (sh *shell) meta(cmd string) (quit bool, err error) {
 	case ".help":
 		fmt.Println(".mode iterative|rewrite|costbased — execution mode")
 		fmt.Println(".vectorized on|off                — batch executor")
+		fmt.Println(".parallel <n>                     — intra-query worker degree (1 = serial)")
 		fmt.Println(".profile sys1|sys2                — engine profile")
 		fmt.Println(".explain <query>                  — plan choices")
 		fmt.Println(".rewrite <query>                  — decorrelated SQL")
-		fmt.Println(".stats                            — plan cache + query counters")
+		fmt.Println(".stats                            — plan cache + parallel + query counters")
 		fmt.Println(".quit")
 	case ".mode":
 		_, mode := sh.sess.Settings()
@@ -195,6 +198,26 @@ func (sh *shell) meta(cmd string) (quit bool, err error) {
 			sh.sess.SetVectorized(false)
 		default:
 			fmt.Println("usage: .vectorized on|off")
+		}
+	case ".parallel":
+		profile, _ := sh.sess.Settings()
+		if len(fields) < 2 {
+			degree := profile.Parallelism
+			if degree < 1 {
+				degree = 1
+			}
+			fmt.Println("parallelism:", degree)
+			break
+		}
+		n, perr := strconv.Atoi(fields[1])
+		if perr != nil || n < 1 {
+			err := fmt.Errorf("usage: .parallel <n> (n >= 1)")
+			fmt.Println(err)
+			return false, err
+		}
+		sh.sess.SetParallelism(n)
+		if !profile.Vectorized && n > 1 {
+			fmt.Println("note: parallelism applies to the vectorized executor (.vectorized on)")
 		}
 	case ".profile":
 		profile, _ := sh.sess.Settings()

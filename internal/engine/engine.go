@@ -61,6 +61,13 @@ type Profile struct {
 	// evaluate batch-at-a-time. Results are identical to the row engine
 	// (the differential suite asserts this); only throughput changes.
 	Vectorized bool
+	// Parallelism is the intra-query worker degree for vectorized plans
+	// (<= 1 disables): pipeline segments run morsel-driven on N workers and
+	// aggregations build per-worker partial states. Parallel plans may emit
+	// rows in any order and may re-associate floating-point aggregation, so
+	// results are multiset-equal (exactly equal for integer aggregates) to
+	// the serial executor's.
+	Parallelism int
 }
 
 // Profiles.
@@ -107,6 +114,7 @@ func NewShared(cat *catalog.Catalog, store *storage.Store, profile Profile, mode
 	e.Interp = exec.NewInterp(e.Cat, e.planEmbedded, profile.CachePlans)
 	e.Planner = plan.New(e.Cat, e.Store, e.Interp)
 	e.Planner.Vectorized = profile.Vectorized
+	e.Planner.Parallelism = profile.Parallelism
 	return e
 }
 
@@ -115,6 +123,13 @@ func NewShared(cat *catalog.Catalog, store *storage.Store, profile Profile, mode
 func (e *Engine) SetVectorized(on bool) {
 	e.Profile.Vectorized = on
 	e.Planner.Vectorized = on
+}
+
+// SetParallelism sets the intra-query worker degree for subsequent
+// top-level vectorized plans (<= 1 disables).
+func (e *Engine) SetParallelism(n int) {
+	e.Profile.Parallelism = n
+	e.Planner.Parallelism = n
 }
 
 // planEmbedded algebrizes and plans a query embedded in a UDF body. The
@@ -126,7 +141,9 @@ func (e *Engine) planEmbedded(sel *ast.SelectStmt) (exec.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.Planner.Build(core.Normalize(e.Cat, rel))
+	// Embedded statements execute once per UDF invocation: plan them
+	// serially (worker fan-out per invocation would only add overhead).
+	return e.Planner.BuildSerial(core.Normalize(e.Cat, rel))
 }
 
 // ExecScript runs DDL: CREATE TABLE and CREATE FUNCTION statements.
@@ -233,6 +250,11 @@ type Prepared struct {
 	Cols      []string
 	Rewritten bool
 	Choices   []string
+	// Parallelism is the plan's effective intra-query degree: the configured
+	// degree when the parallel rewrite fired, 1 when the plan stayed serial
+	// (no parallel-safe decomposition, or parallelism off). The choice log
+	// names each parallel operator.
+	Parallelism int
 }
 
 // Describe renders the plan description shown by EXPLAIN (shared by
@@ -245,6 +267,9 @@ func (p *Prepared) Describe(mode Mode, vectorized bool) string {
 		executor = "vectorized"
 	}
 	fmt.Fprintf(&b, "mode: %s\nexecutor: %s\nrewritten: %v\n", mode, executor, p.Rewritten)
+	if p.Parallelism > 1 {
+		fmt.Fprintf(&b, "parallelism: %d\n", p.Parallelism)
+	}
 	for _, c := range p.Choices {
 		fmt.Fprintf(&b, "  %s\n", c)
 	}
@@ -301,7 +326,7 @@ func (e *Engine) Prepare(sql string) (*Prepared, error) {
 		target = rewritten
 	}
 	target = core.Normalize(e.Cat, target)
-	node, choices, err := e.Planner.BuildExplain(target)
+	node, choices, degree, err := e.Planner.BuildExplain(target)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +334,8 @@ func (e *Engine) Prepare(sql string) (*Prepared, error) {
 	for i, c := range node.Schema() {
 		cols[i] = c.Name
 	}
-	return &Prepared{Node: node, Cols: cols, Rewritten: useRewrite, Choices: choices}, nil
+	return &Prepared{Node: node, Cols: cols, Rewritten: useRewrite,
+		Choices: choices, Parallelism: degree}, nil
 }
 
 // iterativeRowCost is the assumed per-row cost multiplier of invoking a UDF

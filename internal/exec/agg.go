@@ -15,6 +15,15 @@ type aggState interface {
 	result(ctx *Ctx) (sqltypes.Value, error)
 }
 
+// mergeableState is an aggregate state that can absorb another partial state
+// of the same type. The parallel group-by builds per-worker partial states
+// and merges them; only aggregates whose states implement this (the builtin
+// non-DISTINCT ones) are eligible for parallel aggregation.
+type mergeableState interface {
+	aggState
+	mergeState(other aggState) error
+}
+
 // ---------------------------------------------------------------------------
 // Builtin aggregate states
 // ---------------------------------------------------------------------------
@@ -49,6 +58,23 @@ func (s *sumState) result(*Ctx) (sqltypes.Value, error) {
 	return s.acc, nil
 }
 
+func (s *sumState) mergeState(other aggState) error {
+	o := other.(*sumState)
+	if !o.seenAny {
+		return nil
+	}
+	if !s.seenAny {
+		s.acc, s.seenAny = o.acc, true
+		return nil
+	}
+	acc, err := sqltypes.Arith(sqltypes.OpAdd, s.acc, o.acc)
+	if err != nil {
+		return err
+	}
+	s.acc = acc
+	return nil
+}
+
 type countState struct {
 	n    int64
 	star bool // count(*) counts every row; count(e) skips NULL
@@ -63,6 +89,11 @@ func (s *countState) add(_ *Ctx, args []sqltypes.Value) error {
 
 func (s *countState) result(*Ctx) (sqltypes.Value, error) {
 	return sqltypes.NewInt(s.n), nil
+}
+
+func (s *countState) mergeState(other aggState) error {
+	s.n += other.(*countState).n
+	return nil
 }
 
 type minMaxState struct {
@@ -95,6 +126,14 @@ func (s *minMaxState) result(*Ctx) (sqltypes.Value, error) {
 	return s.best, nil
 }
 
+func (s *minMaxState) mergeState(other aggState) error {
+	o := other.(*minMaxState)
+	if !o.seen {
+		return nil
+	}
+	return s.add(nil, []sqltypes.Value{o.best})
+}
+
 type avgState struct {
 	sum float64
 	n   int64
@@ -119,6 +158,13 @@ func (s *avgState) result(*Ctx) (sqltypes.Value, error) {
 		return sqltypes.Null, nil
 	}
 	return sqltypes.NewFloat(s.sum / float64(s.n)), nil
+}
+
+func (s *avgState) mergeState(other aggState) error {
+	o := other.(*avgState)
+	s.sum += o.sum
+	s.n += o.n
+	return nil
 }
 
 // userAggState runs a user-defined aggregate (Section VII, Example 6):
@@ -158,6 +204,22 @@ type AggSpec struct {
 	Args     []Evaluator // empty for count(*)
 	Distinct bool
 	UserDef  *catalog.Aggregate // non-nil for user-defined aggregates
+}
+
+// Mergeable reports whether the aggregate's partial states can be merged
+// (parallel aggregation eligibility): builtin, non-DISTINCT aggregates.
+// DISTINCT needs a global seen-set and user-defined aggregates run an
+// arbitrary interpreted body with no derivable merge function.
+func (a *AggSpec) Mergeable() bool {
+	if a.UserDef != nil || a.Distinct {
+		return false
+	}
+	switch a.Func {
+	case "sum", "count", "min", "max", "avg":
+		return true
+	default:
+		return false
+	}
 }
 
 func (a *AggSpec) newState() (aggState, error) {

@@ -132,13 +132,17 @@ type BatchNode interface {
 // batch-capable, otherwise through a row-to-batch transposing adapter.
 func OpenBatches(n Node, ctx *Ctx) (BatchIter, error) {
 	if bn, ok := n.(BatchNode); ok {
-		return bn.OpenBatch(ctx)
+		it, err := bn.OpenBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return contractWrap(it), nil
 	}
 	it, err := n.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &rowToBatchIter{in: it, width: len(n.Schema())}, nil
+	return contractWrap(&rowToBatchIter{in: it, width: len(n.Schema())}), nil
 }
 
 // DrainBatches materializes all rows of a node, pulling batches when the

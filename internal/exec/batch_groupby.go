@@ -1,0 +1,290 @@
+package exec
+
+import (
+	"sort"
+
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// BatchGroupBy is the vectorized grouped-aggregation operator: grouping keys
+// and aggregate arguments evaluate batch-at-a-time and feed the same
+// aggregate states as the row HashAgg, so results (values, and first-seen
+// group order) are identical. It accepts every aggregate HashAgg accepts —
+// builtins, DISTINCT, and user-defined (interpreted) aggregates — which is
+// what lets grouped queries (the shape every decorrelated UDF rewrite
+// produces) stay on the batch path instead of bridging to the row engine.
+type BatchGroupBy struct {
+	Keys   []VecFactory
+	Aggs   []*AggSpec     // row specs: state construction + DISTINCT flags
+	Args   [][]VecFactory // batched argument evaluators of Aggs[i]
+	Child  Node
+	schema []algebra.Column
+}
+
+// NewBatchGroupBy builds a vectorized grouped aggregation node.
+func NewBatchGroupBy(keys []VecFactory, aggs []*AggSpec, args [][]VecFactory, child Node, schema []algebra.Column) *BatchGroupBy {
+	return &BatchGroupBy{Keys: keys, Aggs: aggs, Args: args, Child: child, schema: schema}
+}
+
+// Schema implements Node.
+func (g *BatchGroupBy) Schema() []algebra.Column { return g.schema }
+
+// Open implements Node.
+func (g *BatchGroupBy) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(g, ctx) }
+
+// OpenBatch implements BatchNode.
+func (g *BatchGroupBy) OpenBatch(ctx *Ctx) (BatchIter, error) {
+	in, err := OpenBatches(g.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	gt := newGroupTable(g.Aggs, len(g.Keys))
+	if err := gt.consume(ctx, in, Instantiate(g.Keys), instantiateArgs(g.Args)); err != nil {
+		return nil, err
+	}
+	rows, err := gt.rows(ctx, len(g.Keys) == 0)
+	if err != nil {
+		return nil, err
+	}
+	return &batchScanIter{rows: rows, width: len(g.schema)}, nil
+}
+
+// instantiateArgs materializes per-execution argument evaluators.
+func instantiateArgs(args [][]VecFactory) [][]VecEvaluator {
+	out := make([][]VecEvaluator, len(args))
+	for i, fs := range args {
+		out[i] = Instantiate(fs)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// groupTable
+// ---------------------------------------------------------------------------
+
+// groupTable accumulates aggregate groups from batches. It mirrors the row
+// HashAgg exactly (including the single-integer-key fast path and first-seen
+// group ordering) and additionally supports merging another table's partial
+// groups, which is what the parallel group-by's merge phase uses.
+type groupTable struct {
+	aggs      []*AggSpec
+	nKeys     int
+	groups    map[string]*aggGroup
+	intGroups map[int64]*aggGroup
+	intsOnly  bool
+	n         int
+}
+
+func newGroupTable(aggs []*AggSpec, nKeys int) *groupTable {
+	return &groupTable{
+		aggs:      aggs,
+		nKeys:     nKeys,
+		groups:    map[string]*aggGroup{},
+		intGroups: map[int64]*aggGroup{},
+		intsOnly:  nKeys == 1,
+	}
+}
+
+func (g *groupTable) newGroup(keyVals []sqltypes.Value) (*aggGroup, error) {
+	grp := &aggGroup{keyVals: keyVals, states: make([]aggState, len(g.aggs)),
+		distinct: make([]map[string]bool, len(g.aggs)), order: g.n}
+	g.n++
+	for i, a := range g.aggs {
+		st, err := a.newState()
+		if err != nil {
+			return nil, err
+		}
+		grp.states[i] = st
+		if a.Distinct {
+			grp.distinct[i] = map[string]bool{}
+		}
+	}
+	return grp, nil
+}
+
+// find returns the group for keyVals, creating it when absent. When adopt is
+// non-nil a missing group installs adopt (re-ordered to this table's
+// sequence) instead of constructing fresh states — the merge path. keyVals
+// are cloned on insertion unless adopt already owns them.
+func (g *groupTable) find(keyVals []sqltypes.Value, adopt *aggGroup) (*aggGroup, bool, error) {
+	install := func() (*aggGroup, error) {
+		if adopt != nil {
+			adopt.order = g.n
+			g.n++
+			return adopt, nil
+		}
+		clone := make([]sqltypes.Value, len(keyVals))
+		copy(clone, keyVals)
+		return g.newGroup(clone)
+	}
+	if g.intsOnly && len(keyVals) == 1 && keyVals[0].Kind() == sqltypes.KindInt {
+		ik := keyVals[0].Int()
+		if grp, ok := g.intGroups[ik]; ok {
+			return grp, false, nil
+		}
+		grp, err := install()
+		if err != nil {
+			return nil, false, err
+		}
+		g.intGroups[ik] = grp
+		return grp, true, nil
+	}
+	if g.intsOnly {
+		// Mixed key kinds: fold the integer groups into the general map and
+		// disable the fast path (exactly like HashAgg).
+		g.intsOnly = false
+		var buf []byte
+		for ik, ig := range g.intGroups {
+			buf = sqltypes.EncodeKey(buf[:0], sqltypes.NewInt(ik))
+			g.groups[string(buf)] = ig
+		}
+		g.intGroups = nil
+	}
+	key := sqltypes.KeyOf(keyVals...)
+	if grp, ok := g.groups[key]; ok {
+		return grp, false, nil
+	}
+	grp, err := install()
+	if err != nil {
+		return nil, false, err
+	}
+	g.groups[key] = grp
+	return grp, true, nil
+}
+
+// consume drains a batch iterator into the table, evaluating keys and
+// aggregate arguments batch-at-a-time.
+func (g *groupTable) consume(ctx *Ctx, in BatchIter, keys []VecEvaluator, args [][]VecEvaluator) error {
+	keyVecs := make([][]sqltypes.Value, len(keys))
+	keyBuf := make([]sqltypes.Value, len(keys))
+	argVecs := make([][][]sqltypes.Value, len(args))
+	for i := range args {
+		argVecs[i] = make([][]sqltypes.Value, len(args[i]))
+	}
+	argBuf := make([]sqltypes.Value, 8)
+	for {
+		b, ok, err := in.NextBatch(DefaultBatchSize)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		for i, k := range keys {
+			v, err := k(ctx, b)
+			if err != nil {
+				return err
+			}
+			keyVecs[i] = v
+		}
+		for i := range args {
+			for c, ev := range args[i] {
+				v, err := ev(ctx, b)
+				if err != nil {
+					return err
+				}
+				argVecs[i][c] = v
+			}
+		}
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			p := b.LiveAt(r)
+			for i := range keys {
+				keyBuf[i] = keyVecs[i][p]
+			}
+			grp, _, err := g.find(keyBuf, nil)
+			if err != nil {
+				return err
+			}
+			for i, spec := range g.aggs {
+				vecs := argVecs[i]
+				if cap(argBuf) < len(vecs) {
+					argBuf = make([]sqltypes.Value, len(vecs))
+				}
+				rowArgs := argBuf[:len(vecs)]
+				for c := range vecs {
+					rowArgs[c] = vecs[c][p]
+				}
+				if spec.Distinct {
+					dk := sqltypes.KeyOf(rowArgs...)
+					if grp.distinct[i][dk] {
+						continue
+					}
+					grp.distinct[i][dk] = true
+				}
+				if err := grp.states[i].add(ctx, rowArgs); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// absorb merges another table's groups into g, in the other table's group
+// order. All aggregate states must be mergeable (the parallel planner
+// guarantees it); missing groups are adopted wholesale.
+func (g *groupTable) absorb(o *groupTable) error {
+	for _, src := range o.ordered() {
+		dst, created, err := g.find(src.keyVals, src)
+		if err != nil {
+			return err
+		}
+		if created {
+			continue
+		}
+		for i := range g.aggs {
+			m, ok := dst.states[i].(mergeableState)
+			if !ok {
+				return Errorf("aggregate %q has no mergeable state", g.aggs[i].Func)
+			}
+			if err := m.mergeState(src.states[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ordered returns the groups in first-seen order.
+func (g *groupTable) ordered() []*aggGroup {
+	out := make([]*aggGroup, 0, g.n)
+	for _, grp := range g.groups {
+		out = append(out, grp)
+	}
+	for _, grp := range g.intGroups {
+		out = append(out, grp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
+	return out
+}
+
+// rows materializes the result rows (keys then aggregate results). With
+// scalarOneRow set an empty input still yields the single row of "empty"
+// aggregate results, matching scalar-aggregation semantics.
+func (g *groupTable) rows(ctx *Ctx, scalarOneRow bool) ([]storage.Row, error) {
+	if scalarOneRow && g.n == 0 {
+		grp, err := g.newGroup(nil)
+		if err != nil {
+			return nil, err
+		}
+		g.groups[""] = grp
+	}
+	ordered := g.ordered()
+	rows := make([]storage.Row, 0, len(ordered))
+	for _, grp := range ordered {
+		row := make(storage.Row, 0, g.nKeys+len(g.aggs))
+		row = append(row, grp.keyVals...)
+		for _, st := range grp.states {
+			v, err := st.result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

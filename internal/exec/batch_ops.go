@@ -320,115 +320,117 @@ func (j *BatchHashJoin) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches
 
 // OpenBatch implements BatchNode.
 func (j *BatchHashJoin) OpenBatch(ctx *Ctx) (BatchIter, error) {
-	// Build phase: drain the right side batch-wise, evaluating key
-	// expressions per batch. Single integer keys use a dedicated map (the
-	// common foreign-key case), mirroring the row hash join.
-	ri, err := OpenBatches(j.R, ctx)
+	table, err := buildJoinTable(ctx, j.R, j.RKeys, 1)
 	if err != nil {
 		return nil, err
-	}
-	defer ri.Close()
-	table := make(map[string][]storage.Row)
-	intTable := make(map[int64][]storage.Row)
-	intsOnly := len(j.RKeys) == 1
-	rkeys := Instantiate(j.RKeys)
-	keyVecs := make([][]sqltypes.Value, len(rkeys))
-	keyBuf := make([]sqltypes.Value, len(rkeys))
-	for {
-		b, ok, err := ri.NextBatch(DefaultBatchSize)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		for i, k := range rkeys {
-			v, err := k(ctx, b)
-			if err != nil {
-				return nil, err
-			}
-			keyVecs[i] = v
-		}
-		n := b.Len()
-		for i := 0; i < n; i++ {
-			p := b.LiveAt(i)
-			nullKey := false
-			for c := range keyVecs {
-				v := keyVecs[c][p]
-				if v.IsNull() {
-					nullKey = true
-					break
-				}
-				keyBuf[c] = v
-			}
-			if nullKey {
-				continue // NULL keys never join
-			}
-			row := b.Row(p)
-			if intsOnly && keyBuf[0].Kind() == sqltypes.KindInt {
-				ik := keyBuf[0].Int()
-				intTable[ik] = append(intTable[ik], row)
-				continue
-			}
-			if intsOnly {
-				intsOnly = false
-				var kb []byte
-				for ik, rows := range intTable {
-					kb = sqltypes.EncodeKey(kb[:0], sqltypes.NewInt(ik))
-					table[string(kb)] = rows
-				}
-				intTable = nil
-			}
-			k := sqltypes.KeyOf(keyBuf...)
-			table[k] = append(table[k], row)
-		}
 	}
 	li, err := OpenBatches(j.L, ctx)
 	if err != nil {
 		return nil, err
 	}
+	return newBatchHashJoinIter(j, ctx, li, table), nil
+}
+
+// newBatchHashJoinIter wires a probe iterator over an already-built join
+// table (shared by the serial path and the per-worker parallel probes).
+func newBatchHashJoinIter(j *BatchHashJoin, ctx *Ctx, li BatchIter, table *joinTable) *batchHashJoinIter {
 	return &batchHashJoinIter{j: j, ctx: ctx, li: li, table: table,
-		lkeys: Instantiate(j.LKeys), intTable: intTable, intsOnly: intsOnly,
-		rWidth: len(j.R.Schema())}, nil
+		lkeys: Instantiate(j.LKeys), rWidth: len(j.R.Schema())}
 }
 
 type batchHashJoinIter struct {
-	j        *BatchHashJoin
-	ctx      *Ctx
-	li       BatchIter
-	lkeys    []VecEvaluator
-	table    map[string][]storage.Row
-	intTable map[int64][]storage.Row
-	intsOnly bool
-	rWidth   int
+	j      *BatchHashJoin
+	ctx    *Ctx
+	li     BatchIter
+	lkeys  []VecEvaluator
+	table  *joinTable
+	rWidth int
 
 	left    *Batch             // current probe batch (nil when exhausted)
 	keyVecs [][]sqltypes.Value // probe key vectors over left
 	pos     int                // next live index in left
 	out     *Batch
 	keyBuf  []sqltypes.Value
+
+	// In-progress probe row, carried across NextBatch calls so a hot build
+	// key (bucket larger than the remaining output budget) never overflows
+	// the requested batch size.
+	pend        []storage.Row // bucket being emitted; meaningful when pendActive
+	pendIdx     int           // next bucket position
+	pendLeft    storage.Row   // the probe row the bucket belongs to
+	pendMatched bool          // a residual-accepted match was seen
+	pendActive  bool
 }
 
-// lookup finds the build-side bucket for probe key values.
-func (it *batchHashJoinIter) lookup(keys []sqltypes.Value) []storage.Row {
-	if it.intsOnly {
-		if keys[0].Kind() == sqltypes.KindInt {
-			return it.intTable[keys[0].Int()]
-		}
-		if f, ok := keys[0].AsFloat(); ok && f == float64(int64(f)) {
-			return it.intTable[int64(f)]
-		}
-		return nil
+func (it *batchHashJoinIter) appendJoined(out *Batch, l, r storage.Row) {
+	for c := 0; c < len(l); c++ {
+		out.Cols[c] = append(out.Cols[c], l[c])
 	}
-	return it.table[sqltypes.KeyOf(keys...)]
+	for c := 0; c < it.rWidth; c++ {
+		out.Cols[len(l)+c] = append(out.Cols[len(l)+c], r[c])
+	}
+	out.n++
+}
+
+func (it *batchHashJoinIter) appendLeft(out *Batch, l storage.Row) {
+	for c := 0; c < len(l); c++ {
+		out.Cols[c] = append(out.Cols[c], l[c])
+	}
+	if kind := it.j.Kind; kind != algebra.SemiJoin && kind != algebra.AntiJoin {
+		for c := 0; c < it.rWidth; c++ {
+			out.Cols[len(l)+c] = append(out.Cols[len(l)+c], sqltypes.Null)
+		}
+	}
+	out.n++
+}
+
+// emitPending drains the in-progress probe row — the bucket cursor plus the
+// trailing unmatched emission — into out, stopping as soon as out reaches
+// max live rows. full=true means out filled up before the probe row
+// completed; the cursor survives for the next call.
+func (it *batchHashJoinIter) emitPending(out *Batch, max int) (full bool, err error) {
+	j := it.j
+	for it.pendIdx < len(it.pend) {
+		if out.n >= max {
+			return true, nil
+		}
+		r := it.pend[it.pendIdx]
+		it.pendIdx++
+		if j.Residual != nil {
+			joined := concatRows(it.pendLeft, r)
+			v, err := j.Residual(it.ctx, joined)
+			if err != nil {
+				return false, err
+			}
+			if sqltypes.TriOf(v) != sqltypes.True {
+				continue
+			}
+		}
+		it.pendMatched = true
+		switch j.Kind {
+		case algebra.SemiJoin:
+			it.appendLeft(out, it.pendLeft)
+			it.pendIdx = len(it.pend) // the first match decides
+		case algebra.AntiJoin:
+			it.pendIdx = len(it.pend) // no emission on match
+		default:
+			it.appendJoined(out, it.pendLeft, r)
+		}
+	}
+	if !it.pendMatched && (j.Kind == algebra.AntiJoin || j.Kind == algebra.LeftOuterJoin) {
+		if out.n >= max {
+			return true, nil
+		}
+		it.appendLeft(out, it.pendLeft)
+	}
+	it.pendActive = false
+	it.pend, it.pendLeft = nil, nil
+	return false, nil
 }
 
 func (it *batchHashJoinIter) NextBatch(max int) (*Batch, bool, error) {
-	j := it.j
-	semiAnti := j.Kind == algebra.SemiJoin || j.Kind == algebra.AntiJoin
-	width := len(j.schema)
 	if it.out == nil {
-		it.out = NewBatch(width, max)
+		it.out = NewBatch(len(it.j.schema), max)
 		it.keyBuf = make([]sqltypes.Value, len(it.lkeys))
 	}
 	out := it.out
@@ -437,29 +439,16 @@ func (it *batchHashJoinIter) NextBatch(max int) (*Batch, bool, error) {
 	for i := range out.Cols {
 		out.Cols[i] = out.Cols[i][:0]
 	}
-	appendJoined := func(l storage.Row, r storage.Row) {
-		for c := 0; c < len(l); c++ {
-			out.Cols[c] = append(out.Cols[c], l[c])
-		}
-		for c := 0; c < it.rWidth; c++ {
-			out.Cols[len(l)+c] = append(out.Cols[len(l)+c], r[c])
-		}
-		out.n++
-	}
-	appendLeft := func(l storage.Row) {
-		for c := 0; c < len(l); c++ {
-			out.Cols[c] = append(out.Cols[c], l[c])
-		}
-		if semiAnti {
-			out.n++
-			return
-		}
-		for c := 0; c < it.rWidth; c++ {
-			out.Cols[len(l)+c] = append(out.Cols[len(l)+c], sqltypes.Null)
-		}
-		out.n++
-	}
 	for {
+		if it.pendActive {
+			full, err := it.emitPending(out, max)
+			if err != nil {
+				return nil, false, err
+			}
+			if full {
+				return out, true, nil
+			}
+		}
 		if it.left == nil || it.pos >= it.left.Len() {
 			if out.n >= max {
 				return out, true, nil
@@ -488,6 +477,9 @@ func (it *batchHashJoinIter) NextBatch(max int) (*Batch, bool, error) {
 			it.left, it.pos = b, 0
 		}
 		for it.pos < it.left.Len() {
+			if out.n >= max {
+				return out, true, nil
+			}
 			p := it.left.LiveAt(it.pos)
 			it.pos++
 			nullKey := false
@@ -499,44 +491,20 @@ func (it *batchHashJoinIter) NextBatch(max int) (*Batch, bool, error) {
 				}
 				it.keyBuf[c] = v
 			}
-			var bucket []storage.Row
-			if !nullKey {
-				bucket = it.lookup(it.keyBuf)
+			it.pendActive = true
+			it.pendIdx = 0
+			it.pendMatched = false
+			it.pendLeft = it.left.Row(p)
+			if nullKey {
+				it.pend = nil // NULL keys never join
+			} else {
+				it.pend = it.table.lookup(it.keyBuf)
 			}
-			l := it.left.Row(p)
-			matched := false
-			for _, r := range bucket {
-				if j.Residual != nil {
-					joined := concatRows(l, r)
-					v, err := j.Residual(it.ctx, joined)
-					if err != nil {
-						return nil, false, err
-					}
-					if sqltypes.TriOf(v) != sqltypes.True {
-						continue
-					}
-				}
-				matched = true
-				switch j.Kind {
-				case algebra.SemiJoin:
-					appendLeft(l)
-				case algebra.AntiJoin:
-					// No emission on match.
-				default:
-					appendJoined(l, r)
-					continue
-				}
-				break // semi/anti decide on the first match
+			full, err := it.emitPending(out, max)
+			if err != nil {
+				return nil, false, err
 			}
-			if !matched {
-				switch j.Kind {
-				case algebra.AntiJoin:
-					appendLeft(l)
-				case algebra.LeftOuterJoin:
-					appendLeft(l)
-				}
-			}
-			if out.n >= max {
+			if full {
 				return out, true, nil
 			}
 		}

@@ -7,6 +7,7 @@ package exec
 // batches (limits, dedup, join buckets) is exercised.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -291,6 +292,106 @@ func TestBatchHashJoinEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				for _, size := range []int{1, 2, 1024} {
+					got := drainWithBatchSize(t, batchPlan, NewCtx(nil), size)
+					assertIdenticalRows(t, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchHashJoinHotKeyBatchContract is the regression test for the
+// batch-size contract violation: a build bucket larger than the requested
+// max used to be appended wholesale (50 build rows on one key, a single
+// probe row, NextBatch(8) returned 50 live rows). The bucket cursor must
+// stop emission exactly at max and resume on the next call.
+func TestBatchHashJoinHotKeyBatchContract(t *testing.T) {
+	lsc := schema2("lk", "lv")
+	rsc := schema2("rk", "rv")
+	probe := [][]int64{{1, 0}}
+	var build [][]int64
+	for i := int64(0); i < 50; i++ {
+		build = append(build, []int64{1, i})
+	}
+	for _, kind := range []algebra.JoinKind{algebra.InnerJoin, algebra.LeftOuterJoin} {
+		t.Run(kind.String(), func(t *testing.T) {
+			l := NewValues(rowsWithNulls(probe), lsc)
+			r := NewValues(rowsWithNulls(build), rsc)
+			lKey, err := CompileVec(col("lk"), lsc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rKey, err := CompileVec(col("rk"), rsc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			join := NewBatchHashJoin(kind, []VecFactory{lKey}, []VecFactory{rKey}, nil, l, r)
+			bi, err := OpenBatches(join, NewCtx(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bi.Close()
+			total := 0
+			for {
+				b, ok, err := bi.NextBatch(8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				if b.Len() > 8 {
+					t.Fatalf("NextBatch(8) returned %d live rows", b.Len())
+				}
+				total += b.Len()
+			}
+			if total != 50 {
+				t.Fatalf("join emitted %d rows, want 50", total)
+			}
+		})
+	}
+}
+
+// TestBatchHashJoinHotKeyResumeOrder drives the hot-key shape through every
+// batch size and checks value-for-value identity with the row join, so the
+// resume cursor cannot skip or duplicate bucket rows (including the
+// unmatched left-outer emission that falls on a batch boundary).
+func TestBatchHashJoinHotKeyResumeOrder(t *testing.T) {
+	lsc := schema2("lk", "lv")
+	rsc := schema2("rk", "rv")
+	probe := [][]int64{{1, 0}, {9, 1}, {1, 2}} // hot, unmatched, hot again
+	var build [][]int64
+	for i := int64(0); i < 23; i++ {
+		build = append(build, []int64{1, i})
+	}
+	residual := cmp(sqltypes.CmpNE, &algebra.ColRef{Name: "rv"}, lit(7))
+	kinds := []algebra.JoinKind{algebra.InnerJoin, algebra.LeftOuterJoin,
+		algebra.SemiJoin, algebra.AntiJoin}
+	for _, kind := range kinds {
+		for _, withResidual := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/residual=%v", kind, withResidual), func(t *testing.T) {
+				l := NewValues(rowsWithNulls(probe), lsc)
+				r := NewValues(rowsWithNulls(build), rsc)
+				joined := append(append([]algebra.Column{}, lsc...), rsc...)
+				var res Evaluator
+				if withResidual {
+					var err error
+					res, err = Compile(residual, joined, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				lKeyRow, _ := Compile(col("lk"), lsc, nil)
+				rKeyRow, _ := Compile(col("rk"), rsc, nil)
+				lKey, _ := CompileVec(col("lk"), lsc, nil)
+				rKey, _ := CompileVec(col("rk"), rsc, nil)
+				rowPlan := NewHashJoin(kind, []Evaluator{lKeyRow}, []Evaluator{rKeyRow}, res, l, r)
+				batchPlan := NewBatchHashJoin(kind, []VecFactory{lKey}, []VecFactory{rKey}, res, l, r)
+				want, err := Drain(rowPlan, NewCtx(nil))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, size := range []int{1, 2, 3, 7, 8, 1024} {
 					got := drainWithBatchSize(t, batchPlan, NewCtx(nil), size)
 					assertIdenticalRows(t, got, want)
 				}

@@ -1,0 +1,56 @@
+package exec
+
+import "sync/atomic"
+
+// The BatchIter contract — NextBatch(max) never yields a batch with more
+// than max live rows — is what lets batch sizes propagate through operator
+// trees without any consumer re-checking. This file provides a test hook
+// that wraps every iterator handed across an operator edge (OpenBatches and
+// the parallel segment pipelines) with a checker, so the differential
+// corpus doubles as a property test of the contract for every operator,
+// including ones added later.
+
+// batchContractHook, when set, wraps batch iterators at every operator
+// edge. Test-only: install with SetBatchContractHook before running queries
+// and remove it afterwards; the hook itself must be safe for concurrent use
+// (parallel workers open iterators from many goroutines).
+var batchContractHook atomic.Pointer[func(BatchIter) BatchIter]
+
+// SetBatchContractHook installs (or, with nil, removes) the contract hook.
+func SetBatchContractHook(h func(BatchIter) BatchIter) {
+	if h == nil {
+		batchContractHook.Store(nil)
+		return
+	}
+	batchContractHook.Store(&h)
+}
+
+// contractWrap applies the hook when installed.
+func contractWrap(it BatchIter) BatchIter {
+	if h := batchContractHook.Load(); h != nil {
+		return (*h)(it)
+	}
+	return it
+}
+
+// NewContractChecker wraps an iterator so every NextBatch(max) result is
+// checked against the contract; violations are reported through onViolation
+// with the observed live row count and the requested max.
+func NewContractChecker(in BatchIter, onViolation func(got, max int)) BatchIter {
+	return &contractIter{in: in, onViolation: onViolation}
+}
+
+type contractIter struct {
+	in          BatchIter
+	onViolation func(got, max int)
+}
+
+func (c *contractIter) NextBatch(max int) (*Batch, bool, error) {
+	b, ok, err := c.in.NextBatch(max)
+	if ok && b.Len() > max {
+		c.onViolation(b.Len(), max)
+	}
+	return b, ok, err
+}
+
+func (c *contractIter) Close() error { return c.in.Close() }

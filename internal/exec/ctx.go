@@ -20,6 +20,18 @@ type Counters struct {
 	QueryExecs    int64 // embedded query executions inside UDFs
 	PlanBuilds    int64 // embedded query plan constructions
 	RowsProcessed int64
+	Morsels       int64 // morsels executed by parallel pipeline workers
+	Workers       int64 // parallel workers launched
+}
+
+// absorb adds a parallel worker's counters into c.
+func (c *Counters) absorb(o *Counters) {
+	c.UDFCalls += o.UDFCalls
+	c.QueryExecs += o.QueryExecs
+	c.PlanBuilds += o.PlanBuilds
+	c.RowsProcessed += o.RowsProcessed
+	c.Morsels += o.Morsels
+	c.Workers += o.Workers
 }
 
 // Ctx is the per-query execution context: a stack of variable frames
@@ -41,6 +53,24 @@ func NewCtx(interp *Interp) *Ctx {
 		Interp:   interp,
 		Counters: &Counters{},
 	}
+}
+
+// forkWorker clones the context for a parallel pipeline worker: a private
+// snapshot of the variable frames (so correlation parameters visible at fork
+// time keep resolving, while UDF calls inside the worker push frames without
+// racing the parent) and private counters (absorbed by the parent when the
+// parallel operator finishes). The interpreter is shared; its cross-query
+// state is internally locked.
+func (c *Ctx) forkWorker() *Ctx {
+	frames := make([]map[string]sqltypes.Value, len(c.frames))
+	for i, f := range c.frames {
+		nf := make(map[string]sqltypes.Value, len(f))
+		for k, v := range f {
+			nf[k] = v
+		}
+		frames[i] = nf
+	}
+	return &Ctx{frames: frames, Interp: c.Interp, Counters: &Counters{}, depth: c.depth}
 }
 
 // Push adds a new variable frame (entering a UDF call or apply scope).

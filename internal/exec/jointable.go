@@ -1,0 +1,249 @@
+package exec
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// joinTable is the build side of a vectorized hash join. It is partitioned
+// by key hash so a parallel build can populate the partitions from one
+// worker each without locking; a single-partition table is the ordinary
+// serial build. Single integer keys use a dedicated map per partition (the
+// common foreign-key case), mirroring the row hash join's fast path.
+// After the build completes the table is read-only, so any number of
+// concurrent probe workers may share it.
+type joinTable struct {
+	parts    []joinPart
+	intsOnly bool
+}
+
+type joinPart struct {
+	table    map[string][]storage.Row
+	intTable map[int64][]storage.Row
+}
+
+// partOfInt maps an integer key to its partition (a multiplicative mix so
+// sequential keys spread evenly).
+func partOfInt(ik int64, parts int) int {
+	h := uint64(ik) * 0x9E3779B97F4A7C15
+	return int((h >> 33) % uint64(parts))
+}
+
+// partOfKey maps an encoded composite key to its partition.
+func partOfKey(k string, parts int) int {
+	h := fnv.New64a()
+	h.Write([]byte(k))
+	return int(h.Sum64() % uint64(parts))
+}
+
+// lookup finds the bucket for probe key values (all non-NULL). Integer
+// tables accept exact-valued float probes, like the row join.
+func (jt *joinTable) lookup(keys []sqltypes.Value) []storage.Row {
+	if jt.intsOnly {
+		var ik int64
+		if keys[0].Kind() == sqltypes.KindInt {
+			ik = keys[0].Int()
+		} else if f, ok := keys[0].AsFloat(); ok && f == float64(int64(f)) {
+			ik = int64(f)
+		} else {
+			return nil
+		}
+		if len(jt.parts) == 1 {
+			return jt.parts[0].intTable[ik]
+		}
+		return jt.parts[partOfInt(ik, len(jt.parts))].intTable[ik]
+	}
+	k := sqltypes.KeyOf(keys...)
+	if len(jt.parts) == 1 {
+		return jt.parts[0].table[k]
+	}
+	return jt.parts[partOfKey(k, len(jt.parts))].table[k]
+}
+
+// buildEntry is one build-side row with its evaluated join key.
+type buildEntry struct {
+	isInt bool
+	ik    int64
+	key   string // encoded composite key when !isInt
+	row   storage.Row
+}
+
+// buildJoinTable drains a build-side plan, evaluates its key expressions
+// batch-at-a-time, and constructs the hash table with the given partition
+// count. parts == 1 inserts directly while draining (no intermediate
+// allocation — the serial hash join's build). With parts > 1 the drain
+// collects keyed entries, one serial pass buckets them by partition hash
+// (each key hashed exactly once), and then one goroutine per partition
+// populates its map from its own bucket, in build order.
+func buildJoinTable(ctx *Ctx, build Node, keyFs []VecFactory, parts int) (*joinTable, error) {
+	if parts <= 1 {
+		return buildJoinTableSerial(ctx, build, keyFs)
+	}
+	ri, err := OpenBatches(build, ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer ri.Close()
+	rkeys := Instantiate(keyFs)
+	keyVecs := make([][]sqltypes.Value, len(rkeys))
+	keyBuf := make([]sqltypes.Value, len(rkeys))
+	intsOnly := len(rkeys) == 1
+	var entries []buildEntry
+	for {
+		b, ok, err := ri.NextBatch(DefaultBatchSize)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		for i, k := range rkeys {
+			v, err := k(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = v
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			p := b.LiveAt(i)
+			nullKey := false
+			for c := range keyVecs {
+				v := keyVecs[c][p]
+				if v.IsNull() {
+					nullKey = true
+					break
+				}
+				keyBuf[c] = v
+			}
+			if nullKey {
+				continue // NULL keys never join
+			}
+			e := buildEntry{row: b.Row(p)}
+			if intsOnly && keyBuf[0].Kind() == sqltypes.KindInt {
+				e.isInt = true
+				e.ik = keyBuf[0].Int()
+			} else {
+				intsOnly = false
+				e.key = sqltypes.KeyOf(keyBuf...)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	// Bucket by partition in one pass (the key kind is only final now, so
+	// integer entries collected before a mixed-kind downgrade normalize
+	// here), then populate the partitions concurrently.
+	jt := &joinTable{parts: make([]joinPart, parts), intsOnly: intsOnly}
+	byPart := make([][]buildEntry, parts)
+	var kb []byte
+	for i := range entries {
+		e := &entries[i]
+		var w int
+		if intsOnly {
+			w = partOfInt(e.ik, parts)
+		} else {
+			if e.isInt {
+				kb = sqltypes.EncodeKey(kb[:0], sqltypes.NewInt(e.ik))
+				e.key = string(kb)
+				e.isInt = false
+			}
+			w = partOfKey(e.key, parts)
+		}
+		byPart[w] = append(byPart[w], *e)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &jt.parts[w]
+			if intsOnly {
+				p.intTable = make(map[int64][]storage.Row, len(byPart[w]))
+				for _, e := range byPart[w] {
+					p.intTable[e.ik] = append(p.intTable[e.ik], e.row)
+				}
+				return
+			}
+			p.table = make(map[string][]storage.Row, len(byPart[w]))
+			for _, e := range byPart[w] {
+				p.table[e.key] = append(p.table[e.key], e.row)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return jt, nil
+}
+
+// buildJoinTableSerial inserts rows as they drain, with the dynamic
+// integer-to-encoded-key downgrade on the first mixed-kind key (mirroring
+// the row hash join).
+func buildJoinTableSerial(ctx *Ctx, build Node, keyFs []VecFactory) (*joinTable, error) {
+	ri, err := OpenBatches(build, ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer ri.Close()
+	rkeys := Instantiate(keyFs)
+	keyVecs := make([][]sqltypes.Value, len(rkeys))
+	keyBuf := make([]sqltypes.Value, len(rkeys))
+	intsOnly := len(rkeys) == 1
+	table := make(map[string][]storage.Row)
+	intTable := make(map[int64][]storage.Row)
+	for {
+		b, ok, err := ri.NextBatch(DefaultBatchSize)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		for i, k := range rkeys {
+			v, err := k(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = v
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			p := b.LiveAt(i)
+			nullKey := false
+			for c := range keyVecs {
+				v := keyVecs[c][p]
+				if v.IsNull() {
+					nullKey = true
+					break
+				}
+				keyBuf[c] = v
+			}
+			if nullKey {
+				continue // NULL keys never join
+			}
+			row := b.Row(p)
+			if intsOnly && keyBuf[0].Kind() == sqltypes.KindInt {
+				ik := keyBuf[0].Int()
+				intTable[ik] = append(intTable[ik], row)
+				continue
+			}
+			if intsOnly {
+				intsOnly = false
+				var kb []byte
+				for ik, rows := range intTable {
+					kb = sqltypes.EncodeKey(kb[:0], sqltypes.NewInt(ik))
+					table[string(kb)] = rows
+				}
+				intTable = nil
+			}
+			k := sqltypes.KeyOf(keyBuf...)
+			table[k] = append(table[k], row)
+		}
+	}
+	if intsOnly {
+		return &joinTable{parts: []joinPart{{intTable: intTable}}, intsOnly: true}, nil
+	}
+	return &joinTable{parts: []joinPart{{table: table}}}, nil
+}

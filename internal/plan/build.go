@@ -469,6 +469,9 @@ func (p *Planner) buildGroupBy(n *algebra.GroupBy) (exec.Node, error) {
 			return node, nil
 		}
 	}
+	if p.Vectorized && len(n.Keys) > 0 {
+		return p.buildBatchGroupBy(n, child)
+	}
 	keys := make([]exec.Evaluator, len(n.Keys))
 	for i, k := range n.Keys {
 		ev, err := exec.Compile(k, child.Schema(), p)
@@ -493,6 +496,42 @@ func (p *Planner) buildGroupBy(n *algebra.GroupBy) (exec.Node, error) {
 		aggs[i] = spec
 	}
 	return exec.NewHashAgg(keys, aggs, child, n.Schema()), nil
+}
+
+// buildBatchGroupBy lowers a keyed GROUP BY onto the vectorized grouped
+// aggregation operator: keys and aggregate arguments evaluate
+// batch-at-a-time and feed the same states as the row HashAgg, so every
+// aggregate kind (builtin, DISTINCT, user-defined) is supported and grouped
+// queries — the shape the decorrelated UDF rewrites produce — no longer
+// bridge to the row engine.
+func (p *Planner) buildBatchGroupBy(n *algebra.GroupBy, child exec.Node) (exec.Node, error) {
+	keys := make([]exec.VecFactory, len(n.Keys))
+	for i, k := range n.Keys {
+		ev, err := exec.CompileVec(k, child.Schema(), p)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = ev
+	}
+	aggs := make([]*exec.AggSpec, len(n.Aggs))
+	args := make([][]exec.VecFactory, len(n.Aggs))
+	for i, a := range n.Aggs {
+		spec := &exec.AggSpec{Func: a.Func, Distinct: a.Distinct,
+			Args: make([]exec.Evaluator, len(a.Args))}
+		if ud, ok := p.Cat.Aggregate(a.Func); ok {
+			spec.UserDef = ud
+		}
+		vecs := make([]exec.VecFactory, len(a.Args))
+		for j, arg := range a.Args {
+			ev, err := exec.CompileVec(arg, child.Schema(), p)
+			if err != nil {
+				return nil, err
+			}
+			vecs[j] = ev
+		}
+		aggs[i], args[i] = spec, vecs
+	}
+	return exec.NewBatchGroupBy(keys, aggs, args, child, n.Schema()), nil
 }
 
 // buildBatchScalarAgg lowers a key-less GROUP BY with builtin non-DISTINCT

@@ -49,10 +49,17 @@ type Planner struct {
 	Interp *exec.Interp
 	Cost   Costs
 	// Vectorized selects the batch execution path for the hot operators
-	// (scan, filter, project, limit, hash join, scalar aggregation); row
-	// operators bridge to batch children through adapters, so any plan shape
-	// remains executable.
+	// (scan, filter, project, limit, hash join, aggregation); row operators
+	// bridge to batch children through adapters, so any plan shape remains
+	// executable.
 	Vectorized bool
+	// Parallelism is the intra-query degree for top-level vectorized plans:
+	// when > 1, pipeline segments become morsel-driven Exchange operators
+	// and aggregations get per-worker partial states where the operators
+	// support it (EXPLAIN notes each parallel operator). Embedded statements
+	// and Apply subplans always plan serially — they execute once per UDF
+	// invocation or outer row, where worker fan-out would only add overhead.
+	Parallelism int
 
 	// Per-build scratch state; only ever touched on a fork (see fork).
 	// choices collects physical operator choices for EXPLAIN; corrSeq
@@ -77,16 +84,53 @@ func (p *Planner) fork() *Planner {
 	return &cp
 }
 
-// Build compiles a logical tree into an executable plan.
+// Build compiles a logical tree into an executable plan, applying
+// intra-query parallelism at the root when configured.
 func (p *Planner) Build(rel algebra.Rel) (exec.Node, error) {
+	f := p.fork()
+	n, err := f.build(rel)
+	if err != nil {
+		return nil, err
+	}
+	n, _ = f.finalize(n)
+	return n, nil
+}
+
+// BuildSerial compiles without the parallel rewrite (embedded statements
+// inside UDF bodies, which run once per invocation).
+func (p *Planner) BuildSerial(rel algebra.Rel) (exec.Node, error) {
 	return p.fork().build(rel)
 }
 
-// BuildExplain compiles and also returns the physical choice log.
-func (p *Planner) BuildExplain(rel algebra.Rel) (exec.Node, []string, error) {
+// BuildExplain compiles and also returns the physical choice log plus the
+// plan's effective intra-query degree (1 when the plan stayed serial —
+// including when parallelism was configured but no operator had a
+// parallel-safe decomposition).
+func (p *Planner) BuildExplain(rel algebra.Rel) (exec.Node, []string, int, error) {
 	f := p.fork()
 	n, err := f.build(rel)
-	return n, f.choices, err
+	if err != nil {
+		return nil, f.choices, 1, err
+	}
+	n, degree := f.finalize(n)
+	return n, f.choices, degree, nil
+}
+
+// finalize applies the parallel rewrite to a built top-level plan, logs
+// every parallel operator introduced for EXPLAIN, and reports the plan's
+// effective degree.
+func (p *Planner) finalize(n exec.Node) (exec.Node, int) {
+	if !p.Vectorized || p.Parallelism <= 1 {
+		return n, 1
+	}
+	pn, notes, ok := exec.Parallelize(n, p.Parallelism)
+	if !ok {
+		return n, 1
+	}
+	for _, note := range notes {
+		p.note("%s", note)
+	}
+	return pn, p.Parallelism
 }
 
 func (p *Planner) note(format string, args ...any) {

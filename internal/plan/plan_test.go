@@ -59,7 +59,7 @@ func TestIndexLookupSelection(t *testing.T) {
 			R: &algebra.Const{Val: sqltypes.NewInt(7)}},
 		In: scanOf(cat, "big", "b"),
 	}
-	node, choices, err := p.BuildExplain(sel)
+	node, choices, _, err := p.BuildExplain(sel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestSelectionWithParamUsesIndex(t *testing.T) {
 			R: &algebra.ParamRef{Name: "key"}},
 		In: scanOf(cat, "big", "b"),
 	}
-	node, choices, err := p.BuildExplain(sel)
+	node, choices, _, err := p.BuildExplain(sel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestJoinChoosesIndexNLJoin(t *testing.T) {
 		L: scanOf(cat, "small", "s"),
 		R: scanOf(cat, "big", "b"),
 	}
-	node, choices, err := p.BuildExplain(j)
+	node, choices, _, err := p.BuildExplain(j)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestJoinChoosesHashJoinWithoutIndex(t *testing.T) {
 		L: scanOf(cat, "big", "b"),
 		R: scanOf(cat, "small", "s"),
 	}
-	_, choices, err := p.BuildExplain(j)
+	_, choices, _, err := p.BuildExplain(j)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestJoinWithoutEquiUsesNLJoin(t *testing.T) {
 		L: scanOf(cat, "small", "s"),
 		R: scanOf(cat, "small", "s2"),
 	}
-	_, choices, err := p.BuildExplain(j)
+	_, choices, _, err := p.BuildExplain(j)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@ type CacheKey struct {
 	Mode           engine.Mode
 	Profile        string // profile name (SYS1/SYS2)
 	Vectorized     bool
+	Parallelism    int // intra-query degree (parallel plans differ structurally)
 	CatalogVersion int64
 }
 

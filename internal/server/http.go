@@ -35,13 +35,17 @@ type sessionRequest struct {
 	Mode       string `json:"mode"`
 	Profile    string `json:"profile"`
 	Vectorized bool   `json:"vectorized"`
+	// Parallelism is the intra-query worker degree (0 adopts the server's
+	// default; effective on the vectorized executor).
+	Parallelism int `json:"parallelism"`
 }
 
 type sessionResponse struct {
-	Session    string `json:"session"`
-	Mode       string `json:"mode"`
-	Profile    string `json:"profile"`
-	Vectorized bool   `json:"vectorized"`
+	Session     string `json:"session"`
+	Mode        string `json:"mode"`
+	Profile     string `json:"profile"`
+	Vectorized  bool   `json:"vectorized"`
+	Parallelism int    `json:"parallelism"`
 }
 
 type queryRequest struct {
@@ -58,6 +62,8 @@ type queryResponse struct {
 	ElapsedUS  int64      `json:"elapsed_us"`
 	UDFCalls   int64      `json:"udf_calls"`
 	PlanBuilds int64      `json:"plan_builds"`
+	Morsels    int64      `json:"morsels"`
+	Workers    int64      `json:"workers"`
 }
 
 type execRequest struct {
@@ -133,12 +139,17 @@ func handleSession(svc *Service, w http.ResponseWriter, r *http.Request) {
 		mode = m
 	}
 	profile.Vectorized = req.Vectorized
+	profile.Parallelism = req.Parallelism
+	if profile.Parallelism == 0 {
+		profile.Parallelism = svc.DefaultParallelism()
+	}
 	sess := svc.CreateSession(profile, mode)
 	writeJSON(w, http.StatusOK, sessionResponse{
-		Session:    sess.ID,
-		Mode:       mode.String(),
-		Profile:    profile.Name,
-		Vectorized: profile.Vectorized,
+		Session:     sess.ID,
+		Mode:        mode.String(),
+		Profile:     profile.Name,
+		Vectorized:  profile.Vectorized,
+		Parallelism: profile.Parallelism,
 	})
 }
 
@@ -182,6 +193,8 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 		ElapsedUS:  res.Elapsed.Microseconds(),
 		UDFCalls:   res.Counters.UDFCalls,
 		PlanBuilds: res.Counters.PlanBuilds,
+		Morsels:    res.Counters.Morsels,
+		Workers:    res.Counters.Workers,
 	})
 }
 

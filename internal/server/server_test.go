@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
 	"udfdecorr/internal/bench"
 	"udfdecorr/internal/engine"
+	"udfdecorr/internal/exec"
 	"udfdecorr/internal/server"
 	"udfdecorr/internal/sqltypes"
 	"udfdecorr/internal/storage"
@@ -527,4 +529,185 @@ func BenchmarkPlanCache(b *testing.B) {
 	}
 	b.Run("Cold", func(b *testing.B) { run(b, server.Options{CacheSize: 0, MaxConcurrent: 32}) })
 	b.Run("Warm", func(b *testing.B) { run(b, server.DefaultOptions()) })
+}
+
+// canonicalParallel renders a row with floats rounded to 9 significant
+// digits: parallel aggregation may re-associate float additions across
+// worker partials, so cross-executor comparisons tolerate the last bits.
+func canonicalParallel(r storage.Row) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		if v.Kind() == sqltypes.KindFloat {
+			f, _ := v.AsFloat()
+			parts[i] = fmt.Sprintf("f:%.9g", f)
+			continue
+		}
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func sameRowMultisetApprox(a, b []storage.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]int{}
+	for _, r := range a {
+		m[canonicalParallel(r)]++
+	}
+	for _, r := range b {
+		m[canonicalParallel(r)]--
+	}
+	for _, v := range m {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelSessionsConcurrent hammers the service with parallel
+// vectorized sessions next to serial ones: every result must match the
+// serial ground truth, the admission pool must budget query-local workers,
+// and the parallel counters must move. Run under -race this is the
+// intra-query parallelism concurrency audit.
+func TestParallelSessionsConcurrent(t *testing.T) {
+	defer func(old int) { exec.MorselRows = old }(exec.MorselRows)
+	exec.MorselRows = 64 // fan small tables out across real workers
+
+	// A deliberately small pool: 8 sessions × 4 workers oversubscribes it,
+	// so admission must serialize without deadlocking.
+	svc := newBenchService(t, server.Options{CacheSize: 256, MaxConcurrent: 8})
+
+	truthSess := svc.CreateSession(engine.SYS1, engine.ModeIterative)
+	truth := make(map[string][]storage.Row, len(bench.Corpus))
+	for _, q := range bench.Corpus {
+		res, err := svc.Query(truthSess, q.SQL)
+		if err != nil {
+			t.Fatalf("ground truth %s: %v", q.Name, err)
+		}
+		truth[q.Name] = res.Rows
+	}
+
+	const workers = 8
+	const rounds = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		mode := engine.ModeRewrite
+		if w%2 == 1 {
+			mode = engine.ModeIterative
+		}
+		profile := engine.SYS1
+		profile.Vectorized = true
+		profile.Parallelism = 4
+		sess := svc.CreateSession(profile, mode)
+		wg.Add(1)
+		go func(w int, sess *server.Session) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for _, q := range bench.Corpus {
+					res, err := svc.Query(sess, q.SQL)
+					if err != nil {
+						errs <- fmt.Errorf("parallel client %d %s: %v", w, q.Name, err)
+						return
+					}
+					if !sameRowMultisetApprox(truth[q.Name], res.Rows) {
+						errs <- fmt.Errorf("parallel client %d %s: rows differ from serial ground truth", w, q.Name)
+						return
+					}
+				}
+			}
+		}(w, sess)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := svc.Stats()
+	if st.Parallel.ParallelQueries == 0 {
+		t.Error("no parallel queries recorded")
+	}
+	if st.Parallel.WorkerLaunches == 0 {
+		t.Error("no parallel worker launches recorded")
+	}
+	if st.Parallel.MorselsExecuted == 0 {
+		t.Error("no morsels recorded")
+	}
+	if st.Parallel.AdmissionWaits == 0 {
+		t.Error("oversubscribed pool should have recorded admission waits")
+	}
+	if st.Parallel.WorkersConfigured != 8 {
+		t.Errorf("workers_configured = %d, want 8", st.Parallel.WorkersConfigured)
+	}
+}
+
+// TestHTTPParallelSession drives a parallel session over the HTTP API and
+// checks the per-query and /stats parallel counters.
+func TestHTTPParallelSession(t *testing.T) {
+	defer func(old int) { exec.MorselRows = old }(exec.MorselRows)
+	exec.MorselRows = 64
+
+	svc := newBenchService(t, server.DefaultOptions())
+	ts := httptest.NewServer(server.NewHandler(svc))
+	defer ts.Close()
+
+	post := func(path string, body any) map[string]any {
+		t.Helper()
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d: %v", path, resp.StatusCode, out["error"])
+		}
+		return out
+	}
+
+	sess := post("/session", map[string]any{
+		"mode": "rewrite", "profile": "sys1", "vectorized": true, "parallelism": 4})
+	if p, _ := sess["parallelism"].(float64); p != 4 {
+		t.Fatalf("session parallelism = %v, want 4", sess["parallelism"])
+	}
+	id, _ := sess["session"].(string)
+
+	q := map[string]any{"session": id,
+		"sql": "select custkey, count(*), sum(totalprice) from orders group by custkey"}
+	res := post("/query", q)
+	if n, _ := res["row_count"].(float64); n == 0 {
+		t.Fatal("expected rows from the parallel grouped aggregation")
+	}
+	if w, _ := res["workers"].(float64); w == 0 {
+		t.Errorf("query response workers = %v, want > 0", res["workers"])
+	}
+	if m, _ := res["morsels"].(float64); m == 0 {
+		t.Errorf("query response morsels = %v, want > 0", res["morsels"])
+	}
+
+	exp := post("/explain", q)
+	s, _ := exp["explain"].(string)
+	if !strings.Contains(s, "parallelism: 4") || !strings.Contains(s, "degree=4") {
+		t.Errorf("explain missing parallel degree:\n%s", s)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Parallel.ParallelQueries == 0 || st.Parallel.WorkerLaunches == 0 {
+		t.Errorf("stats parallel counters did not move: %+v", st.Parallel)
+	}
 }

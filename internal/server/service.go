@@ -31,14 +31,87 @@ type Options struct {
 	// CacheSize bounds the shared plan cache (entries). <=0 disables
 	// caching; DefaultOptions uses 256.
 	CacheSize int
-	// MaxConcurrent bounds simultaneously executing statements (the
-	// admission worker pool). <=0 means 4×GOMAXPROCS-ish default of 32.
+	// MaxConcurrent bounds simultaneously executing workers (the admission
+	// pool). A parallel query claims one slot per intra-query worker, so
+	// udfserverd never oversubscribes cores no matter how sessions combine
+	// concurrency and parallelism. <=0 means 32.
 	MaxConcurrent int
+	// DefaultParallelism is the intra-query degree applied to sessions that
+	// do not choose one explicitly (0 leaves them serial).
+	DefaultParallelism int
 }
 
 // DefaultOptions returns the default service configuration.
 func DefaultOptions() Options {
 	return Options{CacheSize: 256, MaxConcurrent: 32}
+}
+
+// admission is the worker-pool semaphore. Unlike a channel semaphore it
+// grants multi-slot requests atomically (all-or-nothing while waiting), so
+// two parallel queries can never deadlock each other by each holding half
+// of their worker budget — and grants are FIFO (ticketed), so a multi-slot
+// request cannot be starved by a stream of single-slot ones: once it is at
+// the head of the line, the pool drains to it.
+type admission struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	free  int
+	size  int
+	waits int64 // acquisitions that had to block
+	// FIFO tickets: an acquire proceeds only when it holds the serving
+	// ticket AND enough slots are free.
+	nextTicket uint64
+	serving    uint64
+}
+
+func newAdmission(size int) *admission {
+	a := &admission{free: size, size: size}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// acquire claims n slots (clamped to the pool size so a degree larger than
+// the pool still admits) and returns the granted count. Pair with release.
+func (a *admission) acquire(n int) int {
+	if n > a.size {
+		n = a.size
+	}
+	if n < 1 {
+		n = 1
+	}
+	a.mu.Lock()
+	ticket := a.nextTicket
+	a.nextTicket++
+	blocked := false
+	for a.serving != ticket || a.free < n {
+		if !blocked {
+			blocked = true
+			a.waits++
+		}
+		a.cond.Wait()
+	}
+	a.serving++
+	a.free -= n
+	a.mu.Unlock()
+	a.cond.Broadcast() // hand the line to the next ticket holder
+	return n
+}
+
+// release returns n slots to the pool.
+func (a *admission) release(n int) {
+	if n <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.free += n
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+func (a *admission) waitCount() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waits
 }
 
 // Service is the concurrent query service. See the package comment for the
@@ -52,17 +125,30 @@ type Service struct {
 	// side).
 	ddl sync.RWMutex
 
-	// admission is the worker-pool semaphore.
-	admission chan struct{}
+	// admission is the worker-pool semaphore (one slot per query-local
+	// worker).
+	admission *admission
+
+	// inflight dedupes concurrent plan-cache misses per key: the first
+	// session to miss compiles, the rest wait for its result instead of
+	// running engine.Prepare redundantly.
+	prepMu   sync.Mutex
+	inflight map[CacheKey]*prepCall
+
+	defaultParallelism int
 
 	mu       sync.Mutex // guards sessions, seq, and the stat counters below
 	sessions map[string]*Session
 	seq      int64
 
-	queriesByMode map[string]int64
-	execs         int64
-	queryErrors   int64
-	started       time.Time
+	queriesByMode   map[string]int64
+	execs           int64
+	queryErrors     int64
+	prepareDeduped  int64 // prepares served from an in-flight compilation
+	parallelQueries int64 // queries admitted with a worker budget > 1
+	morsels         int64 // morsels executed by parallel workers
+	workerLaunches  int64 // parallel workers launched
+	started         time.Time
 }
 
 // NewService builds a service over an existing catalog and store (usually
@@ -72,15 +158,21 @@ func NewService(cat *catalog.Catalog, store *storage.Store, opts Options) *Servi
 		opts.MaxConcurrent = 32
 	}
 	return &Service{
-		cat:           cat,
-		store:         store,
-		cache:         NewPlanCache(opts.CacheSize),
-		admission:     make(chan struct{}, opts.MaxConcurrent),
-		sessions:      map[string]*Session{},
-		queriesByMode: map[string]int64{},
-		started:       time.Now(),
+		cat:                cat,
+		store:              store,
+		cache:              NewPlanCache(opts.CacheSize),
+		admission:          newAdmission(opts.MaxConcurrent),
+		inflight:           map[CacheKey]*prepCall{},
+		defaultParallelism: opts.DefaultParallelism,
+		sessions:           map[string]*Session{},
+		queriesByMode:      map[string]int64{},
+		started:            time.Now(),
 	}
 }
+
+// DefaultParallelism returns the degree applied to sessions that do not
+// choose one explicitly.
+func (s *Service) DefaultParallelism() int { return s.defaultParallelism }
 
 // NewServiceFromEngine adopts a bootstrap engine's catalog and store.
 func NewServiceFromEngine(e *engine.Engine, opts Options) *Service {
@@ -141,10 +233,12 @@ func (s *Service) defaultSession() *Session {
 	if sess, ok := s.sessions[defaultSessionID]; ok {
 		return sess
 	}
+	profile := engine.SYS1
+	profile.Parallelism = s.defaultParallelism
 	sess := &Session{
 		ID:      defaultSessionID,
 		svc:     s,
-		eng:     engine.NewShared(s.cat, s.store, engine.SYS1, engine.ModeRewrite),
+		eng:     engine.NewShared(s.cat, s.store, profile, engine.ModeRewrite),
 		created: time.Now(),
 	}
 	s.sessions[defaultSessionID] = sess
@@ -196,6 +290,7 @@ func (sess *Session) SetMode(m engine.Mode) {
 func (sess *Session) SetProfile(p engine.Profile) {
 	sess.swap(func(old engine.Profile, m engine.Mode) (engine.Profile, engine.Mode) {
 		p.Vectorized = old.Vectorized
+		p.Parallelism = old.Parallelism
 		return p, m
 	})
 }
@@ -204,6 +299,15 @@ func (sess *Session) SetProfile(p engine.Profile) {
 func (sess *Session) SetVectorized(on bool) {
 	sess.swap(func(p engine.Profile, m engine.Mode) (engine.Profile, engine.Mode) {
 		p.Vectorized = on
+		return p, m
+	})
+}
+
+// SetParallelism sets the session's intra-query worker degree (<= 1 serial;
+// effective on the vectorized executor).
+func (sess *Session) SetParallelism(n int) {
+	sess.swap(func(p engine.Profile, m engine.Mode) (engine.Profile, engine.Mode) {
+		p.Parallelism = n
 		return p, m
 	})
 }
@@ -230,28 +334,41 @@ type QueryResult struct {
 	Elapsed time.Duration
 }
 
-func (s *Service) acquire() func() {
-	s.admission <- struct{}{}
-	return func() { <-s.admission }
+// workerBudget returns the admission slots a statement on this engine view
+// may need: its intra-query workers on the vectorized parallel path, else 1.
+func workerBudget(eng *engine.Engine) int {
+	if eng.Profile.Vectorized && eng.Profile.Parallelism > 1 {
+		return eng.Profile.Parallelism
+	}
+	return 1
 }
 
 // Query executes a SELECT through the session, going through the shared
-// plan cache.
+// plan cache. A parallel session claims its worker degree from the
+// admission pool up front (the degree is known before planning; acquiring
+// after taking the ddl lock could deadlock against Exec, which acquires in
+// the opposite order), then hands back the excess as soon as the compiled
+// plan turns out serial — LIMIT/DISTINCT barriers, row-bridge shapes — so
+// non-parallelizable workloads don't hold phantom workers during execution.
 func (s *Service) Query(sess *Session, sql string) (*QueryResult, error) {
-	release := s.acquire()
-	defer release()
+	eng := sess.Engine()
+	held := s.admission.acquire(workerBudget(eng))
+	defer func() { s.admission.release(held) }()
 	s.ddl.RLock()
 	defer s.ddl.RUnlock()
 
 	start := time.Now()
-	eng := sess.Engine()
 	prep, hit, err := s.prepare(eng, sql)
 	if err != nil {
-		s.countQueryResult(eng.Mode, true)
+		s.countQueryResult(eng.Mode, true, 1, nil)
 		return nil, err
 	}
+	if held > 1 && prep.Parallelism <= 1 {
+		s.admission.release(held - 1)
+		held = 1
+	}
 	res, err := eng.Run(prep)
-	s.countQueryResult(eng.Mode, err != nil)
+	s.countQueryResult(eng.Mode, err != nil, held, res)
 	if err != nil {
 		return nil, err
 	}
@@ -262,8 +379,8 @@ func (s *Service) Query(sess *Session, sql string) (*QueryResult, error) {
 // Explain returns the plan description for a query, sharing the cache with
 // Query (an EXPLAIN warms the cache for the later execution).
 func (s *Service) Explain(sess *Session, sql string) (string, error) {
-	release := s.acquire()
-	defer release()
+	held := s.admission.acquire(1)
+	defer func() { s.admission.release(held) }()
 	s.ddl.RLock()
 	defer s.ddl.RUnlock()
 
@@ -275,25 +392,55 @@ func (s *Service) Explain(sess *Session, sql string) (string, error) {
 	return prep.Describe(eng.Mode, eng.Profile.Vectorized), nil
 }
 
+// prepCall is one in-flight compilation; followers wait on done.
+type prepCall struct {
+	done chan struct{}
+	prep *engine.Prepared
+	err  error
+}
+
 // prepare fetches a plan from the shared cache or compiles and caches it.
-// Callers hold the ddl read lock.
+// Concurrent misses on the same key are deduplicated: one session compiles
+// while the rest wait for its Prepared (reported as a cache hit — they did
+// not pay for planning). Callers hold the ddl read lock.
 func (s *Service) prepare(eng *engine.Engine, sql string) (*engine.Prepared, bool, error) {
 	key := CacheKey{
 		SQL:            NormalizeSQL(sql),
 		Mode:           eng.Mode,
 		Profile:        eng.Profile.Name,
 		Vectorized:     eng.Profile.Vectorized,
+		Parallelism:    eng.Profile.Parallelism,
 		CatalogVersion: s.cat.Version(),
 	}
 	if prep, ok := s.cache.Get(key); ok {
 		return prep, true, nil
 	}
-	prep, err := eng.Prepare(sql)
-	if err != nil {
-		return nil, false, err
+	s.prepMu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		// Another session is compiling this exact plan: join it.
+		s.prepMu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		s.mu.Lock()
+		s.prepareDeduped++
+		s.mu.Unlock()
+		return c.prep, true, nil
 	}
-	s.cache.Put(key, prep)
-	return prep, false, nil
+	c := &prepCall{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.prepMu.Unlock()
+
+	c.prep, c.err = eng.Prepare(sql)
+	if c.err == nil {
+		s.cache.Put(key, c.prep)
+	}
+	s.prepMu.Lock()
+	delete(s.inflight, key)
+	s.prepMu.Unlock()
+	close(c.done)
+	return c.prep, false, c.err
 }
 
 // Exec runs DDL and DML (CREATE TABLE / CREATE FUNCTION / INSERT) under the
@@ -301,8 +448,8 @@ func (s *Service) prepare(eng *engine.Engine, sql string) (*engine.Prepared, boo
 // schema version changed. Pure-INSERT scripts leave cached plans valid (a
 // plan never captures row data) and so do not purge.
 func (s *Service) Exec(sess *Session, script string) error {
-	release := s.acquire()
-	defer release()
+	held := s.admission.acquire(1)
+	defer func() { s.admission.release(held) }()
 	s.ddl.Lock()
 	defer s.ddl.Unlock()
 
@@ -321,8 +468,8 @@ func (s *Service) Exec(sess *Session, script string) error {
 
 // CreateIndex declares a secondary index (DDL: exclusive, invalidates).
 func (s *Service) CreateIndex(table, col string) error {
-	release := s.acquire()
-	defer release()
+	held := s.admission.acquire(1)
+	defer func() { s.admission.release(held) }()
 	s.ddl.Lock()
 	defer s.ddl.Unlock()
 	before := s.cat.Version()
@@ -335,9 +482,16 @@ func (s *Service) CreateIndex(table, col string) error {
 	return nil
 }
 
-func (s *Service) countQueryResult(mode engine.Mode, failed bool) {
+func (s *Service) countQueryResult(mode engine.Mode, failed bool, slots int, res *engine.Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if slots > 1 {
+		s.parallelQueries++
+	}
+	if res != nil {
+		s.morsels += res.Counters.Morsels
+		s.workerLaunches += res.Counters.Workers
+	}
 	if failed {
 		s.queryErrors++
 		return
@@ -347,6 +501,22 @@ func (s *Service) countQueryResult(mode engine.Mode, failed bool) {
 
 // CacheStats snapshots the shared plan cache counters.
 func (s *Service) CacheStats() CacheStats { return s.cache.Stats() }
+
+// ParallelStats reports the intra-query parallel execution counters.
+type ParallelStats struct {
+	// WorkersConfigured is the admission pool size (the machine-wide worker
+	// budget shared by concurrent statements and query-local workers).
+	WorkersConfigured int `json:"workers_configured"`
+	// ParallelQueries counts queries admitted with a worker budget > 1.
+	ParallelQueries int64 `json:"parallel_queries"`
+	// MorselsExecuted counts scan morsels processed by parallel workers.
+	MorselsExecuted int64 `json:"morsels_executed"`
+	// WorkerLaunches counts parallel workers spawned by exchange and
+	// parallel-aggregation operators.
+	WorkerLaunches int64 `json:"worker_launches"`
+	// AdmissionWaits counts acquisitions that blocked on a full pool.
+	AdmissionWaits int64 `json:"admission_waits"`
+}
 
 // Stats is the service-wide metrics snapshot served by /stats and udfsh's
 // .stats command.
@@ -358,6 +528,8 @@ type Stats struct {
 	Queries        int64            `json:"queries"`
 	Execs          int64            `json:"execs"`
 	QueryErrors    int64            `json:"query_errors"`
+	PrepareDeduped int64            `json:"prepare_deduped"`
+	Parallel       ParallelStats    `json:"parallel"`
 	UptimeSeconds  float64          `json:"uptime_seconds"`
 }
 
@@ -371,14 +543,22 @@ func (s *Service) Stats() Stats {
 		total += v
 	}
 	st := Stats{
-		Sessions:      len(s.sessions),
-		QueriesByMode: byMode,
-		Queries:       total,
-		Execs:         s.execs,
-		QueryErrors:   s.queryErrors,
+		Sessions:       len(s.sessions),
+		QueriesByMode:  byMode,
+		Queries:        total,
+		Execs:          s.execs,
+		QueryErrors:    s.queryErrors,
+		PrepareDeduped: s.prepareDeduped,
+		Parallel: ParallelStats{
+			WorkersConfigured: s.admission.size,
+			ParallelQueries:   s.parallelQueries,
+			MorselsExecuted:   s.morsels,
+			WorkerLaunches:    s.workerLaunches,
+		},
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
 	s.mu.Unlock()
+	st.Parallel.AdmissionWaits = s.admission.waitCount()
 	st.Cache = s.cache.Stats()
 	st.CatalogVersion = s.cat.Version()
 	return st
@@ -387,11 +567,14 @@ func (s *Service) Stats() Stats {
 // Format renders the stats as aligned text for the shell's .stats command.
 func (st Stats) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan cache: %d/%d entries, %d hits, %d misses (%.1f%% hit rate), %d evictions\n",
+	fmt.Fprintf(&b, "plan cache: %d/%d entries, %d hits, %d misses (%.1f%% hit rate), %d evictions, %d deduped prepares\n",
 		st.Cache.Size, st.Cache.Capacity, st.Cache.Hits, st.Cache.Misses,
-		100*st.Cache.HitRate(), st.Cache.Evictions)
+		100*st.Cache.HitRate(), st.Cache.Evictions, st.PrepareDeduped)
 	fmt.Fprintf(&b, "catalog version: %d   sessions: %d   execs: %d   query errors: %d\n",
 		st.CatalogVersion, st.Sessions, st.Execs, st.QueryErrors)
+	fmt.Fprintf(&b, "parallel: pool=%d workers, %d parallel queries, %d morsels, %d worker launches, %d admission waits\n",
+		st.Parallel.WorkersConfigured, st.Parallel.ParallelQueries,
+		st.Parallel.MorselsExecuted, st.Parallel.WorkerLaunches, st.Parallel.AdmissionWaits)
 	modes := make([]string, 0, len(st.QueriesByMode))
 	for m := range st.QueriesByMode {
 		modes = append(modes, m)
