@@ -1,33 +1,41 @@
 // Command udfserverd is the concurrent query daemon: it serves the engine's
-// HTTP/JSON API (sessions, /query, /exec, /explain, /stats) over a shared
-// catalog+storage with the cross-session plan/rewrite cache.
+// HTTP/JSON API (sessions, /query, /stream, /exec, /explain, /stats) over a
+// shared catalog+storage with the cross-session plan/rewrite cache. On
+// SIGINT/SIGTERM it shuts down gracefully: the listener closes, in-flight
+// sessions drain up to the -drain deadline, then remaining connections are
+// force-closed (cancelling their queries through the request contexts).
 //
 // Server mode:
 //
-//	udfserverd -addr :8080 -dataset small -cache 256 -workers 32 -parallelism 4
+//	udfserverd -addr :8080 -dataset small -cache 256 -workers 32 -parallelism 4 -drain 10s
 //
 // Load-client mode (-load) replays the shared differential corpus against a
-// running daemon from N concurrent clients, checks every response against a
-// serial baseline, and reports QPS, latency percentiles and the server-side
-// plan-cache hit rate:
+// running daemon from N concurrent clients over the streaming endpoint,
+// checks every completed response against a serial baseline, and reports
+// QPS, full-stream latency, time-to-first-row percentiles and the
+// server-side plan-cache hit rate. -cancel-frac cancels that fraction of
+// streams after the first row to exercise the server's drain path:
 //
-//	udfserverd -load -addr http://localhost:8080 -clients 8 -rounds 3
+//	udfserverd -load -addr http://localhost:8080 -clients 8 -rounds 3 -cancel-frac 0.2
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"math"
+	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"udfdecorr/internal/bench"
@@ -37,29 +45,31 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (server) or base URL (load client)")
-		dataset = flag.String("dataset", "small", "preloaded dataset: none|small|bench")
-		cache   = flag.Int("cache", 256, "plan cache capacity (0 disables)")
-		workers = flag.Int("workers", 32, "worker pool: max concurrently executing query-local workers")
-		load    = flag.Bool("load", false, "run as load-generating client instead of server")
-		clients = flag.Int("clients", 8, "load mode: concurrent client goroutines")
-		rounds  = flag.Int("rounds", 3, "load mode: corpus replays per client")
-		par     = flag.Int("parallelism", 0, "server: default intra-query degree for sessions; load: degree requested by vectorized client sessions (0 = serial)")
+		addr       = flag.String("addr", ":8080", "listen address (server) or base URL (load client)")
+		dataset    = flag.String("dataset", "small", "preloaded dataset: none|small|bench")
+		cache      = flag.Int("cache", 256, "plan cache capacity (0 disables)")
+		workers    = flag.Int("workers", 32, "worker pool: max concurrently executing query-local workers")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight sessions")
+		load       = flag.Bool("load", false, "run as load-generating client instead of server")
+		clients    = flag.Int("clients", 8, "load mode: concurrent client goroutines")
+		rounds     = flag.Int("rounds", 3, "load mode: corpus replays per client")
+		cancelFrac = flag.Float64("cancel-frac", 0, "load mode: fraction of streams cancelled after the first row")
+		par        = flag.Int("parallelism", 0, "server: default intra-query degree for sessions; load: degree requested by vectorized client sessions (0 = serial)")
 	)
 	flag.Parse()
 
 	if *load {
-		if err := runLoad(*addr, *clients, *rounds, *par); err != nil {
+		if err := runLoad(*addr, *clients, *rounds, *par, *cancelFrac); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := runServer(*addr, *dataset, *cache, *workers, *par); err != nil {
+	if err := runServer(*addr, *dataset, *cache, *workers, *par, *drain); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runServer(addr, dataset string, cacheSize, workers, parallelism int) error {
+func runServer(addr, dataset string, cacheSize, workers, parallelism int, drain time.Duration) error {
 	boot, err := bootEngine(dataset)
 	if err != nil {
 		return err
@@ -68,7 +78,30 @@ func runServer(addr, dataset string, cacheSize, workers, parallelism int) error 
 		CacheSize: cacheSize, MaxConcurrent: workers, DefaultParallelism: parallelism})
 	log.Printf("udfserverd listening on %s (dataset=%s cache=%d workers=%d parallelism=%d)",
 		addr, dataset, cacheSize, workers, parallelism)
-	return http.ListenAndServe(addr, server.NewHandler(svc))
+
+	srv := &http.Server{Addr: addr, Handler: server.NewHandler(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("udfserverd: shutdown signal; draining %d sessions (deadline %s)",
+			svc.SessionCount(), drain)
+		shctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil {
+			// Deadline hit: force-close remaining connections, which cancels
+			// their queries through the request contexts.
+			log.Printf("udfserverd: drain deadline exceeded (%v), force-closing", err)
+			return srv.Close()
+		}
+		log.Printf("udfserverd: drained cleanly")
+		return nil
+	}
 }
 
 // bootEngine loads the requested dataset into a fresh catalog+store.
@@ -137,38 +170,98 @@ type queryReply struct {
 	CacheHit bool       `json:"cache_hit"`
 }
 
-// canonicalCell normalizes one rendered value: every numeric cell rounds to
-// 9 significant digits, because parallel aggregation may re-associate float
-// additions across worker partials. The renderer prints whole-valued floats
-// without a decimal point (12345.0 becomes "12345"), so integers and floats
-// are indistinguishable here and ALL in-range numerics must canonicalize
-// the same way for both sides of a comparison to agree; integers beyond
-// float53 precision stay exact strings (a float could not have produced
-// them losslessly). String literals arrive quoted and are left alone.
-func canonicalCell(s string) string {
-	if s == "" || strings.HasPrefix(s, "'") {
-		return s
-	}
-	f, err := strconv.ParseFloat(s, 64)
-	if err != nil || math.Abs(f) >= 1<<53 {
-		return s
-	}
-	return fmt.Sprintf("f:%.9g", f)
+// streamOutcome is one /stream replay: the collected rows (when the stream
+// ran to completion), time to first row, full-stream latency, and whether
+// the client cancelled mid-stream.
+type streamOutcome struct {
+	rows      [][]string
+	ttfr      time.Duration
+	total     time.Duration
+	gotFirst  bool
+	cancelled bool
 }
 
-// canonical renders a row multiset order-insensitively for comparison.
-func canonical(rows [][]string) string {
-	keys := make([]string, len(rows))
-	for i, r := range rows {
-		cells := make([]string, len(r))
-		for j, c := range r {
-			cells[j] = canonicalCell(c)
-		}
-		keys[i] = strings.Join(cells, "\x1f")
+// stream replays one query over the NDJSON streaming endpoint. With
+// cancelAfterFirstRow the request context is cancelled as soon as a row
+// arrives, exercising the server's mid-stream drain path.
+func (c *client) stream(session, sql string, cancelAfterFirstRow bool) (*streamOutcome, error) {
+	body, err := json.Marshal(map[string]any{"session": session, "sql": sql})
+	if err != nil {
+		return nil, err
 	}
-	sort.Strings(keys)
-	return strings.Join(keys, "\x1e")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &e)
+		return nil, fmt.Errorf("POST /stream: status %d: %s", resp.StatusCode, e.Error)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := &streamOutcome{}
+	sawHeader, done := false, false
+	for sc.Scan() {
+		var line struct {
+			Cols  []string `json:"cols"`
+			Row   []string `json:"row"`
+			Done  bool     `json:"done"`
+			Error string   `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("bad stream line %q: %w", sc.Text(), err)
+		}
+		switch {
+		case !sawHeader:
+			sawHeader = true
+		case line.Error != "":
+			return nil, fmt.Errorf("stream error: %s", line.Error)
+		case line.Done:
+			done = true
+		default:
+			if !out.gotFirst {
+				out.gotFirst = true
+				out.ttfr = time.Since(t0)
+			}
+			out.rows = append(out.rows, line.Row)
+			if cancelAfterFirstRow {
+				out.cancelled = true
+				out.total = time.Since(t0)
+				cancel() // hang up mid-stream; the server must drain cleanly
+				return out, nil
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !done {
+		return nil, fmt.Errorf("stream ended without trailer (server died mid-stream?)")
+	}
+	out.total = time.Since(t0)
+	return out, nil
 }
+
+// canonical renders a row multiset order-insensitively for comparison
+// (bench.CanonicalRows: floats at 9 significant digits, since parallel
+// aggregation may re-associate additions).
+func canonical(rows [][]string) string { return bench.CanonicalRows(rows) }
 
 // sessionCombo is one client's session settings.
 type sessionCombo struct {
@@ -186,7 +279,7 @@ var combos = []sessionCombo{
 	{"costbased", "sys2", true},
 }
 
-func runLoad(base string, clients, rounds, parallelism int) error {
+func runLoad(base string, clients, rounds, parallelism int, cancelFrac float64) error {
 	if !strings.HasPrefix(base, "http") {
 		base = "http://localhost" + base // allow -addr :8080 shorthand
 	}
@@ -210,9 +303,12 @@ func runLoad(base string, clients, rounds, parallelism int) error {
 	log.Printf("baseline recorded: %d corpus queries", len(bench.Corpus))
 
 	type stats struct {
-		queries    int64
-		mismatches int64
-		latencies  []time.Duration
+		queries      int64
+		mismatches   int64
+		cancelled    int64
+		rowsStreamed int64
+		latencies    []time.Duration
+		ttfrs        []time.Duration
 	}
 	results := make([]stats, clients)
 	start := time.Now()
@@ -227,6 +323,8 @@ func runLoad(base string, clients, rounds, parallelism int) error {
 			defer wg.Done()
 			combo := combos[i%len(combos)]
 			cl := &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}}
+			// Deterministic per-client stream-cancellation choices.
+			rng := rand.New(rand.NewSource(int64(i) + 1))
 			var mine struct {
 				Session string `json:"session"`
 			}
@@ -242,15 +340,23 @@ func runLoad(base string, clients, rounds, parallelism int) error {
 			}
 			for r := 0; r < rounds; r++ {
 				for _, q := range bench.Corpus {
-					t0 := time.Now()
-					var reply queryReply
-					if err := cl.post("/query", map[string]any{"session": mine.Session, "sql": q.SQL}, &reply); err != nil {
+					cancelThis := rng.Float64() < cancelFrac
+					out, err := cl.stream(mine.Session, q.SQL, cancelThis)
+					if err != nil {
 						errs <- fmt.Errorf("client %d (%+v) %s: %w", i, combo, q.Name, err)
 						return
 					}
-					results[i].latencies = append(results[i].latencies, time.Since(t0))
 					results[i].queries++
-					if canonical(reply.Rows) != baseline[q.Name] {
+					results[i].rowsStreamed += int64(len(out.rows))
+					if out.gotFirst {
+						results[i].ttfrs = append(results[i].ttfrs, out.ttfr)
+					}
+					if out.cancelled {
+						results[i].cancelled++
+						continue // a partial result can't be verified
+					}
+					results[i].latencies = append(results[i].latencies, out.total)
+					if canonical(out.rows) != baseline[q.Name] {
 						results[i].mismatches++
 						errs <- fmt.Errorf("client %d (%+v) %s: rows differ from serial baseline", i, combo, q.Name)
 					}
@@ -267,27 +373,35 @@ func runLoad(base string, clients, rounds, parallelism int) error {
 		log.Printf("ERROR: %v", err)
 	}
 
-	var all []time.Duration
-	var total int64
+	var all, ttfrs []time.Duration
+	var total, cancelled, rowsStreamed int64
 	for _, r := range results {
 		total += r.queries
+		cancelled += r.cancelled
+		rowsStreamed += r.rowsStreamed
 		all = append(all, r.latencies...)
+		ttfrs = append(ttfrs, r.ttfrs...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		if len(all) == 0 {
+	sort.Slice(ttfrs, func(i, j int) bool { return ttfrs[i] < ttfrs[j] })
+	pctOf := func(ds []time.Duration, p float64) time.Duration {
+		if len(ds) == 0 {
 			return 0
 		}
-		idx := int(p * float64(len(all)-1))
-		return all[idx]
+		return ds[int(p*float64(len(ds)-1))]
 	}
-	fmt.Printf("clients=%d rounds=%d queries=%d elapsed=%s\n", clients, rounds, total, elapsed.Round(time.Millisecond))
+	pct := func(p float64) time.Duration { return pctOf(all, p) }
+	fmt.Printf("clients=%d rounds=%d queries=%d cancelled=%d rows-streamed=%d elapsed=%s\n",
+		clients, rounds, total, cancelled, rowsStreamed, elapsed.Round(time.Millisecond))
 	if elapsed > 0 {
 		fmt.Printf("throughput: %.1f queries/sec\n", float64(total)/elapsed.Seconds())
 	}
-	fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s\n",
+	fmt.Printf("latency (full stream): p50=%s p95=%s p99=%s max=%s\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	fmt.Printf("time-to-first-row: p50=%s p95=%s max=%s\n",
+		pctOf(ttfrs, 0.50).Round(time.Microsecond), pctOf(ttfrs, 0.95).Round(time.Microsecond),
+		pctOf(ttfrs, 1.0).Round(time.Microsecond))
 
 	// Server-side cache effectiveness.
 	resp, err := c.http.Get(base + "/stats")
@@ -298,6 +412,7 @@ func runLoad(base string, clients, rounds, parallelism int) error {
 			fmt.Printf("server plan cache: %d hits / %d misses (%.1f%% hit rate), %d entries, %d evictions, %d deduped prepares\n",
 				st.Cache.Hits, st.Cache.Misses, 100*st.Cache.HitRate(), st.Cache.Size, st.Cache.Evictions,
 				st.PrepareDeduped)
+			fmt.Printf("server cancelled queries: %d (errors: %d)\n", st.QueriesCancelled, st.QueryErrors)
 			fmt.Printf("server queries by mode: %v\n", st.QueriesByMode)
 			fmt.Printf("server parallel: pool=%d workers, %d parallel queries, %d morsels, %d worker launches, %d admission waits\n",
 				st.Parallel.WorkersConfigured, st.Parallel.ParallelQueries,
@@ -307,6 +422,10 @@ func runLoad(base string, clients, rounds, parallelism int) error {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("all responses matched the serial baseline")
+	if cancelled > 0 {
+		fmt.Printf("all completed streams matched the serial baseline (%d cancelled mid-stream)\n", cancelled)
+	} else {
+		fmt.Println("all responses matched the serial baseline")
+	}
 	return nil
 }

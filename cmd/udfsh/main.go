@@ -14,21 +14,27 @@
 //	.vectorized on|off                  toggle the batch (vectorized) executor
 //	.parallel <n>                       intra-query worker degree (1 = serial)
 //	.profile sys1|sys2                  switch engine profile
+//	.timeout <dur>|off                  per-statement timeout (e.g. 500ms, 2s)
 //	.explain <query>                    show plan choices for a query
 //	.rewrite <query>                    show the decorrelated SQL
 //	.stats                              plan-cache, parallel and query counters
 //	.help                               this text
 //	.quit
 //
-// Statements end with ';' and may span lines.
+// Statements end with ';' and may span lines. Interactively, Ctrl-C cancels
+// the currently running statement (returning to the prompt) instead of
+// killing the shell.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -43,6 +49,34 @@ type shell struct {
 	svc         *server.Service
 	sess        *server.Session
 	interactive bool
+	// sigc receives SIGINT while a statement runs (interactive mode only);
+	// nil in script mode, where Ctrl-C keeps its default kill behavior.
+	sigc chan os.Signal
+}
+
+// statementCtx derives the context one statement runs under: cancelled by
+// Ctrl-C when interactive. The returned stop must be called when the
+// statement finishes.
+func (sh *shell) statementCtx() (context.Context, func()) {
+	if sh.sigc == nil {
+		return context.Background(), func() {}
+	}
+	// Drop any interrupt delivered while idle at the prompt, so it cannot
+	// cancel the next statement retroactively.
+	select {
+	case <-sh.sigc:
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sh.sigc:
+			cancel()
+		case <-done:
+		}
+	}()
+	return ctx, func() { close(done); cancel() }
 }
 
 func main() {
@@ -67,7 +101,11 @@ func main() {
 	}
 
 	if sh.interactive {
-		fmt.Println("udfdecorr shell — mode=rewrite profile=SYS1 (.help for commands)")
+		// Catch SIGINT so Ctrl-C cancels the running statement, not the
+		// shell. Script mode keeps the default (a Ctrl-C kills the replay).
+		sh.sigc = make(chan os.Signal, 1)
+		signal.Notify(sh.sigc, os.Interrupt)
+		fmt.Println("udfdecorr shell — mode=rewrite profile=SYS1 (.help for commands, Ctrl-C cancels a running statement)")
 	}
 	if err := sh.repl(in); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -169,6 +207,7 @@ func (sh *shell) meta(cmd string) (quit bool, err error) {
 		fmt.Println(".vectorized on|off                — batch executor")
 		fmt.Println(".parallel <n>                     — intra-query worker degree (1 = serial)")
 		fmt.Println(".profile sys1|sys2                — engine profile")
+		fmt.Println(".timeout <dur>|off                — per-statement timeout (e.g. 500ms, 2s)")
 		fmt.Println(".explain <query>                  — plan choices")
 		fmt.Println(".rewrite <query>                  — decorrelated SQL")
 		fmt.Println(".stats                            — plan cache + parallel + query counters")
@@ -231,6 +270,26 @@ func (sh *shell) meta(cmd string) (quit bool, err error) {
 			return false, perr
 		}
 		sh.sess.SetProfile(p)
+	case ".timeout":
+		if len(fields) < 2 {
+			if d := sh.sess.Timeout(); d > 0 {
+				fmt.Println("statement timeout:", d)
+			} else {
+				fmt.Println("statement timeout: off")
+			}
+			break
+		}
+		if fields[1] == "off" || fields[1] == "0" {
+			sh.sess.SetTimeout(0)
+			break
+		}
+		d, perr := time.ParseDuration(fields[1])
+		if perr != nil || d < 0 {
+			err := fmt.Errorf("usage: .timeout <duration>|off (e.g. .timeout 2s)")
+			fmt.Println(err)
+			return false, err
+		}
+		sh.sess.SetTimeout(d)
 	case ".stats":
 		fmt.Print(sh.svc.Stats().Format())
 	case ".explain":
@@ -272,9 +331,18 @@ func (sh *shell) run(src string) error {
 	upper := strings.ToUpper(trimmed)
 	switch {
 	case strings.HasPrefix(upper, "SELECT"):
+		ctx, stop := sh.statementCtx()
+		defer stop()
 		t0 := time.Now()
-		res, err := sh.svc.Query(sh.sess, trimmed)
+		res, err := sh.svc.QueryContext(ctx, sh.sess, trimmed)
 		if err != nil {
+			if sh.interactive && errors.Is(err, context.Canceled) {
+				fmt.Printf("cancelled after %s\n", time.Since(t0).Round(time.Millisecond))
+				return nil
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("statement timeout (%s) exceeded", sh.sess.Timeout())
+			}
 			return err
 		}
 		fmt.Print(res.Format())
@@ -282,7 +350,13 @@ func (sh *shell) run(src string) error {
 			len(res.Rows), time.Since(t0).Round(time.Microsecond),
 			res.Rewritten, res.CacheHit, res.Counters.UDFCalls)
 	default:
-		if err := sh.svc.Exec(sh.sess, trimmed); err != nil {
+		ctx, stop := sh.statementCtx()
+		defer stop()
+		if err := sh.svc.ExecContext(ctx, sh.sess, trimmed); err != nil {
+			if sh.interactive && errors.Is(err, context.Canceled) {
+				fmt.Println("cancelled (already-applied statements remain)")
+				return nil
+			}
 			return err
 		}
 		if sh.interactive {

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -149,11 +150,23 @@ func (e *Engine) planEmbedded(sel *ast.SelectStmt) (exec.Node, error) {
 // ExecScript runs DDL: CREATE TABLE and CREATE FUNCTION statements.
 // Any SELECT statements in the script are ignored (use Query).
 func (e *Engine) ExecScript(src string) error {
+	return e.ExecScriptContext(context.Background(), src)
+}
+
+// ExecScriptContext is ExecScript honoring cancellation between statements
+// (and inside INSERT value evaluation, which may invoke UDFs).
+func (e *Engine) ExecScriptContext(ctx context.Context, src string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	script, err := parser.ParseScript(src)
 	if err != nil {
 		return err
 	}
 	for _, t := range script.Tables {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		meta, err := e.Cat.AddTableFromAST(t)
 		if err != nil {
 			return err
@@ -168,7 +181,10 @@ func (e *Engine) ExecScript(src string) error {
 		}
 	}
 	for _, ins := range script.Inserts {
-		if err := e.execInsert(ins); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.execInsert(ctx, ins); err != nil {
 			return err
 		}
 	}
@@ -177,7 +193,7 @@ func (e *Engine) ExecScript(src string) error {
 
 // execInsert evaluates a top-level INSERT's value expressions (constants
 // and pure scalar expressions) and appends the row.
-func (e *Engine) execInsert(ins *ast.InsertStmt) error {
+func (e *Engine) execInsert(goctx context.Context, ins *ast.InsertStmt) error {
 	meta, ok := e.Cat.Table(ins.Table)
 	if !ok {
 		return fmt.Errorf("unknown table %q", ins.Table)
@@ -186,7 +202,7 @@ func (e *Engine) execInsert(ins *ast.InsertStmt) error {
 		return fmt.Errorf("INSERT into %s: %d values for %d columns",
 			ins.Table, len(ins.Values), len(meta.Cols))
 	}
-	ctx := exec.NewCtx(e.Interp)
+	ctx := exec.NewCtxContext(goctx, e.Interp)
 	row := make(storage.Row, len(ins.Values))
 	for i, expr := range ins.Values {
 		v, err := e.Interp.EvalProcExpr(ctx, expr)
@@ -342,20 +358,26 @@ func (e *Engine) Prepare(sql string) (*Prepared, error) {
 // iteratively (each invocation runs at least one embedded query).
 const iterativeRowCost = 50
 
-// Run executes a prepared query under a fresh context. The Prepared may
-// have been compiled by a different engine view over the same catalog and
-// store (the shared plan cache path): UDF calls resolve through this
+// Run executes a prepared query under a fresh context, materializing the
+// full result (a thin wrapper over the streaming RunContext). The Prepared
+// may have been compiled by a different engine view over the same catalog
+// and store (the shared plan cache path): UDF calls resolve through this
 // engine's interpreter via the context.
 func (e *Engine) Run(p *Prepared) (*Result, error) {
-	ctx := exec.NewCtx(e.Interp)
-	rows, err := exec.Drain(p.Node, ctx)
+	return e.RunMaterialized(context.Background(), p)
+}
+
+// RunMaterialized executes a prepared query to completion under ctx,
+// returning the materialized result (or ctx's error if cancelled mid-run).
+func (e *Engine) RunMaterialized(ctx context.Context, p *Prepared) (*Result, error) {
+	rows, err := e.RunContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Cols: p.Cols, Rows: rows, Counters: *ctx.Counters, Rewritten: p.Rewritten}, nil
+	return rows.Materialize()
 }
 
-// Query executes a SELECT statement.
+// Query executes a SELECT statement, materializing the full result.
 func (e *Engine) Query(sql string) (*Result, error) {
 	p, err := e.Prepare(sql)
 	if err != nil {

@@ -1,0 +1,313 @@
+// Streaming query API: Rows is a pull cursor over an executing plan, the
+// context-aware counterpart of the materializing Query/Run entry points
+// (which are now thin wrappers over it). A Rows lazily drives the underlying
+// exec.Node — batch-wise when the plan has a native vectorized path, row-wise
+// otherwise — so the first row is visible before the last is computed, and a
+// cancelled or timed-out context stops execution at the next row/batch
+// boundary with context.Canceled / context.DeadlineExceeded.
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"udfdecorr/internal/exec"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// Rows is a streaming query result cursor:
+//
+//	rows, err := eng.QueryContext(ctx, sql)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var k int64
+//	    var name string
+//	    if err := rows.Scan(&k, &name); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// A Rows is single-goroutine (like the plan's execution context). It closes
+// itself when the stream ends or fails, so resources (and any OnClose hook)
+// release promptly even without an explicit Close; Close stays idempotent
+// and is still required when abandoning a cursor early.
+type Rows struct {
+	cols      []string
+	rewritten bool
+	ectx      *exec.Ctx
+
+	it    exec.Iter      // row path (nil when the plan is batch-native)
+	bit   exec.BatchIter // batch path
+	batch *exec.Batch    // current batch (owned by bit, valid until next pull)
+	bpos  int            // next live index in batch
+
+	cur     storage.Row
+	err     error
+	closed  bool
+	onClose func(err error)
+}
+
+// RunContext starts executing a prepared query under the given context,
+// returning a pull cursor. Planning side-effects are the same as Run's; no
+// rows are produced until Next is called (pipeline breakers — sorts,
+// aggregations — still do their work on the first pull).
+func (e *Engine) RunContext(ctx context.Context, p *Prepared) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ectx := exec.NewCtxContext(ctx, e.Interp)
+	r := &Rows{cols: p.Cols, rewritten: p.Rewritten, ectx: ectx}
+	if _, ok := p.Node.(exec.BatchNode); ok {
+		bit, err := exec.OpenBatches(p.Node, ectx)
+		if err != nil {
+			return nil, err
+		}
+		r.bit = bit
+	} else {
+		it, err := p.Node.Open(ectx)
+		if err != nil {
+			return nil, err
+		}
+		r.it = it
+	}
+	return r, nil
+}
+
+// PrepareContext is Prepare honoring cancellation (planning is CPU-bound
+// and brief; the check brackets it rather than interleaving).
+func (e *Engine) PrepareContext(ctx context.Context, sql string) (*Prepared, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return e.Prepare(sql)
+}
+
+// QueryContext parses, plans and starts a SELECT, returning the streaming
+// cursor.
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*Rows, error) {
+	p, err := e.PrepareContext(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunContext(ctx, p)
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Rewritten reports whether the decorrelated form is executing.
+func (r *Rows) Rewritten() bool { return r.rewritten }
+
+// Next advances to the next row, reporting false at end of stream or on
+// error (distinguish with Err).
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if err := r.ectx.Cancelled(); err != nil {
+		r.fail(err)
+		return false
+	}
+	if r.it != nil {
+		row, ok, err := r.it.Next()
+		if err != nil {
+			r.fail(err)
+			return false
+		}
+		if !ok {
+			r.finish()
+			return false
+		}
+		r.cur = row
+		return true
+	}
+	for {
+		if r.batch != nil && r.bpos < r.batch.Len() {
+			r.cur = r.batch.Row(r.batch.LiveAt(r.bpos))
+			r.bpos++
+			return true
+		}
+		b, ok, err := r.bit.NextBatch(exec.DefaultBatchSize)
+		if err != nil {
+			r.fail(err)
+			return false
+		}
+		if !ok {
+			r.finish()
+			return false
+		}
+		r.batch, r.bpos = b, 0
+	}
+}
+
+// Row returns the current row (valid until the next Next call).
+func (r *Rows) Row() storage.Row { return r.cur }
+
+// Scan copies the current row into dest, one target per column. Supported
+// targets: *sqltypes.Value, *any, *int64, *float64, *string, *bool (numeric
+// targets convert between int and float; NULL only scans into *sqltypes.Value
+// or *any).
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("engine: Scan called without a current row")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("engine: Scan got %d targets for %d columns", len(dest), len(r.cur))
+	}
+	for i, d := range dest {
+		v := r.cur[i]
+		switch t := d.(type) {
+		case *sqltypes.Value:
+			*t = v
+		case *any:
+			*t = v.Go()
+		case *int64:
+			iv, ok := v.AsInt()
+			if !ok {
+				return fmt.Errorf("engine: column %d (%s) is %s, not scannable into int64", i, r.cols[i], v.Kind())
+			}
+			*t = iv
+		case *float64:
+			fv, ok := v.AsFloat()
+			if !ok {
+				return fmt.Errorf("engine: column %d (%s) is %s, not scannable into float64", i, r.cols[i], v.Kind())
+			}
+			*t = fv
+		case *string:
+			if v.Kind() != sqltypes.KindString {
+				return fmt.Errorf("engine: column %d (%s) is %s, not scannable into string", i, r.cols[i], v.Kind())
+			}
+			*t = v.Str()
+		case *bool:
+			if v.Kind() != sqltypes.KindBool {
+				return fmt.Errorf("engine: column %d (%s) is %s, not scannable into bool", i, r.cols[i], v.Kind())
+			}
+			*t = v.Bool()
+		default:
+			return fmt.Errorf("engine: unsupported Scan target %T for column %d", d, i)
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated the stream, if any. End of stream
+// is not an error; cancellation surfaces as context.Canceled (or
+// DeadlineExceeded) from the offending pull.
+func (r *Rows) Err() error { return r.err }
+
+// Counters snapshots the execution counters. Parallel workers' counters are
+// absorbed when their operator drains or closes, so read after the stream
+// finished (Next returned false) or after Close for complete numbers.
+func (r *Rows) Counters() exec.Counters { return *r.ectx.Counters }
+
+// OnClose registers a hook invoked exactly once when the cursor closes
+// (explicitly, at end of stream, or on error), receiving the terminal error
+// (nil on clean completion). The query service uses it to release worker
+// slots and the DDL gate as soon as a stream ends.
+func (r *Rows) OnClose(fn func(err error)) {
+	if r.closed {
+		fn(r.err)
+		return
+	}
+	r.onClose = fn
+}
+
+// fail records the terminal error and releases resources.
+func (r *Rows) fail(err error) {
+	r.err = err
+	r.cur = nil
+	_ = r.Close()
+}
+
+// finish marks clean end of stream and releases resources.
+func (r *Rows) finish() {
+	r.cur = nil
+	_ = r.Close()
+}
+
+// Close releases the cursor's resources: it stops and drains any parallel
+// workers (absorbing their counters) and fires the OnClose hook. Closing a
+// cursor abandoned under a cancelled context records the context error so
+// Err (and the hook) see the cancellation. Idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var cerr error
+	if r.it != nil {
+		cerr = r.it.Close()
+	} else if r.bit != nil {
+		cerr = r.bit.Close()
+	}
+	if r.err == nil {
+		if err := r.ectx.Cancelled(); err != nil {
+			r.err = err
+		} else if cerr != nil {
+			// A failed teardown is a failed query: Err and the OnClose hook
+			// must agree with what Close returns.
+			r.err = cerr
+		}
+	}
+	if r.onClose != nil {
+		fn := r.onClose
+		r.onClose = nil
+		fn(r.err)
+	}
+	return cerr
+}
+
+// Materialize drains the remaining stream into a Result and closes the
+// cursor. On the batch path rows are carved out arena-wise per batch, so
+// Run/Query keep their pre-streaming materialization cost.
+func (r *Rows) Materialize() (*Result, error) {
+	defer r.Close()
+	if r.err != nil {
+		return nil, r.err
+	}
+	var rows []storage.Row
+	if r.bit != nil && !r.closed {
+		// Remainder of a batch already pulled via Next, if any.
+		for r.batch != nil && r.bpos < r.batch.Len() {
+			rows = append(rows, r.batch.Row(r.batch.LiveAt(r.bpos)))
+			r.bpos++
+		}
+		for {
+			if err := r.ectx.Cancelled(); err != nil {
+				r.fail(err)
+				return nil, err
+			}
+			b, ok, err := r.bit.NextBatch(exec.DefaultBatchSize)
+			if err != nil {
+				r.fail(err)
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			rows = b.AppendTo(rows)
+		}
+	} else {
+		for r.Next() {
+			rows = append(rows, r.cur)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	// Close before snapshotting counters: parallel operators absorb worker
+	// counters on close.
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return &Result{Cols: r.cols, Rows: rows, Counters: *r.ectx.Counters, Rewritten: r.rewritten}, nil
+}

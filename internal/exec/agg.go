@@ -300,6 +300,9 @@ func (h *HashAgg) Open(ctx *Ctx) (Iter, error) {
 	keyVals := make([]sqltypes.Value, len(h.Keys))
 	argBuf := make([]sqltypes.Value, 8)
 	for {
+		if err := ctx.Cancelled(); err != nil {
+			return nil, err
+		}
 		row, ok, err := it.Next()
 		if err != nil {
 			return nil, err

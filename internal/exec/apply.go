@@ -84,6 +84,9 @@ func (it *applyIter) Next() (storage.Row, bool, error) {
 outer:
 	for {
 		if !it.active {
+			if err := it.ctx.Cancelled(); err != nil {
+				return nil, false, err
+			}
 			l, ok, err := it.li.Next()
 			if err != nil || !ok {
 				return nil, false, err

@@ -104,6 +104,9 @@ type filterIter struct {
 
 func (f *filterIter) Next() (storage.Row, bool, error) {
 	for {
+		if err := f.ctx.Cancelled(); err != nil {
+			return nil, false, err
+		}
 		r, ok, err := f.in.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -163,6 +166,9 @@ type projectIter struct {
 
 func (p *projectIter) Next() (storage.Row, bool, error) {
 	for {
+		if err := p.ctx.Cancelled(); err != nil {
+			return nil, false, err
+		}
 		r, ok, err := p.in.Next()
 		if err != nil || !ok {
 			return nil, false, err

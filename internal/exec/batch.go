@@ -155,6 +155,9 @@ func DrainBatches(n Node, ctx *Ctx) ([]storage.Row, error) {
 	defer bi.Close()
 	var out []storage.Row
 	for {
+		if err := ctx.Cancelled(); err != nil {
+			return nil, err
+		}
 		b, ok, err := bi.NextBatch(DefaultBatchSize)
 		if err != nil {
 			return nil, err

@@ -166,6 +166,9 @@ func (g *groupTable) consume(ctx *Ctx, in BatchIter, keys []VecEvaluator, args [
 	}
 	argBuf := make([]sqltypes.Value, 8)
 	for {
+		if err := ctx.Cancelled(); err != nil {
+			return err
+		}
 		b, ok, err := in.NextBatch(DefaultBatchSize)
 		if err != nil {
 			return err

@@ -29,7 +29,7 @@ func (s *BatchScan) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(s, 
 
 // OpenBatch implements BatchNode.
 func (s *BatchScan) OpenBatch(ctx *Ctx) (BatchIter, error) {
-	return &batchScanIter{rows: s.Tab.Rows, width: len(s.schema)}, nil
+	return &batchScanIter{rows: s.Tab.Rows, width: len(s.schema), ctx: ctx}, nil
 }
 
 type batchScanIter struct {
@@ -37,9 +37,15 @@ type batchScanIter struct {
 	pos   int
 	width int
 	buf   *Batch
+	ctx   *Ctx // nil for internal materialized feeds (parallelGroupBy output)
 }
 
 func (s *batchScanIter) NextBatch(max int) (*Batch, bool, error) {
+	if s.ctx != nil {
+		if err := s.ctx.Cancelled(); err != nil {
+			return nil, false, err
+		}
+	}
 	if s.pos >= len(s.rows) {
 		return nil, false, nil
 	}
@@ -103,6 +109,9 @@ type batchFilterIter struct {
 
 func (f *batchFilterIter) NextBatch(max int) (*Batch, bool, error) {
 	for {
+		if err := f.ctx.Cancelled(); err != nil {
+			return nil, false, err
+		}
 		b, ok, err := f.in.NextBatch(max)
 		if err != nil || !ok {
 			return nil, false, err
@@ -563,6 +572,9 @@ func (a *BatchScalarAgg) OpenBatch(ctx *Ctx) (BatchIter, error) {
 	}
 	var rowArgs []sqltypes.Value
 	for {
+		if err := ctx.Cancelled(); err != nil {
+			return nil, err
+		}
 		b, ok, err := in.NextBatch(DefaultBatchSize)
 		if err != nil {
 			return nil, err

@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"udfdecorr/internal/algebra"
@@ -44,14 +45,56 @@ type Ctx struct {
 	Interp   *Interp
 	Counters *Counters
 	depth    int // current UDF call nesting (bounded by maxCallDepth)
+
+	// goctx carries the caller's cancellation signal; done caches its Done
+	// channel (nil for non-cancellable contexts, keeping Cancelled a single
+	// nil check on the hot path). Operators poll Cancelled at their pull
+	// boundaries: per row on the volcano path, per NextBatch on the
+	// vectorized path, and per statement in the UDF interpreter.
+	goctx context.Context
+	done  <-chan struct{}
 }
 
-// NewCtx returns a context with one (global) frame.
+// NewCtx returns a non-cancellable context with one (global) frame.
 func NewCtx(interp *Interp) *Ctx {
+	return NewCtxContext(context.Background(), interp)
+}
+
+// NewCtxContext returns a context whose execution is cancelled when goctx
+// is: operators return goctx.Err() (unwrapped, so errors.Is sees
+// context.Canceled / DeadlineExceeded) at the next pull boundary.
+func NewCtxContext(goctx context.Context, interp *Interp) *Ctx {
+	if goctx == nil {
+		goctx = context.Background()
+	}
 	return &Ctx{
 		frames:   []map[string]sqltypes.Value{{}},
 		Interp:   interp,
 		Counters: &Counters{},
+		goctx:    goctx,
+		done:     goctx.Done(),
+	}
+}
+
+// Context returns the Go context the execution was started under.
+func (c *Ctx) Context() context.Context {
+	if c.goctx == nil {
+		return context.Background()
+	}
+	return c.goctx
+}
+
+// Cancelled reports the cancellation error once the context is done, nil
+// while execution may proceed. It is cheap enough to poll per row.
+func (c *Ctx) Cancelled() error {
+	if c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.goctx.Err()
+	default:
+		return nil
 	}
 }
 
@@ -70,7 +113,8 @@ func (c *Ctx) forkWorker() *Ctx {
 		}
 		frames[i] = nf
 	}
-	return &Ctx{frames: frames, Interp: c.Interp, Counters: &Counters{}, depth: c.depth}
+	return &Ctx{frames: frames, Interp: c.Interp, Counters: &Counters{}, depth: c.depth,
+		goctx: c.goctx, done: c.done}
 }
 
 // Push adds a new variable frame (entering a UDF call or apply scope).
@@ -143,6 +187,9 @@ func Drain(n Node, ctx *Ctx) ([]storage.Row, error) {
 	defer it.Close()
 	var out []storage.Row
 	for {
+		if err := ctx.Cancelled(); err != nil {
+			return nil, err
+		}
 		r, ok, err := it.Next()
 		if err != nil {
 			return nil, err

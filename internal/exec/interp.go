@@ -205,9 +205,14 @@ func (in *Interp) Accumulate(ctx *Ctx, def *catalog.Aggregate, state map[string]
 	return nil
 }
 
-// execStmts executes a statement list.
+// execStmts executes a statement list. The per-statement cancellation check
+// is what makes a runaway UDF (e.g. a hot WHILE loop, whose body re-enters
+// here every iteration) respond to query cancellation and timeouts.
 func (in *Interp) execStmts(ctx *Ctx, st *procState, stmts []ast.Stmt) (control, sqltypes.Value, error) {
 	for _, s := range stmts {
+		if err := ctx.Cancelled(); err != nil {
+			return ctlNext, sqltypes.Null, err
+		}
 		ctl, v, err := in.execStmt(ctx, st, s)
 		if err != nil {
 			return ctlNext, sqltypes.Null, err
@@ -333,6 +338,9 @@ func (in *Interp) execStmt(ctx *Ctx, st *procState, s ast.Stmt) (control, sqltyp
 		for iter := 0; ; iter++ {
 			if iter >= maxLoopIterations {
 				return ctlNext, sqltypes.Null, Errorf("WHILE loop exceeded %d iterations", maxLoopIterations)
+			}
+			if err := ctx.Cancelled(); err != nil {
+				return ctlNext, sqltypes.Null, err
 			}
 			c, err := in.EvalProcExpr(ctx, n.Cond)
 			if err != nil {

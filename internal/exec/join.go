@@ -99,6 +99,9 @@ outer:
 			return row, true, nil
 		}
 		if !it.active {
+			if err := it.ctx.Cancelled(); err != nil {
+				return nil, false, err
+			}
 			l, ok, err := it.li.Next()
 			if err != nil || !ok {
 				return nil, false, err
@@ -279,6 +282,9 @@ func (it *hashJoinIter) Next() (storage.Row, bool, error) {
 outer:
 	for {
 		if !it.active {
+			if err := it.ctx.Cancelled(); err != nil {
+				return nil, false, err
+			}
 			l, ok, err := it.li.Next()
 			if err != nil || !ok {
 				return nil, false, err

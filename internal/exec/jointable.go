@@ -93,6 +93,9 @@ func buildJoinTable(ctx *Ctx, build Node, keyFs []VecFactory, parts int) (*joinT
 	intsOnly := len(rkeys) == 1
 	var entries []buildEntry
 	for {
+		if err := ctx.Cancelled(); err != nil {
+			return nil, err
+		}
 		b, ok, err := ri.NextBatch(DefaultBatchSize)
 		if err != nil {
 			return nil, err
@@ -194,6 +197,9 @@ func buildJoinTableSerial(ctx *Ctx, build Node, keyFs []VecFactory) (*joinTable,
 	table := make(map[string][]storage.Row)
 	intTable := make(map[int64][]storage.Row)
 	for {
+		if err := ctx.Cancelled(); err != nil {
+			return nil, err
+		}
 		b, ok, err := ri.NextBatch(DefaultBatchSize)
 		if err != nil {
 			return nil, err

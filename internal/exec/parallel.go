@@ -118,6 +118,12 @@ type morselScanIter struct {
 }
 
 func (m *morselScanIter) NextBatch(max int) (*Batch, bool, error) {
+	// Checked per batch, so a cancelled worker stops within the current
+	// morsel; the dispenser itself stops handing out morsels because every
+	// worker's context shares the same Done channel.
+	if err := m.ctx.Cancelled(); err != nil {
+		return nil, false, err
+	}
 	if m.lo >= m.hi {
 		lo, hi, ok := m.src.grab()
 		if !ok {
@@ -363,6 +369,12 @@ func (x *exchangeIter) NextBatch(max int) (*Batch, bool, error) {
 			case err := <-x.errc:
 				return nil, false, err
 			default:
+				// Workers can also exit by observing cancellation before
+				// producing an error (e.g. parked on a send when the parent
+				// closed done): report the cancellation, not a silent EOS.
+				if err := x.parent.Cancelled(); err != nil {
+					return nil, false, err
+				}
 				return nil, false, nil
 			}
 		}

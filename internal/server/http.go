@@ -4,15 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"udfdecorr/internal/engine"
 )
 
 // NewHandler builds the HTTP/JSON API over a service:
 //
-//	POST /session  {"mode","profile","vectorized"}  -> {"session"}
+//	POST /session  {"mode","profile","vectorized","parallelism","timeout_ms"} -> {"session"}
 //	POST /session/close {"session"}                 -> {"ok"}
 //	POST /query    {"session","sql"}                -> rows + metadata
+//	POST /stream   {"session","sql"}                -> NDJSON row stream
 //	POST /exec     {"session","script"}             -> {"ok"}
 //	POST /explain  {"session","sql"}                -> {"explain"}
 //	GET  /stats                                     -> Stats
@@ -20,11 +22,25 @@ import (
 // The empty session ID addresses a shared default session (SYS1, rewrite
 // mode). Row values are rendered in SQL literal syntax (strings quoted,
 // NULL bare) so clients can compare results unambiguously.
+//
+// Both /query and /stream execute under the request context: a client that
+// disconnects (or a session statement timeout that fires) cancels the query
+// at the next row/batch boundary and releases its worker slots; the query
+// counts as cancelled, not errored, in /stats.
+//
+// /stream wire format (Content-Type application/x-ndjson, one JSON object
+// per line, flushed per row):
+//
+//	{"cols":["k","v"],"rewritten":true,"cache_hit":false}   header, first line
+//	{"row":["1","'a'"]}                                     one line per row
+//	{"done":true,"row_count":2,"elapsed_us":1234,...}       trailer on success
+//	{"error":"..."}                                         trailer on failure
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) { handleSession(svc, w, r) })
 	mux.HandleFunc("/session/close", func(w http.ResponseWriter, r *http.Request) { handleSessionClose(svc, w, r) })
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { handleQuery(svc, w, r) })
+	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) { handleStream(svc, w, r) })
 	mux.HandleFunc("/exec", func(w http.ResponseWriter, r *http.Request) { handleExec(svc, w, r) })
 	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { handleExplain(svc, w, r) })
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(svc, w, r) })
@@ -38,6 +54,8 @@ type sessionRequest struct {
 	// Parallelism is the intra-query worker degree (0 adopts the server's
 	// default; effective on the vectorized executor).
 	Parallelism int `json:"parallelism"`
+	// TimeoutMS is the per-statement timeout in milliseconds (0 = none).
+	TimeoutMS int64 `json:"timeout_ms"`
 }
 
 type sessionResponse struct {
@@ -46,6 +64,7 @@ type sessionResponse struct {
 	Profile     string `json:"profile"`
 	Vectorized  bool   `json:"vectorized"`
 	Parallelism int    `json:"parallelism"`
+	TimeoutMS   int64  `json:"timeout_ms"`
 }
 
 type queryRequest struct {
@@ -144,12 +163,16 @@ func handleSession(svc *Service, w http.ResponseWriter, r *http.Request) {
 		profile.Parallelism = svc.DefaultParallelism()
 	}
 	sess := svc.CreateSession(profile, mode)
+	if req.TimeoutMS > 0 {
+		sess.SetTimeout(time.Duration(req.TimeoutMS) * time.Millisecond)
+	}
 	writeJSON(w, http.StatusOK, sessionResponse{
 		Session:     sess.ID,
 		Mode:        mode.String(),
 		Profile:     profile.Name,
 		Vectorized:  profile.Vectorized,
 		Parallelism: profile.Parallelism,
+		TimeoutMS:   req.TimeoutMS,
 	})
 }
 
@@ -171,7 +194,7 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := svc.Query(sess, req.SQL)
+	res, err := svc.QueryContext(r.Context(), sess, req.SQL)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -198,6 +221,95 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// streamHeader is the first NDJSON line of a /stream response.
+type streamHeader struct {
+	Cols      []string `json:"cols"`
+	Rewritten bool     `json:"rewritten"`
+	CacheHit  bool     `json:"cache_hit"`
+}
+
+// streamRow is one result row line.
+type streamRow struct {
+	Row []string `json:"row"`
+}
+
+// streamTrailer terminates a /stream response: Done with summary metadata
+// on success, Error otherwise (including "context canceled" when the
+// session timeout fired — the client sees why its stream stopped short).
+type streamTrailer struct {
+	Done      bool   `json:"done,omitempty"`
+	RowCount  int    `json:"row_count,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us,omitempty"`
+	UDFCalls  int64  `json:"udf_calls,omitempty"`
+	Morsels   int64  `json:"morsels,omitempty"`
+	Workers   int64  `json:"workers,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func handleStream(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	sess, ok := resolveSession(svc, w, req.Session)
+	if !ok {
+		return
+	}
+	st, err := svc.QueryStream(r.Context(), sess, req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer st.Rows.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	flush := func() { _ = rc.Flush() }
+
+	if err := enc.Encode(streamHeader{Cols: st.Rows.Columns(), Rewritten: st.Rows.Rewritten(), CacheHit: st.CacheHit}); err != nil {
+		return
+	}
+	flush()
+
+	n := 0
+	var line streamRow
+	for st.Rows.Next() {
+		row := st.Rows.Row()
+		if cap(line.Row) < len(row) {
+			line.Row = make([]string, len(row))
+		}
+		line.Row = line.Row[:len(row)]
+		for i, v := range row {
+			line.Row[i] = v.String()
+		}
+		if err := enc.Encode(line); err != nil {
+			// Client went away mid-stream; the request context cancels the
+			// query, Close (deferred) releases its slots.
+			return
+		}
+		n++
+		flush()
+	}
+	st.Rows.Close() // settle Err and absorb parallel counters
+	if err := st.Rows.Err(); err != nil {
+		_ = enc.Encode(streamTrailer{Error: err.Error()})
+		flush()
+		return
+	}
+	c := st.Rows.Counters()
+	_ = enc.Encode(streamTrailer{
+		Done:      true,
+		RowCount:  n,
+		ElapsedUS: time.Since(st.Started).Microseconds(),
+		UDFCalls:  c.UDFCalls,
+		Morsels:   c.Morsels,
+		Workers:   c.Workers,
+	})
+	flush()
+}
+
 func handleExec(svc *Service, w http.ResponseWriter, r *http.Request) {
 	var req execRequest
 	if !decodePost(w, r, &req) {
@@ -207,7 +319,7 @@ func handleExec(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := svc.Exec(sess, req.Script); err != nil {
+	if err := svc.ExecContext(r.Context(), sess, req.Script); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -1,0 +1,166 @@
+package server_test
+
+// End-to-end tests of the /stream NDJSON endpoint: wire format (header,
+// row lines, trailer), and client-disconnect cancellation observable in
+// /stats as a cancelled (not errored) query with the server still healthy.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"udfdecorr/internal/engine"
+	"udfdecorr/internal/server"
+)
+
+type streamLine struct {
+	Cols     []string `json:"cols"`
+	Row      []string `json:"row"`
+	Done     bool     `json:"done"`
+	RowCount int      `json:"row_count"`
+	Error    string   `json:"error"`
+}
+
+func postStream(t *testing.T, ctx context.Context, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPStreamWireFormat(t *testing.T) {
+	svc := newBenchService(t, server.DefaultOptions())
+	ts := httptest.NewServer(server.NewHandler(svc))
+	defer ts.Close()
+
+	resp := postStream(t, context.Background(), ts.URL+"/stream",
+		`{"sql":"select custkey, lvl(custkey) from customer where custkey < 5"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lines []streamLine
+	for sc.Scan() {
+		var l streamLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream had %d lines, want header + rows + trailer", len(lines))
+	}
+	header, trailer, rows := lines[0], lines[len(lines)-1], lines[1:len(lines)-1]
+	if len(header.Cols) != 2 || header.Cols[0] != "custkey" {
+		t.Fatalf("header = %+v", header)
+	}
+	if !trailer.Done || trailer.Error != "" {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+	if trailer.RowCount != len(rows) {
+		t.Fatalf("trailer row_count %d != %d streamed rows", trailer.RowCount, len(rows))
+	}
+	if len(rows) != 4 { // custkeys are 1-based: 1..4
+		t.Fatalf("streamed %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Row) != 2 {
+			t.Fatalf("row line %+v has %d cells", r, len(r.Row))
+		}
+	}
+}
+
+func TestHTTPStreamQueryErrorInTrailer(t *testing.T) {
+	svc := newBenchService(t, server.DefaultOptions())
+	ts := httptest.NewServer(server.NewHandler(svc))
+	defer ts.Close()
+
+	// A planning error is rejected before streaming starts (plain JSON 400).
+	resp := postStream(t, context.Background(), ts.URL+"/stream", `{"sql":"select nope from nowhere"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for a planning error", resp.StatusCode)
+	}
+}
+
+func TestHTTPStreamClientDisconnectCancelsQuery(t *testing.T) {
+	svc := newStreamHTTPService(t, 200_000)
+	ts := httptest.NewServer(server.NewHandler(svc))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resp := postStream(t, ctx, ts.URL+"/stream", `{"sql":"select k from t where v >= 0"}`)
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no header line: %v", sc.Err())
+	}
+	if !sc.Scan() {
+		t.Fatalf("no first row: %v", sc.Err())
+	}
+	// Hang up mid-stream: the request context on the server cancels the
+	// query at the next row boundary.
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := svc.Stats()
+		if st.QueriesCancelled >= 1 {
+			if st.QueryErrors != 0 {
+				t.Fatalf("disconnect counted as error: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never recorded the cancelled stream: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Server stays healthy: a fresh query on the same service succeeds.
+	resp2 := postStream(t, context.Background(), ts.URL+"/stream", `{"sql":"select k from t where k < 3"}`)
+	defer resp2.Body.Close()
+	sc2 := bufio.NewScanner(resp2.Body)
+	n := 0
+	for sc2.Scan() {
+		n++
+	}
+	if n != 5 { // header + 3 rows + trailer
+		t.Fatalf("post-disconnect stream had %d lines, want 5", n)
+	}
+}
+
+// newStreamHTTPService builds a service over t(k, v) with n rows (external
+// test package variant of the internal helper).
+func newStreamHTTPService(t *testing.T, n int) *server.Service {
+	t.Helper()
+	boot := engine.New(engine.SYS1, engine.ModeRewrite)
+	if err := boot.ExecScript(`create table t (k int, v int);`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(i), int64(i % 53)}
+	}
+	boot.MustLoadInts("t", rows)
+	return server.NewServiceFromEngine(boot, server.DefaultOptions())
+}

@@ -15,6 +15,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,6 +25,7 @@ import (
 
 	"udfdecorr/internal/catalog"
 	"udfdecorr/internal/engine"
+	"udfdecorr/internal/exec"
 	"udfdecorr/internal/storage"
 )
 
@@ -59,13 +62,16 @@ type admission struct {
 	size  int
 	waits int64 // acquisitions that had to block
 	// FIFO tickets: an acquire proceeds only when it holds the serving
-	// ticket AND enough slots are free.
+	// ticket AND enough slots are free. A waiter whose context is cancelled
+	// before being served marks its ticket abandoned so the line advances
+	// past it.
 	nextTicket uint64
 	serving    uint64
+	abandoned  map[uint64]bool
 }
 
 func newAdmission(size int) *admission {
-	a := &admission{free: size, size: size}
+	a := &admission{free: size, size: size, abandoned: map[uint64]bool{}}
 	a.cond = sync.NewCond(&a.mu)
 	return a
 }
@@ -73,28 +79,75 @@ func newAdmission(size int) *admission {
 // acquire claims n slots (clamped to the pool size so a degree larger than
 // the pool still admits) and returns the granted count. Pair with release.
 func (a *admission) acquire(n int) int {
+	granted, _ := a.acquireCtx(context.Background(), n)
+	return granted
+}
+
+// acquireCtx is acquire honoring cancellation: a waiter whose context is
+// done leaves the line (abandoning its FIFO ticket) and returns ctx's error
+// having claimed nothing, so a client that gives up on a saturated pool
+// neither holds slots nor blocks the queries behind it.
+func (a *admission) acquireCtx(ctx context.Context, n int) (int, error) {
 	if n > a.size {
 		n = a.size
 	}
 	if n < 1 {
 		n = 1
 	}
+	if done := ctx.Done(); done != nil {
+		// Wake the condition variable when the context fires. Taking the
+		// lock before broadcasting pairs with the waiter's check-then-Wait
+		// critical section, so the wakeup cannot be missed.
+		defer context.AfterFunc(ctx, func() {
+			a.mu.Lock()
+			a.cond.Broadcast()
+			a.mu.Unlock()
+		})()
+	}
 	a.mu.Lock()
 	ticket := a.nextTicket
 	a.nextTicket++
 	blocked := false
 	for a.serving != ticket || a.free < n {
+		if err := ctx.Err(); err != nil {
+			if a.serving == ticket {
+				a.advance()
+			} else {
+				a.abandoned[ticket] = true
+			}
+			a.mu.Unlock()
+			a.cond.Broadcast()
+			return 0, err
+		}
 		if !blocked {
 			blocked = true
 			a.waits++
 		}
 		a.cond.Wait()
 	}
-	a.serving++
+	a.advance()
 	a.free -= n
 	a.mu.Unlock()
 	a.cond.Broadcast() // hand the line to the next ticket holder
-	return n
+	return n, nil
+}
+
+// advance hands the line to the next still-waiting ticket holder (caller
+// holds mu).
+func (a *admission) advance() {
+	a.serving++
+	for a.abandoned[a.serving] {
+		delete(a.abandoned, a.serving)
+		a.serving++
+	}
+}
+
+// freeSlots reports the currently unclaimed slots (tests assert the pool
+// refills after cancelled streams).
+func (a *admission) freeSlots() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.free
 }
 
 // release returns n slots to the pool.
@@ -141,14 +194,15 @@ type Service struct {
 	sessions map[string]*Session
 	seq      int64
 
-	queriesByMode   map[string]int64
-	execs           int64
-	queryErrors     int64
-	prepareDeduped  int64 // prepares served from an in-flight compilation
-	parallelQueries int64 // queries admitted with a worker budget > 1
-	morsels         int64 // morsels executed by parallel workers
-	workerLaunches  int64 // parallel workers launched
-	started         time.Time
+	queriesByMode    map[string]int64
+	execs            int64
+	queryErrors      int64
+	queriesCancelled int64 // queries ended by cancellation or timeout
+	prepareDeduped   int64 // prepares served from an in-flight compilation
+	parallelQueries  int64 // queries admitted with a worker budget > 1
+	morsels          int64 // morsels executed by parallel workers
+	workerLaunches   int64 // parallel workers launched
+	started          time.Time
 }
 
 // NewService builds a service over an existing catalog and store (usually
@@ -182,6 +236,10 @@ func NewServiceFromEngine(e *engine.Engine, opts Options) *Service {
 // Catalog exposes the shared catalog (read-mostly; DDL goes through Exec).
 func (s *Service) Catalog() *catalog.Catalog { return s.cat }
 
+// Store exposes the shared storage (for tests and engine views over the
+// same data; writes go through Exec).
+func (s *Service) Store() *storage.Store { return s.store }
+
 // Session is one client session: a named engine view with its own
 // mode/profile/executor settings (and its own embedded-statement plan cache
 // via the view's interpreter) over the service's shared data. Settings
@@ -196,6 +254,9 @@ type Session struct {
 	eng     *engine.Engine
 	queries int64
 	created time.Time
+	// timeout bounds each statement's execution (0 = none); it composes
+	// with the caller's context (whichever fires first cancels the query).
+	timeout time.Duration
 }
 
 // CreateSession registers a new session with the given settings.
@@ -312,6 +373,39 @@ func (sess *Session) SetParallelism(n int) {
 	})
 }
 
+// SetTimeout sets the session's per-statement timeout (0 disables). It
+// applies to queries started afterwards; in-flight statements keep their
+// deadline.
+func (sess *Session) SetTimeout(d time.Duration) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	sess.timeout = d
+}
+
+// Timeout returns the session's per-statement timeout (0 = none).
+func (sess *Session) Timeout() time.Duration {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.timeout
+}
+
+// queryCtx derives the execution context for one statement: the caller's
+// context plus the session statement timeout, if set. The returned cancel
+// must be called when the statement finishes (stream close) to release the
+// timer.
+func (sess *Session) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := sess.Timeout(); d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
 // QueryCount returns the number of queries the session has run.
 func (sess *Session) QueryCount() int64 {
 	sess.mu.Lock()
@@ -343,37 +437,95 @@ func workerBudget(eng *engine.Engine) int {
 	return 1
 }
 
-// Query executes a SELECT through the session, going through the shared
-// plan cache. A parallel session claims its worker degree from the
-// admission pool up front (the degree is known before planning; acquiring
-// after taking the ddl lock could deadlock against Exec, which acquires in
-// the opposite order), then hands back the excess as soon as the compiled
-// plan turns out serial — LIMIT/DISTINCT barriers, row-bridge shapes — so
-// non-parallelizable workloads don't hold phantom workers during execution.
+// Query executes a SELECT through the session, materializing the full
+// result. Equivalent to QueryContext with a background context.
 func (s *Service) Query(sess *Session, sql string) (*QueryResult, error) {
+	return s.QueryContext(context.Background(), sess, sql)
+}
+
+// QueryContext executes a SELECT to completion under ctx (plus the
+// session's statement timeout). Cancellation mid-execution returns
+// context.Canceled / DeadlineExceeded with the session's worker-budget
+// slots returned to the pool.
+func (s *Service) QueryContext(ctx context.Context, sess *Session, sql string) (*QueryResult, error) {
+	st, err := s.QueryStream(ctx, sess, sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := st.Rows.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Result: res, CacheHit: st.CacheHit, Elapsed: time.Since(st.Started)}, nil
+}
+
+// Stream is a streaming query result: a pull cursor plus service metadata.
+// The cursor owns the session's worker-budget slots and a read hold on the
+// DDL gate; both release when the stream ends (exhaustion, error, cancel)
+// or when Close is called — callers that abandon a stream early MUST Close
+// it, or DDL would block forever.
+type Stream struct {
+	Rows     *engine.Rows
+	CacheHit bool
+	Started  time.Time
+}
+
+// QueryStream starts a SELECT through the session and the shared plan
+// cache, returning a streaming cursor: rows become visible as the plan
+// produces them instead of after full materialization. A parallel session
+// claims its worker degree from the admission pool up front (the degree is
+// known before planning; acquiring after taking the ddl lock could deadlock
+// against Exec, which acquires in the opposite order), then hands back the
+// excess as soon as the compiled plan turns out serial — LIMIT/DISTINCT
+// barriers, row-bridge shapes — so non-parallelizable workloads don't hold
+// phantom workers during execution. Waiting for admission itself honors
+// ctx, so a cancelled client leaves the queue without claiming slots.
+func (s *Service) QueryStream(ctx context.Context, sess *Session, sql string) (*Stream, error) {
+	qctx, cancel := sess.queryCtx(ctx)
 	eng := sess.Engine()
-	held := s.admission.acquire(workerBudget(eng))
-	defer func() { s.admission.release(held) }()
+	held, err := s.admission.acquireCtx(qctx, workerBudget(eng))
+	if err != nil {
+		cancel()
+		s.countQueryResult(eng.Mode, err, 1, nil)
+		return nil, err
+	}
 	s.ddl.RLock()
-	defer s.ddl.RUnlock()
 
 	start := time.Now()
+	// finish runs exactly once per admitted query — on an error path here,
+	// or through the cursor's OnClose hook once the stream is live.
+	finish := func(qerr error, counters *exec.Counters) {
+		s.ddl.RUnlock()
+		s.admission.release(held)
+		cancel()
+		s.countQueryResultCounters(eng.Mode, qerr, held, counters)
+	}
+
 	prep, hit, err := s.prepare(eng, sql)
 	if err != nil {
-		s.countQueryResult(eng.Mode, true, 1, nil)
+		// Count with slots=1: the query never executed, so it must not
+		// inflate the parallel_queries stat no matter the session's budget.
+		s.ddl.RUnlock()
+		s.admission.release(held)
+		cancel()
+		s.countQueryResultCounters(eng.Mode, err, 1, nil)
 		return nil, err
 	}
 	if held > 1 && prep.Parallelism <= 1 {
 		s.admission.release(held - 1)
 		held = 1
 	}
-	res, err := eng.Run(prep)
-	s.countQueryResult(eng.Mode, err != nil, held, res)
+	rows, err := eng.RunContext(qctx, prep)
 	if err != nil {
+		finish(err, nil)
 		return nil, err
 	}
+	rows.OnClose(func(qerr error) {
+		c := rows.Counters()
+		finish(qerr, &c)
+	})
 	sess.countQuery()
-	return &QueryResult{Result: res, CacheHit: hit, Elapsed: time.Since(start)}, nil
+	return &Stream{Rows: rows, CacheHit: hit, Started: start}, nil
 }
 
 // Explain returns the plan description for a query, sharing the cache with
@@ -448,13 +600,26 @@ func (s *Service) prepare(eng *engine.Engine, sql string) (*engine.Prepared, boo
 // schema version changed. Pure-INSERT scripts leave cached plans valid (a
 // plan never captures row data) and so do not purge.
 func (s *Service) Exec(sess *Session, script string) error {
-	held := s.admission.acquire(1)
+	return s.ExecContext(context.Background(), sess, script)
+}
+
+// ExecContext is Exec honoring cancellation (and the session statement
+// timeout): a cancelled script stops between statements, leaving the
+// already-applied prefix in place — DDL is not transactional, exactly as a
+// mid-script error behaves.
+func (s *Service) ExecContext(ctx context.Context, sess *Session, script string) error {
+	qctx, cancel := sess.queryCtx(ctx)
+	defer cancel()
+	held, err := s.admission.acquireCtx(qctx, 1)
+	if err != nil {
+		return err
+	}
 	defer func() { s.admission.release(held) }()
 	s.ddl.Lock()
 	defer s.ddl.Unlock()
 
 	before := s.cat.Version()
-	err := sess.Engine().ExecScript(script)
+	err = sess.Engine().ExecScriptContext(qctx, script)
 	if s.cat.Version() != before {
 		// DDL happened (possibly partially, on error): drop stale plans.
 		// Version-keying already makes them unreachable; purging frees them.
@@ -482,21 +647,36 @@ func (s *Service) CreateIndex(table, col string) error {
 	return nil
 }
 
-func (s *Service) countQueryResult(mode engine.Mode, failed bool, slots int, res *engine.Result) {
+func (s *Service) countQueryResult(mode engine.Mode, qerr error, slots int, res *engine.Result) {
+	var c *exec.Counters
+	if res != nil {
+		c = &res.Counters
+	}
+	s.countQueryResultCounters(mode, qerr, slots, c)
+}
+
+// countQueryResultCounters records one finished (or failed) query.
+// Cancellations and timeouts are their own outcome: they are expected under
+// load shedding and client disconnects, so they must not pollute the error
+// rate operators alert on.
+func (s *Service) countQueryResultCounters(mode engine.Mode, qerr error, slots int, counters *exec.Counters) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if slots > 1 {
 		s.parallelQueries++
 	}
-	if res != nil {
-		s.morsels += res.Counters.Morsels
-		s.workerLaunches += res.Counters.Workers
+	if counters != nil {
+		s.morsels += counters.Morsels
+		s.workerLaunches += counters.Workers
 	}
-	if failed {
+	switch {
+	case qerr == nil:
+		s.queriesByMode[mode.String()]++
+	case errors.Is(qerr, context.Canceled) || errors.Is(qerr, context.DeadlineExceeded):
+		s.queriesCancelled++
+	default:
 		s.queryErrors++
-		return
 	}
-	s.queriesByMode[mode.String()]++
 }
 
 // CacheStats snapshots the shared plan cache counters.
@@ -528,9 +708,12 @@ type Stats struct {
 	Queries        int64            `json:"queries"`
 	Execs          int64            `json:"execs"`
 	QueryErrors    int64            `json:"query_errors"`
-	PrepareDeduped int64            `json:"prepare_deduped"`
-	Parallel       ParallelStats    `json:"parallel"`
-	UptimeSeconds  float64          `json:"uptime_seconds"`
+	// QueriesCancelled counts queries ended by context cancellation or
+	// statement timeout (client disconnects included); these are not errors.
+	QueriesCancelled int64         `json:"queries_cancelled"`
+	PrepareDeduped   int64         `json:"prepare_deduped"`
+	Parallel         ParallelStats `json:"parallel"`
+	UptimeSeconds    float64       `json:"uptime_seconds"`
 }
 
 // Stats snapshots the service counters.
@@ -543,12 +726,13 @@ func (s *Service) Stats() Stats {
 		total += v
 	}
 	st := Stats{
-		Sessions:       len(s.sessions),
-		QueriesByMode:  byMode,
-		Queries:        total,
-		Execs:          s.execs,
-		QueryErrors:    s.queryErrors,
-		PrepareDeduped: s.prepareDeduped,
+		Sessions:         len(s.sessions),
+		QueriesByMode:    byMode,
+		Queries:          total,
+		Execs:            s.execs,
+		QueryErrors:      s.queryErrors,
+		QueriesCancelled: s.queriesCancelled,
+		PrepareDeduped:   s.prepareDeduped,
 		Parallel: ParallelStats{
 			WorkersConfigured: s.admission.size,
 			ParallelQueries:   s.parallelQueries,
@@ -570,8 +754,8 @@ func (st Stats) Format() string {
 	fmt.Fprintf(&b, "plan cache: %d/%d entries, %d hits, %d misses (%.1f%% hit rate), %d evictions, %d deduped prepares\n",
 		st.Cache.Size, st.Cache.Capacity, st.Cache.Hits, st.Cache.Misses,
 		100*st.Cache.HitRate(), st.Cache.Evictions, st.PrepareDeduped)
-	fmt.Fprintf(&b, "catalog version: %d   sessions: %d   execs: %d   query errors: %d\n",
-		st.CatalogVersion, st.Sessions, st.Execs, st.QueryErrors)
+	fmt.Fprintf(&b, "catalog version: %d   sessions: %d   execs: %d   query errors: %d   cancelled: %d\n",
+		st.CatalogVersion, st.Sessions, st.Execs, st.QueryErrors, st.QueriesCancelled)
 	fmt.Fprintf(&b, "parallel: pool=%d workers, %d parallel queries, %d morsels, %d worker launches, %d admission waits\n",
 		st.Parallel.WorkersConfigured, st.Parallel.ParallelQueries,
 		st.Parallel.MorselsExecuted, st.Parallel.WorkerLaunches, st.Parallel.AdmissionWaits)

@@ -119,6 +119,24 @@ func (v Value) AsInt() (int64, bool) {
 // IsNumeric reports whether the value is INT or FLOAT.
 func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
 
+// Go maps the value onto the plain Go value space — int64, float64,
+// string, bool, or nil for NULL (the shape Scan targets and database/sql
+// driver.Value expect).
+func (v Value) Go() any {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return v.f
+	case KindString:
+		return v.s
+	case KindBool:
+		return v.i != 0
+	default:
+		return nil
+	}
+}
+
 // String renders the value in SQL literal syntax (NULL unquoted, strings
 // single-quoted).
 func (v Value) String() string {
