@@ -1,0 +1,219 @@
+// Command benchgate is the benchmark-regression gate: it parses `go test
+// -bench` output, compares it against a committed baseline, and fails when
+// a benchmark regresses beyond tolerance. CI runs it after the pinned
+// benchmark step and uploads the emitted BENCH_current.json as an artifact,
+// giving the repo a benchmark trajectory instead of an empty history.
+//
+// Two kinds of gate, because CI runners vary wildly in absolute speed:
+//
+//   - Absolute: each benchmark's best ns/op must stay within -tolerance ×
+//     the committed baseline ns/op. A generous factor (default 4×) tolerates
+//     runner noise while still catching order-of-magnitude regressions.
+//   - Ratio: pairs of benchmarks measured in the same run (vectorized vs
+//     row executor, plan-cache hit vs cold prepare) must preserve a minimum
+//     speedup. Ratios divide out the runner's speed, so they gate tightly.
+//
+// Usage:
+//
+//	go test -run XXX -bench ... -count 3 | tee bench.txt
+//	benchgate -baseline BENCH_baseline.json -in bench.txt -out BENCH_current.json
+//	benchgate -init -in bench.txt -out BENCH_baseline.json   # (re)create baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// baselineFile is the committed gate definition plus the reference numbers.
+type baselineFile struct {
+	// NsPerOp maps benchmark name (without -N GOMAXPROCS suffix) to the
+	// reference best-of-count ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// Ratios are runner-speed-independent invariants.
+	Ratios []ratioGate `json:"ratios"`
+}
+
+type ratioGate struct {
+	// Name labels the ratio in reports, e.g. "scanfilter_vectorized_speedup".
+	Name string `json:"name"`
+	// Slow / Fast are benchmark names; the gate asserts slow/fast >= Min.
+	Slow string  `json:"slow"`
+	Fast string  `json:"fast"`
+	Min  float64 `json:"min"`
+}
+
+// currentFile is the artifact CI uploads per run.
+type currentFile struct {
+	NsPerOp    map[string]float64 `json:"ns_per_op"`
+	Ratios     map[string]float64 `json:"ratios"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Go         string             `json:"go"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+// parseBench extracts best (minimum) ns/op per benchmark from -count runs.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	best := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if old, ok := best[m[1]]; !ok || ns < old {
+			best[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in input")
+	}
+	return best, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline to gate against")
+		in           = flag.String("in", "", "benchmark output file (default stdin)")
+		out          = flag.String("out", "BENCH_current.json", "where to write this run's numbers")
+		tolerance    = flag.Float64("tolerance", 4.0, "max allowed current/baseline ns/op factor")
+		initBaseline = flag.Bool("init", false, "write a fresh baseline from the input instead of gating")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	current, err := parseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *initBaseline {
+		base := baselineFile{NsPerOp: current, Ratios: defaultRatios}
+		if err := writeJSON(*out, base); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: baseline with %d benchmarks written to %s\n", len(current), *out)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("reading baseline: %w", err))
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("baseline %s: %w", *baselinePath, err))
+	}
+
+	report := currentFile{
+		NsPerOp:    current,
+		Ratios:     map[string]float64{},
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Go:         runtime.Version(),
+	}
+	var failures []string
+
+	var names []string
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.NsPerOp[name]
+		got, ok := current[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from this run", name))
+			continue
+		}
+		factor := got / want
+		status := "ok"
+		if factor > *tolerance {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.1fx tolerance)",
+				name, got, want, factor, *tolerance))
+		}
+		fmt.Printf("benchgate: %-50s %12.0f ns/op  baseline %12.0f  (%.2fx) %s\n",
+			name, got, want, factor, status)
+	}
+
+	for _, r := range base.Ratios {
+		slow, okS := current[r.Slow]
+		fast, okF := current[r.Fast]
+		if !okS || !okF {
+			failures = append(failures, fmt.Sprintf("ratio %s: missing %s or %s", r.Name, r.Slow, r.Fast))
+			continue
+		}
+		ratio := slow / fast
+		report.Ratios[r.Name] = ratio
+		status := "ok"
+		if ratio < r.Min {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("ratio %s: %s/%s = %.2fx < required %.2fx",
+				r.Name, r.Slow, r.Fast, ratio, r.Min))
+		}
+		fmt.Printf("benchgate: ratio %-44s %6.2fx (min %.2fx) %s\n", r.Name, ratio, r.Min, status)
+	}
+
+	if err := writeJSON(*out, report); err != nil {
+		fatal(err)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks and %d ratios within bounds; wrote %s\n",
+		len(base.NsPerOp), len(base.Ratios), *out)
+}
+
+// defaultRatios are the runner-independent invariants -init seeds: the
+// vectorized executor's win on the scan/filter pair and the plan cache's win
+// over cold prepares. Floors sit well under the locally measured speedups
+// (2.7x and 6x) so ordinary noise passes but a real architectural regression
+// — the vectorized path losing its edge, the cache stopping to hit — fails.
+var defaultRatios = []ratioGate{
+	{Name: "scanfilter_vectorized_speedup",
+		Slow: "BenchmarkScanFilterProject_Row", Fast: "BenchmarkScanFilterProject_Vectorized", Min: 1.4},
+	{Name: "plancache_hit_speedup",
+		Slow: "BenchmarkPlanCache/Cold", Fast: "BenchmarkPlanCache/Warm", Min: 2.0},
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

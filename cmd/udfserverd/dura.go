@@ -1,0 +1,271 @@
+// Durability-test client modes for the CI recovery gate (and for operators
+// validating a deployment's crash safety):
+//
+//   - -snapshot FILE   captures a manifest of the differential corpus's
+//     canonical results plus per-table row counts over a live server.
+//   - -verify FILE     re-runs the corpus and asserts results and counts are
+//     identical — across a kill -9 + restart this proves recovery.
+//   - -durawrite       drives a write-heavy insert load; after every
+//     acknowledged batch it atomically rewrites the manifest with the acked
+//     row count. The durability contract under -fsync always: every acked
+//     row survives kill -9.
+//   - -duracheck       asserts the write table holds >= (or, after a
+//     graceful restart, ==) the acked rows.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"udfdecorr/internal/bench"
+)
+
+// benchTables are the base tables of the bench schema whose row counts the
+// corpus manifest pins (see bench.Schema).
+var benchTables = []string{
+	"customer", "orders", "lineitem", "partsupp", "categorydiscount",
+	"partcost", "part", "category", "categoryancestor",
+}
+
+// corpusManifest is the pre-kill ground truth the recovery run must match.
+type corpusManifest struct {
+	// Results maps corpus query name -> canonical row multiset.
+	Results map[string]string `json:"results"`
+	// RowCounts maps table -> count(*) at capture time.
+	RowCounts map[string]int64 `json:"row_counts"`
+}
+
+// newIterativeSession opens a session in the deterministic baseline mode.
+func newIterativeSession(c *client) (string, error) {
+	var sess struct {
+		Session string `json:"session"`
+	}
+	err := c.post("/session", map[string]any{"mode": "iterative", "profile": "sys1"}, &sess)
+	if err != nil {
+		return "", fmt.Errorf("creating session (is the daemon running?): %w", err)
+	}
+	return sess.Session, nil
+}
+
+func countRows(c *client, session, table string) (int64, error) {
+	var reply queryReply
+	if err := c.post("/query", map[string]any{
+		"session": session, "sql": "select count(*) from " + table}, &reply); err != nil {
+		return 0, err
+	}
+	if len(reply.Rows) != 1 || len(reply.Rows[0]) != 1 {
+		return 0, fmt.Errorf("count(*) from %s: unexpected shape %v", table, reply.Rows)
+	}
+	return strconv.ParseInt(reply.Rows[0][0], 10, 64)
+}
+
+func captureManifest(base string) (*corpusManifest, error) {
+	c := newHTTPClient(base)
+	session, err := newIterativeSession(c)
+	if err != nil {
+		return nil, err
+	}
+	m := &corpusManifest{Results: map[string]string{}, RowCounts: map[string]int64{}}
+	for _, q := range bench.Corpus {
+		var reply queryReply
+		if err := c.post("/query", map[string]any{"session": session, "sql": q.SQL}, &reply); err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", q.Name, err)
+		}
+		m.Results[q.Name] = canonical(reply.Rows)
+	}
+	for _, t := range benchTables {
+		n, err := countRows(c, session, t)
+		if err != nil {
+			return nil, err
+		}
+		m.RowCounts[t] = n
+	}
+	return m, nil
+}
+
+func runCorpusSnapshot(base, path string) error {
+	m, err := captureManifest(base)
+	if err != nil {
+		return err
+	}
+	if err := writeJSONFileAtomic(path, m); err != nil {
+		return err
+	}
+	log.Printf("corpus manifest: %d queries, %d tables -> %s", len(m.Results), len(m.RowCounts), path)
+	return nil
+}
+
+func runCorpusVerify(base, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want corpusManifest
+	if err := json.Unmarshal(raw, &want); err != nil {
+		return fmt.Errorf("manifest %s: %w", path, err)
+	}
+	got, err := captureManifest(base)
+	if err != nil {
+		return err
+	}
+	var bad []string
+	for name, w := range want.Results {
+		if got.Results[name] != w {
+			bad = append(bad, "query "+name)
+		}
+	}
+	for table, w := range want.RowCounts {
+		if got.RowCounts[table] != w {
+			bad = append(bad, fmt.Sprintf("row count %s: %d != %d", table, got.RowCounts[table], w))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("recovered state diverges from pre-kill manifest:\n  %s", strings.Join(bad, "\n  "))
+	}
+	log.Printf("recovery verified: %d corpus queries and %d row counts identical to %s",
+		len(want.Results), len(want.RowCounts), path)
+	return nil
+}
+
+// ackManifest records the write load's durability high-water mark.
+type ackManifest struct {
+	Table string `json:"table"`
+	// AckedRows is the number of rows the server acknowledged. After a crash,
+	// recovery must hold at least this many (a final in-flight batch may have
+	// reached the WAL without its ack reaching us).
+	AckedRows int64 `json:"acked_rows"`
+	// NextKey makes restarts of the writer continue with fresh keys.
+	NextKey int64 `json:"next_key"`
+}
+
+func readAckManifest(path string) (*ackManifest, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m ackManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// runDuraWrite drives acknowledged insert batches into table until batches
+// are exhausted or the server dies (e.g. the harness kill -9s it mid-load —
+// that exit is expected, so connection errors after at least one acked batch
+// are reported but not fatal).
+func runDuraWrite(base, table, manifestPath string, batches, batchRows int) error {
+	c := newHTTPClient(base)
+	session, err := newIterativeSession(c)
+	if err != nil {
+		return err
+	}
+	m, err := readAckManifest(manifestPath)
+	if err != nil {
+		return err
+	}
+	if m == nil {
+		m = &ackManifest{Table: table}
+	}
+	if m.Table != table {
+		return fmt.Errorf("manifest %s is for table %q, not %q", manifestPath, m.Table, table)
+	}
+
+	if err := c.post("/exec", map[string]any{"session": session,
+		"script": fmt.Sprintf("create table %s (k int primary key, v varchar);", table)}, nil); err != nil {
+		if !strings.Contains(err.Error(), "already exists") {
+			return err
+		}
+	}
+
+	// A kill -9 can persist rows of a batch whose ack never arrived, so the
+	// manifest's NextKey may lag what is actually in the table. Resume past
+	// the real maximum to keep keys fresh across writer restarts.
+	var maxReply queryReply
+	if err := c.post("/query", map[string]any{"session": session,
+		"sql": "select max(k) from " + table}, &maxReply); err != nil {
+		return err
+	}
+	if len(maxReply.Rows) == 1 && len(maxReply.Rows[0]) == 1 && maxReply.Rows[0][0] != "NULL" {
+		maxKey, err := strconv.ParseInt(maxReply.Rows[0][0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("max(k) from %s: %w", table, err)
+		}
+		if maxKey+1 > m.NextKey {
+			m.NextKey = maxKey + 1
+		}
+	}
+
+	for b := 0; batches == 0 || b < batches; b++ {
+		var script strings.Builder
+		for i := 0; i < batchRows; i++ {
+			k := m.NextKey + int64(i)
+			fmt.Fprintf(&script, "insert into %s values (%d, 'batch-%d-row-%d');\n", table, k, b, i)
+		}
+		if err := c.post("/exec", map[string]any{"session": session, "script": script.String()}, nil); err != nil {
+			// Mid-load kill: the unacked batch is allowed to be lost (or,
+			// if its WAL append won the race, to survive — duracheck uses >=).
+			if m.AckedRows > 0 {
+				log.Printf("durawrite: server gone after %d acked rows (%v) — expected under kill -9", m.AckedRows, err)
+				return nil
+			}
+			return err
+		}
+		m.AckedRows += int64(batchRows)
+		m.NextKey += int64(batchRows)
+		if err := writeJSONFileAtomic(manifestPath, m); err != nil {
+			return err
+		}
+	}
+	log.Printf("durawrite: %d rows acked into %s (manifest %s)", m.AckedRows, table, manifestPath)
+	return nil
+}
+
+func runDuraCheck(base, table, manifestPath string, exact bool) error {
+	m, err := readAckManifest(manifestPath)
+	if err != nil {
+		return err
+	}
+	if m == nil {
+		return fmt.Errorf("manifest %s does not exist (did the write load run?)", manifestPath)
+	}
+	if m.Table != table {
+		return fmt.Errorf("manifest %s is for table %q, not %q", manifestPath, m.Table, table)
+	}
+	c := newHTTPClient(base)
+	session, err := newIterativeSession(c)
+	if err != nil {
+		return err
+	}
+	n, err := countRows(c, session, table)
+	if err != nil {
+		return err
+	}
+	switch {
+	case exact && n != m.AckedRows:
+		return fmt.Errorf("durability violation: %s has %d rows, acked exactly %d (graceful restart must lose and invent nothing)", table, n, m.AckedRows)
+	case !exact && n < m.AckedRows:
+		return fmt.Errorf("durability violation: %s has %d rows but %d were acknowledged pre-kill", table, n, m.AckedRows)
+	}
+	log.Printf("duracheck: %s holds %d rows >= %d acked (exact=%v) — acked writes survived", table, n, m.AckedRows, exact)
+	return nil
+}
+
+func writeJSONFileAtomic(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

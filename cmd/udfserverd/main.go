@@ -1,13 +1,23 @@
 // Command udfserverd is the concurrent query daemon: it serves the engine's
-// HTTP/JSON API (sessions, /query, /stream, /exec, /explain, /stats) over a
-// shared catalog+storage with the cross-session plan/rewrite cache. On
-// SIGINT/SIGTERM it shuts down gracefully: the listener closes, in-flight
-// sessions drain up to the -drain deadline, then remaining connections are
-// force-closed (cancelling their queries through the request contexts).
+// HTTP/JSON API (sessions, /query, /stream, /exec, /explain, /checkpoint,
+// /stats) over a shared catalog+storage with the cross-session plan/rewrite
+// cache. On SIGINT/SIGTERM it shuts down gracefully: the listener closes,
+// in-flight sessions drain up to the -drain deadline, then remaining
+// connections are force-closed (cancelling their queries through the
+// request contexts); durable servers take a final checkpoint before exit.
 //
 // Server mode:
 //
 //	udfserverd -addr :8080 -dataset small -cache 256 -workers 32 -parallelism 4 -drain 10s
+//
+// Durable server mode — state survives restarts (and kill -9, with
+// -fsync always): DDL and inserts are written ahead to a segmented WAL
+// under -data-dir, checkpoints snapshot the store and truncate the log, and
+// startup replays snapshot + log tail. On a data dir that already holds
+// state, -dataset is ignored (the recovered state wins); on a fresh dir the
+// dataset is loaded once and immediately checkpointed:
+//
+//	udfserverd -addr :8080 -data-dir ./data -fsync always -checkpoint-every 1m
 //
 // Load-client mode (-load) replays the shared differential corpus against a
 // running daemon from N concurrent clients over the streaming endpoint,
@@ -17,6 +27,13 @@
 // streams after the first row to exercise the server's drain path:
 //
 //	udfserverd -load -addr http://localhost:8080 -clients 8 -rounds 3 -cancel-frac 0.2
+//
+// Durability-test client modes (see dura.go; used by the CI recovery gate):
+//
+//	udfserverd -snapshot pre.json  -addr URL     capture corpus results + row counts
+//	udfserverd -verify pre.json    -addr URL     assert they are unchanged
+//	udfserverd -durawrite -manifest acked.json   write-heavy load; manifest records acked rows
+//	udfserverd -duracheck -manifest acked.json   assert every acked row survived
 package main
 
 import (
@@ -32,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -41,6 +59,7 @@ import (
 	"udfdecorr/internal/bench"
 	"udfdecorr/internal/engine"
 	"udfdecorr/internal/server"
+	"udfdecorr/internal/wal"
 )
 
 func main() {
@@ -55,33 +74,105 @@ func main() {
 		rounds     = flag.Int("rounds", 3, "load mode: corpus replays per client")
 		cancelFrac = flag.Float64("cancel-frac", 0, "load mode: fraction of streams cancelled after the first row")
 		par        = flag.Int("parallelism", 0, "server: default intra-query degree for sessions; load: degree requested by vectorized client sessions (0 = serial)")
+
+		dataDir   = flag.String("data-dir", "", "durable mode: data directory for WAL + checkpoints (empty = in-memory)")
+		fsync     = flag.String("fsync", "always", "durable mode: WAL fsync policy: always|none|<interval, e.g. 250ms>")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "durable mode: periodic checkpoint interval (0 = only on graceful shutdown)")
+
+		snapshotOut = flag.String("snapshot", "", "client: capture corpus results + row counts to this manifest and exit")
+		verifyIn    = flag.String("verify", "", "client: verify corpus results + row counts against this manifest and exit")
+		duraWrite   = flag.Bool("durawrite", false, "client: run the write-heavy durability load (see -manifest/-batches)")
+		duraCheck   = flag.Bool("duracheck", false, "client: verify the write-load manifest against the server")
+		manifest    = flag.String("manifest", "acked.json", "durawrite/duracheck: acked-rows manifest file")
+		batches     = flag.Int("batches", 0, "durawrite: number of insert batches (0 = until killed)")
+		batchRows   = flag.Int("batch-rows", 32, "durawrite: rows per acknowledged insert batch")
+		writeTable  = flag.String("write-table", "dura_kv", "durawrite/duracheck: target table")
+		exact       = flag.Bool("exact", false, "duracheck: require row count == acked (graceful restart), not >=")
 	)
 	flag.Parse()
 
-	if *load {
-		if err := runLoad(*addr, *clients, *rounds, *par, *cancelFrac); err != nil {
-			log.Fatal(err)
-		}
-		return
+	var err error
+	switch {
+	case *load:
+		err = runLoad(*addr, *clients, *rounds, *par, *cancelFrac)
+	case *snapshotOut != "":
+		err = runCorpusSnapshot(*addr, *snapshotOut)
+	case *verifyIn != "":
+		err = runCorpusVerify(*addr, *verifyIn)
+	case *duraWrite:
+		err = runDuraWrite(*addr, *writeTable, *manifest, *batches, *batchRows)
+	case *duraCheck:
+		err = runDuraCheck(*addr, *writeTable, *manifest, *exact)
+	default:
+		err = runServer(serverConfig{
+			addr: *addr, dataset: *dataset, cacheSize: *cache, workers: *workers,
+			parallelism: *par, drain: *drain,
+			dataDir: *dataDir, fsync: *fsync, checkpointEvery: *ckptEvery,
+		})
 	}
-	if err := runServer(*addr, *dataset, *cache, *workers, *par, *drain); err != nil {
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runServer(addr, dataset string, cacheSize, workers, parallelism int, drain time.Duration) error {
-	boot, err := bootEngine(dataset)
+type serverConfig struct {
+	addr, dataset   string
+	cacheSize       int
+	workers         int
+	parallelism     int
+	drain           time.Duration
+	dataDir         string
+	fsync           string
+	checkpointEvery time.Duration
+}
+
+func runServer(cfg serverConfig) error {
+	boot, err := bootEngine(cfg.dataset, cfg.dataDir, cfg.fsync)
 	if err != nil {
 		return err
 	}
 	svc := server.NewServiceFromEngine(boot, server.Options{
-		CacheSize: cacheSize, MaxConcurrent: workers, DefaultParallelism: parallelism})
-	log.Printf("udfserverd listening on %s (dataset=%s cache=%d workers=%d parallelism=%d)",
-		addr, dataset, cacheSize, workers, parallelism)
+		CacheSize: cfg.cacheSize, MaxConcurrent: cfg.workers, DefaultParallelism: cfg.parallelism})
+	log.Printf("udfserverd listening on %s (dataset=%s cache=%d workers=%d parallelism=%d durable=%v)",
+		cfg.addr, cfg.dataset, cfg.cacheSize, cfg.workers, cfg.parallelism, svc.Durable())
 
-	srv := &http.Server{Addr: addr, Handler: server.NewHandler(svc)}
+	srv := &http.Server{Addr: cfg.addr, Handler: server.NewHandler(svc)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic checkpoints bound both recovery time and on-disk log growth.
+	ckptDone := make(chan struct{})
+	if svc.Durable() && cfg.checkpointEvery > 0 {
+		ticker := time.NewTicker(cfg.checkpointEvery)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := svc.Checkpoint(); err != nil {
+						log.Printf("udfserverd: periodic checkpoint: %v", err)
+					} else if st := svc.Stats().Durability; st != nil {
+						log.Printf("udfserverd: checkpoint #%d (wal now %d bytes)", st.Checkpoints, st.WALBytes)
+					}
+				case <-ckptDone:
+					return
+				}
+			}
+		}()
+	}
+	defer close(ckptDone)
+
+	finalCheckpoint := func() {
+		if !svc.Durable() {
+			return
+		}
+		if err := svc.Checkpoint(); err != nil {
+			log.Printf("udfserverd: shutdown checkpoint failed: %v", err)
+		} else {
+			log.Printf("udfserverd: shutdown checkpoint written")
+		}
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -90,42 +181,118 @@ func runServer(addr, dataset string, cacheSize, workers, parallelism int, drain 
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
 		log.Printf("udfserverd: shutdown signal; draining %d sessions (deadline %s)",
-			svc.SessionCount(), drain)
-		shctx, cancel := context.WithTimeout(context.Background(), drain)
+			svc.SessionCount(), cfg.drain)
+		shctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
 		if err := srv.Shutdown(shctx); err != nil {
 			// Deadline hit: force-close remaining connections, which cancels
 			// their queries through the request contexts.
 			log.Printf("udfserverd: drain deadline exceeded (%v), force-closing", err)
-			return srv.Close()
+			err = srv.Close()
+			finalCheckpoint()
+			return err
 		}
 		log.Printf("udfserverd: drained cleanly")
+		finalCheckpoint()
 		return nil
 	}
 }
 
-// bootEngine loads the requested dataset into a fresh catalog+store.
-func bootEngine(dataset string) (*engine.Engine, error) {
+// bootEngine builds the serving engine: volatile with the requested dataset,
+// or durable over dataDir (recovering existing state; a fresh dir is seeded
+// with the dataset and checkpointed so startup replay stays cheap).
+func bootEngine(dataset, dataDir, fsync string) (*engine.Engine, error) {
+	var cfg *bench.Config
 	switch dataset {
 	case "none":
-		return engine.New(engine.SYS1, engine.ModeRewrite), nil
 	case "small", "bench":
-		cfg := bench.SmallConfig()
+		c := bench.SmallConfig()
 		if dataset == "bench" {
-			cfg = bench.Config{Customers: 10_000, OrdersPerCustomer: 5, Parts: 20_000,
+			c = bench.Config{Customers: 10_000, OrdersPerCustomer: 5, Parts: 20_000,
 				LineitemsPerPart: 3, Categories: 200, Seed: 20140331}
 		}
-		e, err := bench.NewEngine(engine.SYS1, engine.ModeRewrite, cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := e.ExecScript(bench.ExtraUDFs); err != nil {
-			return nil, err
-		}
-		return e, nil
+		cfg = &c
 	default:
 		return nil, fmt.Errorf("unknown dataset %q (want none|small|bench)", dataset)
 	}
+
+	if dataDir == "" {
+		e := engine.New(engine.SYS1, engine.ModeRewrite)
+		if cfg != nil {
+			if err := bench.Populate(e, *cfg); err != nil {
+				return nil, err
+			}
+			if err := e.ExecScript(bench.ExtraUDFs); err != nil {
+				return nil, err
+			}
+		}
+		return e, nil
+	}
+
+	policy, interval, err := wal.ParseSyncPolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	e, err := engine.OpenDurable(dataDir, engine.SYS1, engine.ModeRewrite,
+		engine.DurabilityOptions{Sync: policy, SyncInterval: interval})
+	if err != nil {
+		return nil, err
+	}
+	st := e.Durable.Stats()
+	// ANY recovered record means the dir holds prior state (possibly
+	// functions-only): never re-seed over it, and never let the seed-failure
+	// cleanup below touch it.
+	if st.RecoveredRecords > 0 || len(e.Cat.Tables()) > 0 || len(e.Cat.Functions()) > 0 {
+		log.Printf("udfserverd: recovered %s (%d records replayed, %d torn bytes truncated, wal %d bytes)",
+			dataDir, st.RecoveredRecords, st.TornBytes, st.WALBytes)
+		return e, nil
+	}
+	if cfg == nil {
+		log.Printf("udfserverd: opened empty data dir %s", dataDir)
+		return e, nil
+	}
+	log.Printf("udfserverd: data dir %s is empty; seeding dataset %q", dataDir, dataset)
+	seed := func() error {
+		if err := bench.Populate(e, *cfg); err != nil {
+			return err
+		}
+		if err := e.ExecScript(bench.ExtraUDFs); err != nil {
+			return err
+		}
+		// Fold the seed load into a snapshot so the next start replays a
+		// checkpoint, not the whole insert history.
+		return e.Checkpoint()
+	}
+	if err := seed(); err != nil {
+		// A half-seeded data dir must not masquerade as recovered state on
+		// the next start: wipe the log files this failed seed created (the
+		// dir held none before — the catalog was empty) and fail loudly.
+		if cerr := e.Durable.Close(); cerr != nil {
+			log.Printf("udfserverd: closing failed seed: %v", cerr)
+		}
+		if rerr := removeWALFiles(dataDir); rerr != nil {
+			return nil, fmt.Errorf("seeding dataset: %w (and cleaning up the partial seed failed: %v — delete %s manually)", err, rerr, dataDir)
+		}
+		return nil, fmt.Errorf("seeding dataset: %w (partial seed removed; %s is empty again)", err, dataDir)
+	}
+	return e, nil
+}
+
+// removeWALFiles deletes the log segments and snapshot files in dir —
+// only the names the WAL owns, nothing else.
+func removeWALFiles(dir string) error {
+	for _, pattern := range []string{"wal-*.seg", "checkpoint.snap", "checkpoint.snap.tmp"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			if err := os.Remove(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // --------------------------------------------------------------------------
@@ -135,6 +302,14 @@ func bootEngine(dataset string) (*engine.Engine, error) {
 type client struct {
 	base string
 	http *http.Client
+}
+
+// newHTTPClient builds an API client, allowing the -addr :8080 shorthand.
+func newHTTPClient(base string) *client {
+	if !strings.HasPrefix(base, "http") {
+		base = "http://localhost" + base
+	}
+	return &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}}
 }
 
 func (c *client) post(path string, body, out any) error {
@@ -280,10 +455,8 @@ var combos = []sessionCombo{
 }
 
 func runLoad(base string, clients, rounds, parallelism int, cancelFrac float64) error {
-	if !strings.HasPrefix(base, "http") {
-		base = "http://localhost" + base // allow -addr :8080 shorthand
-	}
-	c := &client{base: base, http: &http.Client{Timeout: 5 * time.Minute}}
+	c := newHTTPClient(base)
+	base = c.base
 
 	// Serial baseline on a dedicated iterative session (ground truth).
 	var sess struct {

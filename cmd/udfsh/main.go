@@ -17,9 +17,14 @@
 //	.timeout <dur>|off                  per-statement timeout (e.g. 500ms, 2s)
 //	.explain <query>                    show plan choices for a query
 //	.rewrite <query>                    show the decorrelated SQL
+//	.checkpoint                         snapshot a durable shell's data dir
 //	.stats                              plan-cache, parallel and query counters
 //	.help                               this text
 //	.quit
+//
+// With -data-dir the shell is durable: state recovers on start, DDL and
+// inserts are logged write-ahead, and a checkpoint is written on clean exit
+// (plus on demand via .checkpoint). -fsync tunes the WAL sync policy.
 //
 // Statements end with ';' and may span lines. Interactively, Ctrl-C cancels
 // the currently running statement (returning to the prompt) instead of
@@ -42,6 +47,7 @@ import (
 	"udfdecorr/internal/engine"
 	"udfdecorr/internal/server"
 	"udfdecorr/internal/sqlgen"
+	"udfdecorr/internal/wal"
 )
 
 // shell bundles the service, the single local session, and output settings.
@@ -81,11 +87,44 @@ func (sh *shell) statementCtx() (context.Context, func()) {
 
 func main() {
 	scriptPath := flag.String("f", "", "execute the statement script and exit")
+	dataDir := flag.String("data-dir", "", "durable mode: data directory for WAL + checkpoints (empty = in-memory)")
+	fsync := flag.String("fsync", "always", "durable mode: WAL fsync policy: always|none|<interval>")
 	flag.Parse()
 
-	boot := engine.New(engine.SYS1, engine.ModeRewrite)
+	var boot *engine.Engine
+	if *dataDir != "" {
+		policy, interval, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		var oerr error
+		boot, oerr = engine.OpenDurable(*dataDir, engine.SYS1, engine.ModeRewrite,
+			engine.DurabilityOptions{Sync: policy, SyncInterval: interval})
+		if oerr != nil {
+			fmt.Fprintln(os.Stderr, "error:", oerr)
+			os.Exit(1)
+		}
+		if st := boot.Durable.Stats(); st.RecoveredRecords > 0 {
+			fmt.Printf("recovered %s: %d records replayed\n", *dataDir, st.RecoveredRecords)
+		}
+	} else {
+		boot = engine.New(engine.SYS1, engine.ModeRewrite)
+	}
 	svc := server.NewServiceFromEngine(boot, server.DefaultOptions())
 	sh := &shell{svc: svc, sess: svc.CreateSession(engine.SYS1, engine.ModeRewrite)}
+	if boot.Durable != nil {
+		// A clean exit compacts the log into a snapshot, so the next start
+		// replays a checkpoint instead of the session's whole history.
+		defer func() {
+			if err := svc.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "exit checkpoint:", err)
+			}
+			if err := boot.Durable.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "closing data dir:", err)
+			}
+		}()
+	}
 
 	var in io.Reader = os.Stdin
 	if *scriptPath != "" {
@@ -210,6 +249,7 @@ func (sh *shell) meta(cmd string) (quit bool, err error) {
 		fmt.Println(".timeout <dur>|off                — per-statement timeout (e.g. 500ms, 2s)")
 		fmt.Println(".explain <query>                  — plan choices")
 		fmt.Println(".rewrite <query>                  — decorrelated SQL")
+		fmt.Println(".checkpoint                       — snapshot a durable shell's data dir")
 		fmt.Println(".stats                            — plan cache + parallel + query counters")
 		fmt.Println(".quit")
 	case ".mode":
@@ -290,6 +330,14 @@ func (sh *shell) meta(cmd string) (quit bool, err error) {
 			return false, err
 		}
 		sh.sess.SetTimeout(d)
+	case ".checkpoint":
+		if cerr := sh.svc.Checkpoint(); cerr != nil {
+			fmt.Println("error:", cerr)
+			return false, cerr
+		}
+		if st := sh.svc.Stats().Durability; st != nil {
+			fmt.Printf("checkpoint #%d written (wal now %d bytes)\n", st.Checkpoints, st.WALBytes)
+		}
 	case ".stats":
 		fmt.Print(sh.svc.Stats().Format())
 	case ".explain":

@@ -185,7 +185,14 @@ func (e *ColName) SQL() string {
 }
 
 // SQL implements Node.
-func (e *ParamRef) SQL() string { return ":" + e.Name }
+func (e *ParamRef) SQL() string {
+	// @@FETCH_STATUS-style pseudo-variables carry their sigil in the name;
+	// prefixing ":" would produce text the parser rejects.
+	if strings.HasPrefix(e.Name, "@@") || e.Name == "?" {
+		return e.Name
+	}
+	return ":" + e.Name
+}
 
 // SQL implements Node.
 func (e *Lit) SQL() string { return e.Val.String() }

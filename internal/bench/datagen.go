@@ -132,8 +132,17 @@ end
 // NewEngine builds an engine with schema, UDFs, secondary indexes and data.
 func NewEngine(profile engine.Profile, mode engine.Mode, cfg Config) (*engine.Engine, error) {
 	e := engine.New(profile, mode)
-	if err := e.ExecScript(Schema + UDFs); err != nil {
+	if err := Populate(e, cfg); err != nil {
 		return nil, err
+	}
+	return e, nil
+}
+
+// Populate installs the bench schema, UDFs, secondary indexes and generated
+// data on an existing (possibly durable) engine.
+func Populate(e *engine.Engine, cfg Config) error {
+	if err := e.ExecScript(Schema + UDFs); err != nil {
+		return err
 	}
 	for _, ix := range [][2]string{
 		{"orders", "custkey"},
@@ -143,13 +152,10 @@ func NewEngine(profile engine.Profile, mode engine.Mode, cfg Config) (*engine.En
 		{"customer", "category"},
 	} {
 		if err := e.CreateIndex(ix[0], ix[1]); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	if err := Load(e, cfg); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return Load(e, cfg)
 }
 
 // Load fills all tables deterministically from the config.

@@ -128,11 +128,36 @@ var BuiltinAggregates = map[string]bool{
 // NOT bump the version: auxiliary aggregates are content-addressed artifacts
 // derived from existing functions and never invalidate an existing plan.
 type Catalog struct {
-	mu      sync.RWMutex
-	version int64
-	tables  map[string]*Table
-	funcs   map[string]*Function
-	aggs    map[string]*Aggregate
+	mu       sync.RWMutex
+	version  int64
+	tables   map[string]*Table
+	funcs    map[string]*Function
+	aggs     map[string]*Aggregate
+	onChange func(Change) error
+}
+
+// Change is one durable schema mutation handed to the commit hook. Exactly
+// one group of fields is set: Table for CREATE TABLE, Function for CREATE
+// FUNCTION, or IndexTable/IndexCol for a secondary-index declaration.
+// Auxiliary aggregates are NOT reported: they are content-addressed
+// artifacts re-derived from the functions during planning, so logging them
+// would be redundant state.
+type Change struct {
+	Table      *Table
+	Function   *ast.CreateFunctionStmt
+	IndexTable string
+	IndexCol   string
+}
+
+// SetChangeHook installs the durability commit hook: fn runs under the
+// catalog lock before each schema mutation commits, and an error from it
+// vetoes the mutation (write-ahead). The hook must not call back into the
+// catalog. The durability layer attaches it only after recovery replay, so
+// replayed DDL is not re-logged.
+func (c *Catalog) SetChangeHook(fn func(Change) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onChange = fn
 }
 
 // New returns an empty catalog.
@@ -159,6 +184,11 @@ func (c *Catalog) AddTable(t *Table) error {
 	defer c.mu.Unlock()
 	if _, dup := c.tables[name]; dup {
 		return fmt.Errorf("table %q already exists", t.Name)
+	}
+	if c.onChange != nil {
+		if err := c.onChange(Change{Table: t}); err != nil {
+			return fmt.Errorf("table %q: commit hook: %w", t.Name, err)
+		}
 	}
 	c.tables[name] = t
 	c.version++
@@ -197,6 +227,11 @@ func (c *Catalog) AddIndex(table, col string) error {
 			return nil
 		}
 	}
+	if c.onChange != nil {
+		if err := c.onChange(Change{IndexTable: table, IndexCol: col}); err != nil {
+			return fmt.Errorf("index on %s(%s): commit hook: %w", table, col, err)
+		}
+	}
 	t.Indexes = append(t.Indexes, col)
 	c.version++
 	return nil
@@ -229,6 +264,11 @@ func (c *Catalog) AddFunction(def *ast.CreateFunctionStmt) (*Function, error) {
 	defer c.mu.Unlock()
 	if _, dup := c.funcs[name]; dup {
 		return nil, fmt.Errorf("function %q already exists", def.Name)
+	}
+	if c.onChange != nil {
+		if err := c.onChange(Change{Function: def}); err != nil {
+			return nil, fmt.Errorf("function %q: commit hook: %w", def.Name, err)
+		}
 	}
 	f := &Function{Def: def}
 	c.funcs[name] = f

@@ -1,0 +1,316 @@
+// Durability: the glue between the volatile engine and internal/wal. A
+// durable engine logs every schema mutation and acknowledged insert batch
+// write-ahead (via the catalog/storage commit hooks), checkpoints the full
+// catalog+store into a snapshot that truncates the log, and on open replays
+// snapshot + log tail into a consistent engine. Volatile engines (New /
+// NewShared) are completely unaffected: they have a nil Durable and no
+// hooks installed.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/parser"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+	"udfdecorr/internal/wal"
+)
+
+// DurabilityOptions configures a durable engine.
+type DurabilityOptions struct {
+	// Sync is the WAL fsync policy (default wal.SyncAlways).
+	Sync wal.SyncPolicy
+	// SyncInterval bounds staleness under wal.SyncInterval.
+	SyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation threshold (<=0: wal default).
+	SegmentBytes int64
+	// SnapshotBatchRows chunks table rows into snapshot records (<=0: 1024).
+	SnapshotBatchRows int
+}
+
+// Durability owns a durable engine's write-ahead log and checkpoint state.
+// It is shared by every engine view over the same catalog+store (the query
+// service attaches it once).
+type Durability struct {
+	dir   string
+	log   *wal.Log
+	cat   *catalog.Catalog
+	store *storage.Store
+	opts  DurabilityOptions
+
+	checkpoints      atomic.Int64
+	recoveredRecords int64 // fixed after open
+	recoveredTorn    int64
+}
+
+// DurabilityStats is the operational snapshot exposed through /stats.
+type DurabilityStats struct {
+	// Dir is the data directory.
+	Dir string `json:"dir"`
+	// WALBytes is the current size of the live log segments.
+	WALBytes int64 `json:"wal_bytes"`
+	// WALRecords counts records appended since open.
+	WALRecords int64 `json:"wal_records"`
+	// Segment is the current WAL segment sequence number.
+	Segment uint64 `json:"segment"`
+	// Checkpoints counts checkpoints taken since open.
+	Checkpoints int64 `json:"checkpoints"`
+	// RecoveredRecords is the number of snapshot + log records replayed when
+	// the engine opened (0 for a fresh directory).
+	RecoveredRecords int64 `json:"recovered_records"`
+	// TornBytes is the size of the torn log tail truncated during recovery.
+	TornBytes int64 `json:"torn_bytes"`
+	// SyncPolicy names the fsync policy.
+	SyncPolicy string `json:"sync_policy"`
+}
+
+// OpenDurable opens (or creates) the durable engine rooted at dir: it
+// replays the checkpoint snapshot and the write-ahead-log tail into a fresh
+// catalog+store, attaches the commit hooks so subsequent DDL and inserts are
+// logged write-ahead, and returns the engine. The resulting engine behaves
+// exactly like a volatile one for queries; only mutations pay the log.
+func OpenDurable(dir string, profile Profile, mode Mode, opts DurabilityOptions) (*Engine, error) {
+	cat := catalog.New()
+	store := storage.NewStore()
+
+	apply := func(rec wal.Record) error { return applyRecord(cat, store, rec) }
+	log, rstats, err := wal.Open(dir, wal.Options{
+		Sync:         opts.Sync,
+		SyncInterval: opts.SyncInterval,
+		SegmentBytes: opts.SegmentBytes,
+	}, apply)
+	if err != nil {
+		return nil, fmt.Errorf("opening data dir %s: %w", dir, err)
+	}
+
+	d := &Durability{dir: dir, log: log, cat: cat, store: store, opts: opts}
+	d.recoveredRecords = rstats.SnapshotRecords + rstats.WALRecords
+	d.recoveredTorn = rstats.TornBytes
+
+	// Recovery replay is complete: from here on, every mutation is logged
+	// before it commits.
+	cat.SetChangeHook(d.onCatalogChange)
+	store.SetAppendHook(d.onAppend)
+
+	e := NewShared(cat, store, profile, mode)
+	e.Durable = d
+	return e, nil
+}
+
+// Checkpoint snapshots the engine's catalog+store and truncates the log.
+// The caller must exclude concurrent mutations (the query service holds its
+// DDL write gate); concurrent read-only queries are safe.
+func (e *Engine) Checkpoint() error {
+	if e.Durable == nil {
+		return errors.New("engine is volatile: no data directory configured")
+	}
+	return e.Durable.Checkpoint()
+}
+
+// Stats snapshots the durability counters.
+func (d *Durability) Stats() DurabilityStats {
+	ls := d.log.Stats()
+	return DurabilityStats{
+		Dir:              d.dir,
+		WALBytes:         ls.Bytes,
+		WALRecords:       ls.Records,
+		Segment:          ls.Segment,
+		Checkpoints:      d.checkpoints.Load(),
+		RecoveredRecords: d.recoveredRecords,
+		TornBytes:        d.recoveredTorn,
+		SyncPolicy:       d.opts.Sync.String(),
+	}
+}
+
+// Close seals the log. The engine remains usable for queries but further
+// mutations fail.
+func (d *Durability) Close() error { return d.log.Close() }
+
+// Checkpoint writes a snapshot of the catalog and every table's rows, then
+// truncates the log. See Engine.Checkpoint for the locking contract.
+func (d *Durability) Checkpoint() error {
+	batch := d.opts.SnapshotBatchRows
+	if batch <= 0 {
+		batch = 1024
+	}
+	err := d.log.Checkpoint(func(write func(wal.Record) error) error {
+		// DDL first (tables before the rows that need them, functions in one
+		// pass since they only bind at planning time), then data, then the
+		// index declarations.
+		tables := d.cat.Tables()
+		for _, t := range tables {
+			if err := write(wal.DDLRecord(TableDDL(t))); err != nil {
+				return err
+			}
+		}
+		for _, f := range d.cat.Functions() {
+			if err := write(wal.DDLRecord(f.Def.SQL())); err != nil {
+				return err
+			}
+		}
+		for _, t := range tables {
+			st, ok := d.store.Table(t.Name)
+			if !ok {
+				continue
+			}
+			rows := st.Rows // safe: caller excludes concurrent appends
+			// Chunk by row count AND estimated bytes: the log refuses
+			// records over its hard size limit, so wide rows must cut
+			// batches early rather than accumulate into one giant record.
+			const chunkByteTarget = 4 << 20
+			chunk := make([][]sqltypes.Value, 0, batch)
+			chunkBytes := 0
+			flush := func() error {
+				if len(chunk) == 0 {
+					return nil
+				}
+				err := write(wal.InsertRecord(t.Name, chunk))
+				chunk, chunkBytes = chunk[:0], 0
+				return err
+			}
+			for _, r := range rows {
+				chunk = append(chunk, r)
+				chunkBytes += rowSizeEstimate(r)
+				if len(chunk) >= batch || chunkBytes >= chunkByteTarget {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		for _, t := range tables {
+			for _, col := range t.Indexes {
+				if err := write(wal.IndexRecord(t.Name, col)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	d.checkpoints.Add(1)
+	return nil
+}
+
+// rowSizeEstimate approximates a row's encoded size (kind byte + payload
+// per value) for snapshot chunk cuts.
+func rowSizeEstimate(r storage.Row) int {
+	n := 2 // arity prefix
+	for _, v := range r {
+		n += 9 // kind byte + fixed payload upper bound
+		if v.Kind() == sqltypes.KindString {
+			n += len(v.Str())
+		}
+	}
+	return n
+}
+
+// onCatalogChange is the catalog commit hook: render the mutation as a log
+// record and append it write-ahead.
+func (d *Durability) onCatalogChange(ch catalog.Change) error {
+	switch {
+	case ch.Table != nil:
+		return d.log.Append(wal.DDLRecord(TableDDL(ch.Table)))
+	case ch.Function != nil:
+		return d.log.Append(wal.DDLRecord(ch.Function.SQL()))
+	case ch.IndexTable != "":
+		return d.log.Append(wal.IndexRecord(ch.IndexTable, ch.IndexCol))
+	default:
+		return fmt.Errorf("durability: empty catalog change")
+	}
+}
+
+// onAppend is the storage commit hook: log the batch before it is visible.
+func (d *Durability) onAppend(meta *catalog.Table, rows []storage.Row) error {
+	vals := make([][]sqltypes.Value, len(rows))
+	for i, r := range rows {
+		vals[i] = r
+	}
+	return d.log.Append(wal.InsertRecord(meta.Name, vals))
+}
+
+// applyRecord replays one snapshot or log record into the catalog+store.
+// The hooks are not yet attached during recovery, so nothing is re-logged.
+func applyRecord(cat *catalog.Catalog, store *storage.Store, rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecDDL:
+		sql, err := rec.DDL()
+		if err != nil {
+			return err
+		}
+		return applyDDL(cat, store, sql)
+	case wal.RecIndex:
+		table, col, err := rec.Index()
+		if err != nil {
+			return err
+		}
+		return cat.AddIndex(table, col)
+	case wal.RecInsert:
+		table, rows, err := rec.Insert()
+		if err != nil {
+			return err
+		}
+		st, ok := store.Table(table)
+		if !ok {
+			return fmt.Errorf("insert into unknown table %q", table)
+		}
+		batch := make([]storage.Row, len(rows))
+		for i, r := range rows {
+			batch[i] = r
+		}
+		return st.Append(batch...)
+	default:
+		return fmt.Errorf("unknown record type %d", rec.Type)
+	}
+}
+
+// applyDDL re-parses and registers a logged DDL statement. Only CREATE
+// TABLE / CREATE FUNCTION appear in the log (inserts are binary records).
+func applyDDL(cat *catalog.Catalog, store *storage.Store, sql string) error {
+	script, err := parser.ParseScript(sql)
+	if err != nil {
+		return fmt.Errorf("re-parsing logged DDL: %w\n%s", err, sql)
+	}
+	if len(script.Inserts) > 0 {
+		return fmt.Errorf("unexpected INSERT in logged DDL record: %s", sql)
+	}
+	for _, t := range script.Tables {
+		meta, err := cat.AddTableFromAST(t)
+		if err != nil {
+			return err
+		}
+		if _, err := store.CreateTable(meta); err != nil {
+			return err
+		}
+	}
+	for _, f := range script.Functions {
+		if _, err := cat.AddFunction(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableDDL renders a catalog table back into the CREATE TABLE statement that
+// reproduces it (minus secondary indexes, which are separate log records).
+func TableDDL(t *catalog.Table) string {
+	pk := make(map[string]bool, len(t.PKCols))
+	for _, c := range t.PKCols {
+		pk[c] = true
+	}
+	stmt := &ast.CreateTableStmt{Name: t.Name}
+	for _, c := range t.Cols {
+		stmt.Cols = append(stmt.Cols, ast.ColDef{Name: c.Name, Type: c.Type, PrimaryKey: pk[c.Name]})
+	}
+	return stmt.SQL()
+}

@@ -94,6 +94,9 @@ type Engine struct {
 	Planner *plan.Planner
 	Mode    Mode
 	Profile Profile
+	// Durable is the write-ahead-log/checkpoint state of an engine opened
+	// with OpenDurable; nil for volatile engines (New / NewShared).
+	Durable *Durability
 }
 
 // New creates an empty engine.

@@ -17,6 +17,7 @@ import (
 //	POST /stream   {"session","sql"}                -> NDJSON row stream
 //	POST /exec     {"session","script"}             -> {"ok"}
 //	POST /explain  {"session","sql"}                -> {"explain"}
+//	POST /checkpoint                                -> {"checkpoints","wal_bytes"}
 //	GET  /stats                                     -> Stats
 //
 // The empty session ID addresses a shared default session (SYS1, rewrite
@@ -43,8 +44,27 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) { handleStream(svc, w, r) })
 	mux.HandleFunc("/exec", func(w http.ResponseWriter, r *http.Request) { handleExec(svc, w, r) })
 	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { handleExplain(svc, w, r) })
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) { handleCheckpoint(svc, w, r) })
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(svc, w, r) })
 	return mux
+}
+
+// handleCheckpoint forces a snapshot + log truncation on a durable service
+// (operators and the durability CI use it to bound recovery time).
+func handleCheckpoint(svc *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if err := svc.Checkpoint(); err != nil {
+		writeError(w, http.StatusConflict, "checkpoint: %v", err)
+		return
+	}
+	st := svc.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpoints": st.Durability.Checkpoints,
+		"wal_bytes":   st.Durability.WALBytes,
+	})
 }
 
 type sessionRequest struct {

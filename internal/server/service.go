@@ -188,6 +188,12 @@ type Service struct {
 	prepMu   sync.Mutex
 	inflight map[CacheKey]*prepCall
 
+	// durable is the WAL/checkpoint state when the service runs over a
+	// durable engine; nil for in-memory deployments. Log appends happen
+	// inside Exec/CreateIndex, which already hold the DDL write gate, so
+	// WAL record order always matches mutation commit order.
+	durable *engine.Durability
+
 	defaultParallelism int
 
 	mu       sync.Mutex // guards sessions, seq, and the stat counters below
@@ -228,9 +234,31 @@ func NewService(cat *catalog.Catalog, store *storage.Store, opts Options) *Servi
 // choose one explicitly.
 func (s *Service) DefaultParallelism() int { return s.defaultParallelism }
 
-// NewServiceFromEngine adopts a bootstrap engine's catalog and store.
+// NewServiceFromEngine adopts a bootstrap engine's catalog and store, along
+// with its durability layer when the engine was opened with OpenDurable.
 func NewServiceFromEngine(e *engine.Engine, opts Options) *Service {
-	return NewService(e.Cat, e.Store, opts)
+	s := NewService(e.Cat, e.Store, opts)
+	s.durable = e.Durable
+	return s
+}
+
+// Durable reports whether the service persists to a data directory.
+func (s *Service) Durable() bool { return s.durable != nil }
+
+// Checkpoint snapshots the shared catalog+store to disk and truncates the
+// write-ahead log. It takes the exclusive side of the DDL gate, so it sees
+// no in-flight queries or half-applied scripts — the snapshot is a
+// consistent cut, at the cost of briefly stalling new statements (how
+// briefly depends on data volume).
+func (s *Service) Checkpoint() error {
+	if s.durable == nil {
+		return errors.New("service is volatile: no data directory configured")
+	}
+	held := s.admission.acquire(1)
+	defer func() { s.admission.release(held) }()
+	s.ddl.Lock()
+	defer s.ddl.Unlock()
+	return s.durable.Checkpoint()
 }
 
 // Catalog exposes the shared catalog (read-mostly; DDL goes through Exec).
@@ -713,7 +741,10 @@ type Stats struct {
 	QueriesCancelled int64         `json:"queries_cancelled"`
 	PrepareDeduped   int64         `json:"prepare_deduped"`
 	Parallel         ParallelStats `json:"parallel"`
-	UptimeSeconds    float64       `json:"uptime_seconds"`
+	// Durability reports WAL/checkpoint counters (wal_bytes, checkpoints,
+	// recovered_records, ...); omitted for in-memory deployments.
+	Durability    *engine.DurabilityStats `json:"durability,omitempty"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
 }
 
 // Stats snapshots the service counters.
@@ -745,6 +776,10 @@ func (s *Service) Stats() Stats {
 	st.Parallel.AdmissionWaits = s.admission.waitCount()
 	st.Cache = s.cache.Stats()
 	st.CatalogVersion = s.cat.Version()
+	if s.durable != nil {
+		ds := s.durable.Stats()
+		st.Durability = &ds
+	}
 	return st
 }
 
@@ -759,6 +794,11 @@ func (st Stats) Format() string {
 	fmt.Fprintf(&b, "parallel: pool=%d workers, %d parallel queries, %d morsels, %d worker launches, %d admission waits\n",
 		st.Parallel.WorkersConfigured, st.Parallel.ParallelQueries,
 		st.Parallel.MorselsExecuted, st.Parallel.WorkerLaunches, st.Parallel.AdmissionWaits)
+	if st.Durability != nil {
+		fmt.Fprintf(&b, "durability: dir=%s wal=%d bytes (seg %d), %d checkpoints, %d recovered records, fsync=%s\n",
+			st.Durability.Dir, st.Durability.WALBytes, st.Durability.Segment,
+			st.Durability.Checkpoints, st.Durability.RecoveredRecords, st.Durability.SyncPolicy)
+	}
 	modes := make([]string, 0, len(st.QueriesByMode))
 	for m := range st.QueriesByMode {
 		modes = append(modes, m)

@@ -42,6 +42,10 @@ type Table struct {
 	mu      sync.RWMutex
 	indexes map[string]map[string][]int // column -> key -> row ordinals
 	stats   map[string]ColStats
+
+	// onAppend is the durability commit hook (see Store.SetAppendHook): it
+	// runs before the rows become visible, so an error vetoes the append.
+	onAppend func(meta *catalog.Table, rows []Row) error
 }
 
 // NewTable creates an empty table for the given metadata.
@@ -50,11 +54,17 @@ func NewTable(meta *catalog.Table) *Table {
 }
 
 // Append adds rows; indexes and statistics are invalidated and rebuilt
-// lazily.
+// lazily. When a commit hook is installed (durable stores) it runs first —
+// write-ahead — so rows the hook could not make durable are never visible.
 func (t *Table) Append(rows ...Row) error {
 	for _, r := range rows {
 		if len(r) != len(t.Meta.Cols) {
 			return fmt.Errorf("table %s: row arity %d, want %d", t.Meta.Name, len(r), len(t.Meta.Cols))
+		}
+	}
+	if t.onAppend != nil {
+		if err := t.onAppend(t.Meta, rows); err != nil {
+			return fmt.Errorf("table %s: commit hook: %w", t.Meta.Name, err)
 		}
 	}
 	t.mu.Lock()
@@ -155,13 +165,28 @@ func (t *Table) Stats(col string) (ColStats, error) {
 
 // Store is a collection of tables.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	onAppend func(meta *catalog.Table, rows []Row) error
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
 	return &Store{tables: map[string]*Table{}}
+}
+
+// SetAppendHook installs a commit hook on every table (existing and future):
+// fn runs before each Append's rows become visible, and an error from it
+// aborts the append. The durability layer uses this to emit write-ahead-log
+// records; it is attached only after recovery replay, so replayed rows are
+// not re-logged. The hook must not call back into the store.
+func (s *Store) SetAppendHook(fn func(meta *catalog.Table, rows []Row) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onAppend = fn
+	for _, t := range s.tables {
+		t.onAppend = fn
+	}
 }
 
 // CreateTable registers an empty table for the metadata.
@@ -173,6 +198,7 @@ func (s *Store) CreateTable(meta *catalog.Table) (*Table, error) {
 		return nil, fmt.Errorf("table %q already has storage", meta.Name)
 	}
 	t := NewTable(meta)
+	t.onAppend = s.onAppend
 	s.tables[name] = t
 	return t, nil
 }

@@ -1,0 +1,198 @@
+// Typed records: the engine's durability layer logs three kinds of change —
+// DDL statements (as SQL text, re-parsed on replay), secondary-index
+// declarations (API-only DDL with no SQL surface), and INSERT batches (rows
+// in a kind-preserving binary codec; sqltypes.EncodeKey is unsuitable here
+// because it deliberately collapses INT and FLOAT for join keys).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"udfdecorr/internal/sqltypes"
+)
+
+// Record is one framed log entry.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// Record types.
+const (
+	// RecDDL carries a CREATE TABLE / CREATE FUNCTION statement as SQL text.
+	RecDDL byte = 1
+	// RecIndex carries a secondary-index declaration (table, column).
+	RecIndex byte = 2
+	// RecInsert carries an acknowledged batch of rows for one table.
+	RecInsert byte = 3
+
+	// snapshot structural records (internal to this package)
+	recSnapBegin byte = 100
+	recSnapEnd   byte = 101
+)
+
+// DDLRecord wraps a DDL statement's SQL text.
+func DDLRecord(sql string) Record { return Record{Type: RecDDL, Payload: []byte(sql)} }
+
+// DDL returns the SQL text of a RecDDL record.
+func (r Record) DDL() (string, error) {
+	if r.Type != RecDDL {
+		return "", fmt.Errorf("wal: record type %d is not DDL", r.Type)
+	}
+	return string(r.Payload), nil
+}
+
+// IndexRecord wraps a secondary-index declaration.
+func IndexRecord(table, col string) Record {
+	p := appendString(nil, table)
+	p = appendString(p, col)
+	return Record{Type: RecIndex, Payload: p}
+}
+
+// Index decodes a RecIndex record.
+func (r Record) Index() (table, col string, err error) {
+	if r.Type != RecIndex {
+		return "", "", fmt.Errorf("wal: record type %d is not an index declaration", r.Type)
+	}
+	buf := r.Payload
+	table, buf, err = readString(buf)
+	if err != nil {
+		return "", "", err
+	}
+	col, buf, err = readString(buf)
+	if err != nil {
+		return "", "", err
+	}
+	if len(buf) != 0 {
+		return "", "", fmt.Errorf("wal: trailing bytes in index record")
+	}
+	return table, col, nil
+}
+
+// InsertRecord encodes a batch of rows appended to one table.
+func InsertRecord(table string, rows [][]sqltypes.Value) Record {
+	p := appendString(nil, table)
+	p = binary.BigEndian.AppendUint32(p, uint32(len(rows)))
+	for _, row := range rows {
+		p = binary.BigEndian.AppendUint16(p, uint16(len(row)))
+		for _, v := range row {
+			p = appendValue(p, v)
+		}
+	}
+	return Record{Type: RecInsert, Payload: p}
+}
+
+// Insert decodes a RecInsert record.
+func (r Record) Insert() (table string, rows [][]sqltypes.Value, err error) {
+	if r.Type != RecInsert {
+		return "", nil, fmt.Errorf("wal: record type %d is not an insert batch", r.Type)
+	}
+	buf := r.Payload
+	table, buf, err = readString(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(buf) < 4 {
+		return "", nil, fmt.Errorf("wal: truncated insert record")
+	}
+	n := binary.BigEndian.Uint32(buf)
+	buf = buf[4:]
+	rows = make([][]sqltypes.Value, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(buf) < 2 {
+			return "", nil, fmt.Errorf("wal: truncated insert record row %d", i)
+		}
+		arity := binary.BigEndian.Uint16(buf)
+		buf = buf[2:]
+		row := make([]sqltypes.Value, arity)
+		for j := range row {
+			row[j], buf, err = readValue(buf)
+			if err != nil {
+				return "", nil, fmt.Errorf("wal: insert record row %d col %d: %w", i, j, err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	if len(buf) != 0 {
+		return "", nil, fmt.Errorf("wal: trailing bytes in insert record")
+	}
+	return table, rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// value codec (kind-preserving, unlike sqltypes.EncodeKey)
+// ---------------------------------------------------------------------------
+
+func appendValue(dst []byte, v sqltypes.Value) []byte {
+	dst = append(dst, byte(v.Kind()))
+	switch v.Kind() {
+	case sqltypes.KindNull:
+	case sqltypes.KindInt:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v.Int()))
+	case sqltypes.KindFloat:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.Float()))
+	case sqltypes.KindString:
+		dst = appendString(dst, v.Str())
+	case sqltypes.KindBool:
+		if v.Bool() {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+func readValue(buf []byte) (sqltypes.Value, []byte, error) {
+	if len(buf) < 1 {
+		return sqltypes.Null, nil, fmt.Errorf("truncated value")
+	}
+	kind := sqltypes.Kind(buf[0])
+	buf = buf[1:]
+	switch kind {
+	case sqltypes.KindNull:
+		return sqltypes.Null, buf, nil
+	case sqltypes.KindInt:
+		if len(buf) < 8 {
+			return sqltypes.Null, nil, fmt.Errorf("truncated int")
+		}
+		return sqltypes.NewInt(int64(binary.BigEndian.Uint64(buf))), buf[8:], nil
+	case sqltypes.KindFloat:
+		if len(buf) < 8 {
+			return sqltypes.Null, nil, fmt.Errorf("truncated float")
+		}
+		return sqltypes.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(buf))), buf[8:], nil
+	case sqltypes.KindString:
+		s, rest, err := readString(buf)
+		if err != nil {
+			return sqltypes.Null, nil, err
+		}
+		return sqltypes.NewString(s), rest, nil
+	case sqltypes.KindBool:
+		if len(buf) < 1 {
+			return sqltypes.Null, nil, fmt.Errorf("truncated bool")
+		}
+		return sqltypes.NewBool(buf[0] != 0), buf[1:], nil
+	default:
+		return sqltypes.Null, nil, fmt.Errorf("unknown value kind %d", kind)
+	}
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) < 4 {
+		return "", nil, fmt.Errorf("truncated string length")
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < n {
+		return "", nil, fmt.Errorf("truncated string payload")
+	}
+	return string(buf[:n]), buf[n:], nil
+}
