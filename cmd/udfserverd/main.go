@@ -28,6 +28,13 @@
 //
 //	udfserverd -load -addr http://localhost:8080 -clients 8 -rounds 3 -cancel-frac 0.2
 //
+// Mixed read/write load mode (-mixed, see mixed.go) drives N writers posting
+// acknowledged INSERT batches alongside M readers replaying queries, and
+// reports write QPS — the number that should scale with the writer count
+// under MVCC snapshot reads and group-commit fsync batching:
+//
+//	udfserverd -mixed -addr http://localhost:8080 -mixed-writers 4 -mixed-readers 2 -mixed-duration 10s
+//
 // Durability-test client modes (see dura.go; used by the CI recovery gate):
 //
 //	udfserverd -snapshot pre.json  -addr URL     capture corpus results + row counts
@@ -79,6 +86,11 @@ func main() {
 		fsync     = flag.String("fsync", "always", "durable mode: WAL fsync policy: always|none|<interval, e.g. 250ms>")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "durable mode: periodic checkpoint interval (0 = only on graceful shutdown)")
 
+		mixed    = flag.Bool("mixed", false, "run as mixed read/write load client (-mixed-writers inserters + -mixed-readers queriers)")
+		mWriters = flag.Int("mixed-writers", 4, "mixed mode: concurrent writer goroutines")
+		mReaders = flag.Int("mixed-readers", 2, "mixed mode: concurrent reader goroutines")
+		mDur     = flag.Duration("mixed-duration", 5*time.Second, "mixed mode: load duration")
+
 		snapshotOut = flag.String("snapshot", "", "client: capture corpus results + row counts to this manifest and exit")
 		verifyIn    = flag.String("verify", "", "client: verify corpus results + row counts against this manifest and exit")
 		duraWrite   = flag.Bool("durawrite", false, "client: run the write-heavy durability load (see -manifest/-batches)")
@@ -95,6 +107,8 @@ func main() {
 	switch {
 	case *load:
 		err = runLoad(*addr, *clients, *rounds, *par, *cancelFrac)
+	case *mixed:
+		err = runMixed(*addr, *mWriters, *mReaders, *batchRows, *writeTable, *mDur)
 	case *snapshotOut != "":
 		err = runCorpusSnapshot(*addr, *snapshotOut)
 	case *verifyIn != "":

@@ -196,10 +196,20 @@ func (c *conn) Close() error {
 	return nil
 }
 
-// Begin implements driver.Conn. The engine has no transactions.
+// Begin implements driver.Conn over the session's transaction state:
+// database/sql pins the connection for the Tx's lifetime, so BEGIN, the
+// statements and COMMIT/ROLLBACK all address one service session.
 func (c *conn) Begin() (driver.Tx, error) {
-	return nil, fmt.Errorf("udfsql: transactions are not supported")
+	if err := c.svc.Exec(c.sess, "begin;"); err != nil {
+		return nil, err
+	}
+	return &tx{c: c}, nil
 }
+
+type tx struct{ c *conn }
+
+func (t *tx) Commit() error   { return t.c.svc.Exec(t.c.sess, "commit;") }
+func (t *tx) Rollback() error { return t.c.svc.Exec(t.c.sess, "rollback;") }
 
 // QueryContext implements driver.QueryerContext: SELECTs stream through the
 // service's cursor API.

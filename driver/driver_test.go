@@ -286,3 +286,69 @@ end
 		t.Fatalf("runaway UDF through driver returned %v, want context.DeadlineExceeded", err)
 	}
 }
+
+// TestDriverTransactions: database/sql Tx pins the connection, so BEGIN,
+// the statements, and COMMIT/ROLLBACK all address one service session —
+// uncommitted rows stay invisible to other connections.
+func TestDriverTransactions(t *testing.T) {
+	boot := engine.New(engine.SYS1, engine.ModeRewrite)
+	svc := server.NewServiceFromEngine(boot, server.DefaultOptions())
+	db := sql.OpenDB(udfsql.NewConnector(svc, udfsql.Options{
+		Mode: engine.ModeIterative, Profile: engine.SYS1}))
+	defer db.Close()
+
+	if _, err := db.Exec("create table t (k int primary key);"); err != nil {
+		t.Fatal(err)
+	}
+
+	count := func() int64 {
+		var n int64
+		if err := db.QueryRow("select count(*) from t").Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("insert into t values (1);"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("insert into t values (2);"); err != nil {
+		t.Fatal(err)
+	}
+	// Another connection from the pool must not see the uncommitted rows.
+	if n := count(); n != 0 {
+		t.Fatalf("uncommitted rows visible outside the tx: %d", n)
+	}
+	// The tx's own reads see them.
+	var n int64
+	if err := tx.QueryRow("select count(*) from t").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("tx sees %d of its own rows", n)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(); n != 2 {
+		t.Fatalf("rows after commit = %d", n)
+	}
+
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("insert into t values (3);"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(); n != 2 {
+		t.Fatalf("rows after rollback = %d", n)
+	}
+}

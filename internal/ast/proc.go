@@ -254,8 +254,50 @@ func (s *CreateFunctionStmt) SQL() string {
 	return b.String()
 }
 
-// Script is a parsed sequence of top-level statements.
+// TxnKind enumerates transaction-control statements.
+type TxnKind uint8
+
+// Transaction-control kinds.
+const (
+	TxnBegin TxnKind = iota
+	TxnCommit
+	TxnRollback
+)
+
+// TxnStmt is a top-level BEGIN / COMMIT / ROLLBACK statement.
+type TxnStmt struct {
+	Kind TxnKind
+}
+
+// SQL renders the statement.
+func (s *TxnStmt) SQL() string {
+	switch s.Kind {
+	case TxnBegin:
+		return "BEGIN TRANSACTION"
+	case TxnCommit:
+		return "COMMIT"
+	default:
+		return "ROLLBACK"
+	}
+}
+
+// ScriptStmt is any statement that may appear at the top level of a script.
+type ScriptStmt interface {
+	scriptStmt()
+}
+
+func (*CreateTableStmt) scriptStmt()    {}
+func (*CreateFunctionStmt) scriptStmt() {}
+func (*SelectStmt) scriptStmt()         {}
+func (*InsertStmt) scriptStmt()         {}
+func (*TxnStmt) scriptStmt()            {}
+
+// Script is a parsed sequence of top-level statements. Stmts preserves
+// source order across statement kinds (BEGIN/INSERT/COMMIT sequencing
+// matters); the per-kind slices are retained views for callers that only
+// care about one kind.
 type Script struct {
+	Stmts     []ScriptStmt
 	Tables    []*CreateTableStmt
 	Functions []*CreateFunctionStmt
 	Queries   []*SelectStmt

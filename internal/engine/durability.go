@@ -46,6 +46,11 @@ type Durability struct {
 	checkpoints      atomic.Int64
 	recoveredRecords int64 // fixed after open
 	recoveredTorn    int64
+
+	// nextTxid issues transaction ids for logged commits. Seeded past the
+	// largest txid seen during replay so ids stay unique within one log
+	// generation (BEGIN resets any stale pending state on reuse anyway).
+	nextTxid atomic.Uint64
 }
 
 // DurabilityStats is the operational snapshot exposed through /stats.
@@ -65,6 +70,9 @@ type DurabilityStats struct {
 	RecoveredRecords int64 `json:"recovered_records"`
 	// TornBytes is the size of the torn log tail truncated during recovery.
 	TornBytes int64 `json:"torn_bytes"`
+	// GroupSyncs counts shared fsync batches flushed under the group
+	// policy; records/group_syncs approximates the fsyncs saved.
+	GroupSyncs int64 `json:"group_syncs"`
 	// SyncPolicy names the fsync policy.
 	SyncPolicy string `json:"sync_policy"`
 }
@@ -78,19 +86,22 @@ func OpenDurable(dir string, profile Profile, mode Mode, opts DurabilityOptions)
 	cat := catalog.New()
 	store := storage.NewStore()
 
-	apply := func(rec wal.Record) error { return applyRecord(cat, store, rec) }
+	rp := &replayer{cat: cat, store: store, pending: map[uint64][]pendingInsert{}}
 	log, rstats, err := wal.Open(dir, wal.Options{
 		Sync:         opts.Sync,
 		SyncInterval: opts.SyncInterval,
 		SegmentBytes: opts.SegmentBytes,
-	}, apply)
+	}, rp.apply)
 	if err != nil {
 		return nil, fmt.Errorf("opening data dir %s: %w", dir, err)
 	}
+	// Transactions whose commit record never reached disk are discarded:
+	// rp.pending leftovers at end-of-log were never acknowledged.
 
 	d := &Durability{dir: dir, log: log, cat: cat, store: store, opts: opts}
 	d.recoveredRecords = rstats.SnapshotRecords + rstats.WALRecords
 	d.recoveredTorn = rstats.TornBytes
+	d.nextTxid.Store(rp.maxTxid)
 
 	// Recovery replay is complete: from here on, every mutation is logged
 	// before it commits.
@@ -123,6 +134,7 @@ func (d *Durability) Stats() DurabilityStats {
 		Checkpoints:      d.checkpoints.Load(),
 		RecoveredRecords: d.recoveredRecords,
 		TornBytes:        d.recoveredTorn,
+		GroupSyncs:       ls.GroupSyncs,
 		SyncPolicy:       d.opts.Sync.String(),
 	}
 }
@@ -158,7 +170,7 @@ func (d *Durability) Checkpoint() error {
 			if !ok {
 				continue
 			}
-			rows := st.Rows // safe: caller excludes concurrent appends
+			rows := st.Rows() // immutable published version
 			// Chunk by row count AND estimated bytes: the log refuses
 			// records over its hard size limit, so wide rows must cut
 			// batches early rather than accumulate into one giant record.
@@ -239,6 +251,102 @@ func (d *Durability) onAppend(meta *catalog.Table, rows []storage.Row) error {
 	return d.log.Append(wal.InsertRecord(meta.Name, vals))
 }
 
+// logTxn logs a multi-table transaction as one contiguous record run:
+// BEGIN, one TxnInsert per table, COMMIT. AppendAll keeps the run
+// contiguous in the log (and inside one segment's rollback window), so
+// recovery sees either the whole transaction with its commit record or an
+// uncommitted prefix it discards. Called as the AppendBatch commit hook,
+// before any row becomes visible.
+func (d *Durability) logTxn(writes []storage.TableWrite) error {
+	txid := d.nextTxid.Add(1)
+	recs := make([]wal.Record, 0, len(writes)+2)
+	recs = append(recs, wal.BeginRecord(txid))
+	for _, w := range writes {
+		vals := make([][]sqltypes.Value, len(w.Rows))
+		for i, r := range w.Rows {
+			vals[i] = r
+		}
+		recs = append(recs, wal.TxnInsertRecord(txid, w.Table.Meta.Name, vals))
+	}
+	recs = append(recs, wal.CommitRecord(txid))
+	return d.log.AppendAll(recs...)
+}
+
+// pendingInsert is one buffered TxnInsert awaiting its commit record.
+type pendingInsert struct {
+	table string
+	rows  [][]sqltypes.Value
+}
+
+// replayer applies snapshot + log records during recovery, buffering
+// transactional inserts until their commit record proves the transaction
+// was acknowledged. Uncommitted leftovers (crash between BEGIN and COMMIT
+// reaching disk) are simply dropped.
+type replayer struct {
+	cat     *catalog.Catalog
+	store   *storage.Store
+	pending map[uint64][]pendingInsert
+	maxTxid uint64
+}
+
+func (rp *replayer) apply(rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecBegin:
+		txid, err := rec.Txid()
+		if err != nil {
+			return err
+		}
+		if txid > rp.maxTxid {
+			rp.maxTxid = txid
+		}
+		// Reset, don't merge: a reused txid from an earlier log generation
+		// must not leak stale buffered inserts into this transaction.
+		rp.pending[txid] = nil
+		return nil
+	case wal.RecTxnInsert:
+		txid, table, rows, err := rec.TxnInsert()
+		if err != nil {
+			return err
+		}
+		rp.pending[txid] = append(rp.pending[txid], pendingInsert{table: table, rows: rows})
+		return nil
+	case wal.RecCommit:
+		txid, err := rec.Txid()
+		if err != nil {
+			return err
+		}
+		inserts := rp.pending[txid]
+		delete(rp.pending, txid)
+		for _, ins := range inserts {
+			if err := applyInsert(rp.store, ins.table, ins.rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	case wal.RecRollback:
+		txid, err := rec.Txid()
+		if err != nil {
+			return err
+		}
+		delete(rp.pending, txid)
+		return nil
+	}
+	return applyRecord(rp.cat, rp.store, rec)
+}
+
+// applyInsert appends decoded rows to a table during replay.
+func applyInsert(store *storage.Store, table string, rows [][]sqltypes.Value) error {
+	st, ok := store.Table(table)
+	if !ok {
+		return fmt.Errorf("insert into unknown table %q", table)
+	}
+	batch := make([]storage.Row, len(rows))
+	for i, r := range rows {
+		batch[i] = r
+	}
+	return st.Append(batch...)
+}
+
 // applyRecord replays one snapshot or log record into the catalog+store.
 // The hooks are not yet attached during recovery, so nothing is re-logged.
 func applyRecord(cat *catalog.Catalog, store *storage.Store, rec wal.Record) error {
@@ -260,15 +368,7 @@ func applyRecord(cat *catalog.Catalog, store *storage.Store, rec wal.Record) err
 		if err != nil {
 			return err
 		}
-		st, ok := store.Table(table)
-		if !ok {
-			return fmt.Errorf("insert into unknown table %q", table)
-		}
-		batch := make([]storage.Row, len(rows))
-		for i, r := range rows {
-			batch[i] = r
-		}
-		return st.Append(batch...)
+		return applyInsert(store, table, rows)
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}

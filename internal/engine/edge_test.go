@@ -185,7 +185,7 @@ func TestSYS2ProfileAgrees(t *testing.T) {
 	// Mirror the data into the SYS2 engine.
 	for _, tbl := range []string{"customer", "orders"} {
 		src, _ := it.Store.Table(tbl)
-		if err := sys2.Load(tbl, src.Rows); err != nil {
+		if err := sys2.Load(tbl, src.Rows()); err != nil {
 			t.Fatal(err)
 		}
 	}

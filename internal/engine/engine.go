@@ -159,62 +159,116 @@ func (e *Engine) ExecScript(src string) error {
 // ExecScriptContext is ExecScript honoring cancellation between statements
 // (and inside INSERT value evaluation, which may invoke UDFs).
 func (e *Engine) ExecScriptContext(ctx context.Context, src string) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	script, err := parser.ParseScript(src)
 	if err != nil {
 		return err
 	}
-	for _, t := range script.Tables {
+	return e.ExecParsedContext(ctx, script)
+}
+
+// ExecParsedContext executes an already-parsed script's statements in source
+// order. BEGIN/COMMIT/ROLLBACK delimit script-local transactions: INSERTs
+// inside one are buffered and published atomically at COMMIT. A transaction
+// left open at end of script (or abandoned by an error) is rolled back.
+// Sessions that span transactions across requests manage engine.Txn
+// themselves and must not send BEGIN through here with statements split
+// across calls.
+func (e *Engine) ExecParsedContext(ctx context.Context, script *ast.Script) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var txn *Txn
+	defer func() {
+		if txn != nil {
+			txn.Rollback()
+		}
+	}()
+	for _, stmt := range script.Stmts {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		meta, err := e.Cat.AddTableFromAST(t)
-		if err != nil {
-			return err
-		}
-		if _, err := e.Store.CreateTable(meta); err != nil {
-			return err
-		}
-	}
-	for _, f := range script.Functions {
-		if _, err := e.Cat.AddFunction(f); err != nil {
-			return err
-		}
-	}
-	for _, ins := range script.Inserts {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if err := e.execInsert(ctx, ins); err != nil {
-			return err
+		switch s := stmt.(type) {
+		case *ast.CreateTableStmt:
+			meta, err := e.Cat.AddTableFromAST(s)
+			if err != nil {
+				return err
+			}
+			if _, err := e.Store.CreateTable(meta); err != nil {
+				return err
+			}
+		case *ast.CreateFunctionStmt:
+			if _, err := e.Cat.AddFunction(s); err != nil {
+				return err
+			}
+		case *ast.InsertStmt:
+			if txn != nil {
+				if err := txn.Insert(ctx, s); err != nil {
+					return err
+				}
+			} else if err := e.ExecInsert(ctx, s); err != nil {
+				return err
+			}
+		case *ast.TxnStmt:
+			switch s.Kind {
+			case ast.TxnBegin:
+				if txn != nil {
+					return fmt.Errorf("BEGIN: transaction already in progress")
+				}
+				txn = e.Begin()
+			case ast.TxnCommit:
+				if txn == nil {
+					return fmt.Errorf("COMMIT: no transaction in progress")
+				}
+				err := txn.Commit()
+				txn = nil
+				if err != nil {
+					return err
+				}
+			case ast.TxnRollback:
+				if txn == nil {
+					return fmt.Errorf("ROLLBACK: no transaction in progress")
+				}
+				txn.Rollback()
+				txn = nil
+			}
+		case *ast.SelectStmt:
+			// Scripts ignore bare SELECTs (use Query).
 		}
 	}
 	return nil
 }
 
-// execInsert evaluates a top-level INSERT's value expressions (constants
+// ExecInsert evaluates a top-level INSERT's value expressions (constants
 // and pure scalar expressions) and appends the row.
-func (e *Engine) execInsert(goctx context.Context, ins *ast.InsertStmt) error {
+func (e *Engine) ExecInsert(goctx context.Context, ins *ast.InsertStmt) error {
+	ctx := exec.NewCtxContext(goctx, e.Interp)
+	row, err := e.evalInsertRow(ctx, ins)
+	if err != nil {
+		return err
+	}
+	return e.Load(ins.Table, []storage.Row{row})
+}
+
+// evalInsertRow checks arity against the catalog and evaluates the value
+// expressions under ctx (whose snapshot, if set, scopes any UDF reads).
+func (e *Engine) evalInsertRow(ctx *exec.Ctx, ins *ast.InsertStmt) (storage.Row, error) {
 	meta, ok := e.Cat.Table(ins.Table)
 	if !ok {
-		return fmt.Errorf("unknown table %q", ins.Table)
+		return nil, fmt.Errorf("unknown table %q", ins.Table)
 	}
 	if len(ins.Values) != len(meta.Cols) {
-		return fmt.Errorf("INSERT into %s: %d values for %d columns",
+		return nil, fmt.Errorf("INSERT into %s: %d values for %d columns",
 			ins.Table, len(ins.Values), len(meta.Cols))
 	}
-	ctx := exec.NewCtxContext(goctx, e.Interp)
 	row := make(storage.Row, len(ins.Values))
 	for i, expr := range ins.Values {
 		v, err := e.Interp.EvalProcExpr(ctx, expr)
 		if err != nil {
-			return fmt.Errorf("INSERT into %s: %w", ins.Table, err)
+			return nil, fmt.Errorf("INSERT into %s: %w", ins.Table, err)
 		}
 		row[i] = v
 	}
-	return e.Load(ins.Table, []storage.Row{row})
+	return row, nil
 }
 
 // CreateIndex declares a secondary hash index on a column. This is DDL: it

@@ -53,6 +53,15 @@ type Rows struct {
 // rows are produced until Next is called (pipeline breakers — sorts,
 // aggregations — still do their work on the first pull).
 func (e *Engine) RunContext(ctx context.Context, p *Prepared) (*Rows, error) {
+	return e.RunContextSnap(ctx, p, nil, nil)
+}
+
+// RunContextSnap is RunContext executing against an explicit storage
+// snapshot (plus an optional uncommitted-row overlay, as when a session
+// transaction reads its own writes). A nil snap pins the store's current
+// consistent cut, so every statement is snapshot-consistent: concurrent
+// commits never surface mid-scan.
+func (e *Engine) RunContextSnap(ctx context.Context, p *Prepared, snap *storage.Snapshot, overlay map[*storage.Table][]storage.Row) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -60,6 +69,10 @@ func (e *Engine) RunContext(ctx context.Context, p *Prepared) (*Rows, error) {
 		return nil, err
 	}
 	ectx := exec.NewCtxContext(ctx, e.Interp)
+	if snap == nil {
+		snap = e.Store.Snapshot()
+	}
+	ectx.SetSnapshot(snap, overlay)
 	r := &Rows{cols: p.Cols, rewritten: p.Rewritten, ectx: ectx}
 	if _, ok := p.Node.(exec.BatchNode); ok {
 		bit, err := exec.OpenBatches(p.Node, ectx)

@@ -1,0 +1,107 @@
+// Multi-statement transactions. A Txn pins a store-wide snapshot at Begin
+// and buffers INSERTs; queries run inside the transaction read the pinned
+// snapshot plus the buffered rows (read-your-writes), and Commit publishes
+// every buffered table atomically — no snapshot anywhere can observe half a
+// transaction. On durable engines Commit write-ahead-logs the transaction
+// as one contiguous Begin/insert/Commit record run, so recovery either
+// replays all of it or (when the commit record never reached disk) none.
+// INSERT is the only DML the engine has, so transactions are append-only
+// and snapshot-isolation write conflicts cannot arise.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"udfdecorr/internal/ast"
+	"udfdecorr/internal/exec"
+	"udfdecorr/internal/storage"
+)
+
+// Txn is one in-flight transaction. It is single-client state (like a
+// session): not safe for concurrent use, though any number of transactions
+// may run concurrently with each other and with queries.
+type Txn struct {
+	eng    *Engine
+	snap   *storage.Snapshot
+	order  []*storage.Table // first-write order, for deterministic logging
+	writes map[*storage.Table][]storage.Row
+	done   bool
+}
+
+// Begin starts a transaction reading from the current consistent cut.
+func (e *Engine) Begin() *Txn {
+	return &Txn{eng: e, snap: e.Store.Snapshot(), writes: map[*storage.Table][]storage.Row{}}
+}
+
+// Snapshot returns the transaction's pinned read snapshot.
+func (t *Txn) Snapshot() *storage.Snapshot { return t.snap }
+
+// Overlay returns the buffered uncommitted rows per table, in the shape
+// exec.Ctx.SetSnapshot consumes.
+func (t *Txn) Overlay() map[*storage.Table][]storage.Row { return t.writes }
+
+// Pending reports the number of buffered rows.
+func (t *Txn) Pending() int {
+	n := 0
+	for _, rows := range t.writes {
+		n += len(rows)
+	}
+	return n
+}
+
+// Insert evaluates an INSERT's value expressions (constants and pure scalar
+// expressions; UDF calls inside them read through the transaction snapshot)
+// and buffers the row until Commit.
+func (t *Txn) Insert(goctx context.Context, ins *ast.InsertStmt) error {
+	if t.done {
+		return errors.New("engine: transaction already committed or rolled back")
+	}
+	st, ok := t.eng.Store.Table(ins.Table)
+	if !ok {
+		return fmt.Errorf("unknown table %q", ins.Table)
+	}
+	ectx := exec.NewCtxContext(goctx, t.eng.Interp)
+	ectx.SetSnapshot(t.snap, t.writes)
+	row, err := t.eng.evalInsertRow(ectx, ins)
+	if err != nil {
+		return err
+	}
+	if _, buffered := t.writes[st]; !buffered {
+		t.order = append(t.order, st)
+	}
+	t.writes[st] = append(t.writes[st], row)
+	return nil
+}
+
+// Commit publishes every buffered row atomically. On durable engines the
+// transaction is logged (and fsynced per the log's policy) before anything
+// becomes visible; a logging error vetoes the whole transaction. Commit
+// finishes the transaction either way.
+func (t *Txn) Commit() error {
+	if t.done {
+		return errors.New("engine: transaction already committed or rolled back")
+	}
+	t.done = true
+	if len(t.order) == 0 {
+		return nil
+	}
+	writes := make([]storage.TableWrite, 0, len(t.order))
+	for _, st := range t.order {
+		writes = append(writes, storage.TableWrite{Table: st, Rows: t.writes[st]})
+	}
+	var hook func() error
+	if t.eng.Durable != nil {
+		hook = func() error { return t.eng.Durable.logTxn(writes) }
+	}
+	return t.eng.Store.AppendBatch(writes, hook)
+}
+
+// Rollback discards the buffered writes. Nothing was logged or published,
+// so there is nothing to undo.
+func (t *Txn) Rollback() {
+	t.done = true
+	t.writes = nil
+	t.order = nil
+}

@@ -28,7 +28,7 @@ func (t *TableScan) Schema() []algebra.Column { return t.schema }
 
 // Open implements Node.
 func (t *TableScan) Open(ctx *Ctx) (Iter, error) {
-	return &sliceIter{rows: t.Tab.Rows}, nil
+	return &sliceIter{rows: ctx.TableRows(t.Tab)}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -55,7 +55,8 @@ func (n *IndexLookup) Schema() []algebra.Column { return n.schema }
 
 // Open implements Node.
 func (n *IndexLookup) Open(ctx *Ctx) (Iter, error) {
-	idx, err := n.Tab.EnsureIndex(n.Col)
+	ver, overlay := ctx.TableVersion(n.Tab)
+	idx, err := ver.EnsureIndex(n.Col)
 	if err != nil {
 		return nil, err
 	}
@@ -66,10 +67,22 @@ func (n *IndexLookup) Open(ctx *Ctx) (Iter, error) {
 	if key.IsNull() {
 		return &sliceIter{}, nil // NULL never matches an equality
 	}
-	ordinals := idx[sqltypes.KeyOf(key)]
-	rows := make([]storage.Row, len(ordinals))
+	probe := sqltypes.KeyOf(key)
+	ordinals := idx[probe]
+	rows := make([]storage.Row, len(ordinals), len(ordinals)+len(overlay))
+	base := ver.Rows()
 	for i, o := range ordinals {
-		rows[i] = n.Tab.Rows[o]
+		rows[i] = base[o]
+	}
+	// Uncommitted transaction-local rows are not in the version's index;
+	// they are few, so a linear probe keeps read-your-writes correct.
+	if len(overlay) > 0 {
+		ord := n.Tab.Meta.ColIndex(n.Col)
+		for _, r := range overlay {
+			if !r[ord].IsNull() && sqltypes.KeyOf(r[ord]) == probe {
+				rows = append(rows, r)
+			}
+		}
 	}
 	return &sliceIter{rows: rows}, nil
 }

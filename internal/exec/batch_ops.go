@@ -29,7 +29,7 @@ func (s *BatchScan) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(s, 
 
 // OpenBatch implements BatchNode.
 func (s *BatchScan) OpenBatch(ctx *Ctx) (BatchIter, error) {
-	return &batchScanIter{rows: s.Tab.Rows, width: len(s.schema), ctx: ctx}, nil
+	return &batchScanIter{rows: ctx.TableRows(s.Tab), width: len(s.schema), ctx: ctx}, nil
 }
 
 type batchScanIter struct {

@@ -53,6 +53,15 @@ type Ctx struct {
 	// vectorized path, and per statement in the UDF interpreter.
 	goctx context.Context
 	done  <-chan struct{}
+
+	// snap pins the storage versions every scan in this execution reads
+	// (including embedded statements inside UDFs, which share the Ctx), so a
+	// statement sees one consistent cut no matter how many appends publish
+	// while it runs. nil falls back to each table's current version.
+	// overlay carries a transaction's uncommitted rows per table
+	// (read-your-writes); nil outside explicit transactions.
+	snap    *storage.Snapshot
+	overlay map[*storage.Table][]storage.Row
 }
 
 // NewCtx returns a non-cancellable context with one (global) frame.
@@ -74,6 +83,40 @@ func NewCtxContext(goctx context.Context, interp *Interp) *Ctx {
 		goctx:    goctx,
 		done:     goctx.Done(),
 	}
+}
+
+// SetSnapshot pins the storage snapshot (and optional transaction overlay)
+// scans resolve through. Call before opening the plan.
+func (c *Ctx) SetSnapshot(sn *storage.Snapshot, overlay map[*storage.Table][]storage.Row) {
+	c.snap = sn
+	c.overlay = overlay
+}
+
+// TableVersion resolves a table to the pinned version plus any uncommitted
+// transaction-local rows layered on top of it.
+func (c *Ctx) TableVersion(t *storage.Table) (*storage.TableVersion, []storage.Row) {
+	var ov []storage.Row
+	if c.overlay != nil {
+		ov = c.overlay[t]
+	}
+	if c.snap != nil {
+		return c.snap.Version(t), ov
+	}
+	return t.Version(), ov
+}
+
+// TableRows resolves a table to the rows a scan in this execution reads:
+// the pinned version's rows, plus the transaction overlay when one is
+// active (the combined slice is only materialized on that rare path).
+func (c *Ctx) TableRows(t *storage.Table) []storage.Row {
+	v, ov := c.TableVersion(t)
+	base := v.Rows()
+	if len(ov) == 0 {
+		return base
+	}
+	out := make([]storage.Row, 0, len(base)+len(ov))
+	out = append(out, base...)
+	return append(out, ov...)
 }
 
 // Context returns the Go context the execution was started under.
@@ -114,7 +157,7 @@ func (c *Ctx) forkWorker() *Ctx {
 		frames[i] = nf
 	}
 	return &Ctx{frames: frames, Interp: c.Interp, Counters: &Counters{}, depth: c.depth,
-		goctx: c.goctx, done: c.done}
+		goctx: c.goctx, done: c.done, snap: c.snap, overlay: c.overlay}
 }
 
 // Push adds a new variable frame (entering a UDF call or apply scope).

@@ -95,8 +95,8 @@ type segScan struct {
 	cols []algebra.Column
 }
 
-func (s *segScan) prepare(_ *Ctx, st *segState) error {
-	st.src = &morselSource{rows: s.tab.Rows}
+func (s *segScan) prepare(ctx *Ctx, st *segState) error {
+	st.src = &morselSource{rows: ctx.TableRows(s.tab)}
 	return nil
 }
 

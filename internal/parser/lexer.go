@@ -50,6 +50,7 @@ var keywords = map[string]bool{
 	"INTEGER": true, "FLOAT": true, "REAL": true, "CHAR": true,
 	"VARCHAR": true, "STRING": true, "BOOLEAN": true, "BOOL": true,
 	"LIMIT": true, "UNION": true, "ALL": true,
+	"COMMIT": true, "ROLLBACK": true, "TRANSACTION": true, "WORK": true,
 }
 
 // lexer tokenizes an input string.

@@ -24,8 +24,9 @@ func New(src string) (*Parser, error) {
 	return &Parser{toks: toks}, nil
 }
 
-// ParseScript parses a whole script of CREATE TABLE, CREATE FUNCTION and
-// SELECT statements.
+// ParseScript parses a whole script of CREATE TABLE, CREATE FUNCTION,
+// INSERT, SELECT and transaction-control (BEGIN/COMMIT/ROLLBACK)
+// statements, preserving their source order in Script.Stmts.
 func ParseScript(src string) (*ast.Script, error) {
 	p, err := New(src)
 	if err != nil {
@@ -43,12 +44,14 @@ func ParseScript(src string) (*ast.Script, error) {
 					return nil, err
 				}
 				script.Tables = append(script.Tables, t)
+				script.Stmts = append(script.Stmts, t)
 			case p.atKeyword("FUNCTION"):
 				f, err := p.parseCreateFunction()
 				if err != nil {
 					return nil, err
 				}
 				script.Functions = append(script.Functions, f)
+				script.Stmts = append(script.Stmts, f)
 			default:
 				return nil, p.errf("expected TABLE or FUNCTION after CREATE")
 			}
@@ -58,14 +61,33 @@ func ParseScript(src string) (*ast.Script, error) {
 				return nil, err
 			}
 			script.Queries = append(script.Queries, q)
+			script.Stmts = append(script.Stmts, q)
 		case p.atKeyword("INSERT"):
 			ins, err := p.parseInsertRows()
 			if err != nil {
 				return nil, err
 			}
 			script.Inserts = append(script.Inserts, ins...)
+			for _, i := range ins {
+				script.Stmts = append(script.Stmts, i)
+			}
+		case p.atKeyword("BEGIN"):
+			p.advance()
+			p.eatKeyword("TRANSACTION")
+			p.eatKeyword("WORK")
+			script.Stmts = append(script.Stmts, &ast.TxnStmt{Kind: ast.TxnBegin})
+		case p.atKeyword("COMMIT"):
+			p.advance()
+			p.eatKeyword("TRANSACTION")
+			p.eatKeyword("WORK")
+			script.Stmts = append(script.Stmts, &ast.TxnStmt{Kind: ast.TxnCommit})
+		case p.atKeyword("ROLLBACK"):
+			p.advance()
+			p.eatKeyword("TRANSACTION")
+			p.eatKeyword("WORK")
+			script.Stmts = append(script.Stmts, &ast.TxnStmt{Kind: ast.TxnRollback})
 		default:
-			return nil, p.errf("expected CREATE, INSERT or SELECT at top level, got %q", p.cur().text)
+			return nil, p.errf("expected CREATE, INSERT, SELECT, BEGIN, COMMIT or ROLLBACK at top level, got %q", p.cur().text)
 		}
 		p.eatSymbol(";")
 	}

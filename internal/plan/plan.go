@@ -405,14 +405,63 @@ func (p *Planner) columnStats(rel algebra.Rel, ref *algebra.ColRef) (*storage.Co
 	case *algebra.Select:
 		return p.columnStats(n.In, ref)
 	case *algebra.Join:
+		// Resolve by qualifier first: an unqualified name (or an ambiguous
+		// one) may exist on both sides, and a left-first probe would return
+		// the wrong table's stats for a reference that names the right side.
+		if ref.Qual != "" {
+			inL := algebra.HasRef(n.L.Schema(), ref.Qual, ref.Name)
+			inR := algebra.HasRef(n.R.Schema(), ref.Qual, ref.Name)
+			switch {
+			case inL && !inR:
+				return p.columnStats(n.L, ref)
+			case inR && !inL:
+				return p.columnStats(n.R, ref)
+			}
+		}
 		if st, c := p.columnStats(n.L, ref); st != nil {
 			return st, c
 		}
 		return p.columnStats(n.R, ref)
+	case *algebra.Project:
+		// Follow the projection column whose output matches the reference; a
+		// plain column rename passes the underlying stats through, anything
+		// computed has none.
+		for _, c := range n.Cols {
+			if !(algebra.Column{Qual: c.Qual, Name: c.As}).Matches(ref.Qual, ref.Name) {
+				continue
+			}
+			if cr, ok := c.E.(*algebra.ColRef); ok {
+				return p.columnStats(n.In, cr)
+			}
+			return nil, 0
+		}
+		return nil, 0
+	case *algebra.ApplyMerge:
+		// The schema is the left child's; columns assigned by the merge take
+		// values from the right side, so their base stats no longer apply.
+		if applyMergeAssigns(n, ref) {
+			return nil, 0
+		}
+		return p.columnStats(n.L, ref)
 	case *algebra.Sort:
 		return p.columnStats(n.In, ref)
 	case *algebra.Limit:
 		return p.columnStats(n.In, ref)
 	}
 	return nil, 0
+}
+
+// applyMergeAssigns reports whether the ApplyMerge overwrites the referenced
+// column. An empty Assigns list assigns every attribute common to both
+// children.
+func applyMergeAssigns(n *algebra.ApplyMerge, ref *algebra.ColRef) bool {
+	if len(n.Assigns) > 0 {
+		for _, a := range n.Assigns {
+			if a.Target == ref.Name {
+				return true
+			}
+		}
+		return false
+	}
+	return algebra.HasRef(n.R.Schema(), "", ref.Name)
 }

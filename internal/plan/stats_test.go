@@ -1,0 +1,127 @@
+package plan
+
+// Cardinality-estimation regression tests: columnStats must follow column
+// references through Project (renames) and ApplyMerge (pass-through of
+// unassigned columns), and must resolve qualified references to the correct
+// join side — each of these used to silently drop to the 0.33/0.01 default
+// selectivities and mis-cost index-vs-scan choices.
+
+import (
+	"testing"
+
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/sqltypes"
+)
+
+func TestColumnStatsThroughProjectRename(t *testing.T) {
+	p, cat := testDB(t)
+	proj := &algebra.Project{
+		Cols: []algebra.ProjCol{
+			{E: &algebra.ColRef{Qual: "b", Name: "k"}, Qual: "", As: "key"},
+			{E: &algebra.Arith{Op: sqltypes.OpAdd,
+				L: &algebra.ColRef{Qual: "b", Name: "v"},
+				R: &algebra.Const{Val: sqltypes.NewInt(1)}}, As: "vplus"},
+		},
+		In: scanOf(cat, "big", "b"),
+	}
+
+	st, n := p.columnStats(proj, &algebra.ColRef{Name: "key"})
+	if st == nil {
+		t.Fatal("stats lost above the projection rename")
+	}
+	if n != 10000 || st.DistinctCount != 10000 {
+		t.Fatalf("renamed column: rows=%v distinct=%d, want 10000/10000", n, st.DistinctCount)
+	}
+	if mx, _ := st.Max.AsInt(); mx != 9999 {
+		t.Fatalf("max = %v", st.Max)
+	}
+
+	// A computed column has no underlying storage stats.
+	if st, _ := p.columnStats(proj, &algebra.ColRef{Name: "vplus"}); st != nil {
+		t.Fatal("computed column must not inherit base-column stats")
+	}
+	// An unknown name resolves to nothing.
+	if st, _ := p.columnStats(proj, &algebra.ColRef{Name: "nosuch"}); st != nil {
+		t.Fatal("unknown column must not resolve")
+	}
+}
+
+// TestProjectSelectivityPinned pins the end-to-end estimate: equality on a
+// renamed unique column must use 1/distinct, not the 0.01 unknown-column
+// default (a 100x cardinality error above every projection).
+func TestProjectSelectivityPinned(t *testing.T) {
+	p, cat := testDB(t)
+	proj := &algebra.Project{
+		Cols: []algebra.ProjCol{{E: &algebra.ColRef{Qual: "b", Name: "k"}, As: "key"}},
+		In:   scanOf(cat, "big", "b"),
+	}
+	pred := &algebra.Cmp{Op: sqltypes.CmpEQ,
+		L: &algebra.ColRef{Name: "key"},
+		R: &algebra.Const{Val: sqltypes.NewInt(7)}}
+	if got, want := p.selectivity(pred, proj), 1.0/10000; got != want {
+		t.Fatalf("selectivity = %v, want %v", got, want)
+	}
+	// Range predicate interpolates against the renamed column's min/max.
+	rng := &algebra.Cmp{Op: sqltypes.CmpLE,
+		L: &algebra.ColRef{Name: "key"},
+		R: &algebra.Const{Val: sqltypes.NewInt(999)}}
+	got := p.selectivity(rng, proj)
+	if got < 0.09 || got > 0.11 {
+		t.Fatalf("range selectivity = %v, want ~0.1", got)
+	}
+}
+
+// TestColumnStatsJoinQualifier: when both join sides expose the same column
+// name, a qualified reference must resolve to its own side — the left
+// subtree must not win by position.
+func TestColumnStatsJoinQualifier(t *testing.T) {
+	p, cat := testDB(t)
+	j := &algebra.Join{Kind: algebra.InnerJoin,
+		Cond: &algebra.Cmp{Op: sqltypes.CmpEQ,
+			L: &algebra.ColRef{Qual: "b", Name: "k"},
+			R: &algebra.ColRef{Qual: "s", Name: "k"}},
+		L: scanOf(cat, "big", "b"),
+		R: scanOf(cat, "small", "s"),
+	}
+
+	st, n := p.columnStats(j, &algebra.ColRef{Qual: "s", Name: "k"})
+	if st == nil {
+		t.Fatal("right-side stats not found")
+	}
+	if n != 100 || st.DistinctCount != 100 {
+		t.Fatalf("s.k resolved to rows=%v distinct=%d (left side won?), want 100/100", n, st.DistinctCount)
+	}
+	st, n = p.columnStats(j, &algebra.ColRef{Qual: "b", Name: "k"})
+	if st == nil || n != 10000 {
+		t.Fatalf("b.k: st=%v rows=%v, want big's 10000", st, n)
+	}
+	// Unqualified stays positional (legacy behavior for unambiguous refs).
+	if st, _ := p.columnStats(j, &algebra.ColRef{Name: "k"}); st == nil {
+		t.Fatal("unqualified k should still resolve")
+	}
+}
+
+func TestColumnStatsApplyMerge(t *testing.T) {
+	p, cat := testDB(t)
+	am := &algebra.ApplyMerge{
+		Assigns: []algebra.MergeAssign{{Target: "v", Source: "vv"}},
+		L:       scanOf(cat, "big", "b"),
+		R:       scanOf(cat, "small", "s"),
+	}
+	// v is overwritten by the merge: its base stats no longer describe it.
+	if st, _ := p.columnStats(am, &algebra.ColRef{Qual: "b", Name: "v"}); st != nil {
+		t.Fatal("assigned column must not keep base stats")
+	}
+	// k passes through untouched.
+	st, n := p.columnStats(am, &algebra.ColRef{Qual: "b", Name: "k"})
+	if st == nil || n != 10000 {
+		t.Fatalf("k through ApplyMerge: st=%v rows=%v", st, n)
+	}
+
+	// Empty Assigns means "assign all common attributes": every column of
+	// the right schema is tainted.
+	amAll := &algebra.ApplyMerge{L: scanOf(cat, "big", "b"), R: scanOf(cat, "small", "s")}
+	if st, _ := p.columnStats(amAll, &algebra.ColRef{Qual: "b", Name: "k"}); st != nil {
+		t.Fatal("common attribute under assign-all must not keep base stats")
+	}
+}

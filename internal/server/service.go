@@ -8,10 +8,12 @@
 // entirely, across any number of concurrent clients.
 //
 // Locking order (outermost first): admission slot → ddl gate → session lock
-// → catalog/storage/cache internal locks. Queries hold the ddl gate in read
-// mode, so any number run concurrently; ExecScript/CreateIndex take it in
-// write mode and therefore see no in-flight queries, which is what makes
-// the lock-free row scans in storage safe.
+// → catalog/storage/cache internal locks. Queries, INSERTs and transaction
+// control hold the ddl gate in read mode, so any number run concurrently —
+// readers scan immutable published table versions (snapshot-consistent per
+// statement), so writers never disturb them. Only actual DDL (CREATE
+// TABLE / CREATE FUNCTION / CREATE INDEX) and checkpoints take the write
+// side and exclude everything else.
 package server
 
 import (
@@ -23,9 +25,11 @@ import (
 	"sync"
 	"time"
 
+	"udfdecorr/internal/ast"
 	"udfdecorr/internal/catalog"
 	"udfdecorr/internal/engine"
 	"udfdecorr/internal/exec"
+	"udfdecorr/internal/parser"
 	"udfdecorr/internal/storage"
 )
 
@@ -285,6 +289,10 @@ type Session struct {
 	// timeout bounds each statement's execution (0 = none); it composes
 	// with the caller's context (whichever fires first cancels the query).
 	timeout time.Duration
+	// txn is the session's open transaction (BEGIN without COMMIT yet), nil
+	// otherwise. Queries on the session read the transaction's snapshot plus
+	// its uncommitted rows while one is open.
+	txn *engine.Txn
 }
 
 // CreateSession registers a new session with the given settings.
@@ -334,11 +342,18 @@ func (s *Service) defaultSession() *Session {
 	return sess
 }
 
-// CloseSession drops a session. Closing an unknown ID is a no-op.
+// CloseSession drops a session, rolling back any open transaction. Closing
+// an unknown ID is a no-op.
 func (s *Service) CloseSession(id string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	sess := s.sessions[id]
 	delete(s.sessions, id)
+	s.mu.Unlock()
+	if sess != nil {
+		if txn := sess.takeTxn(); txn != nil {
+			txn.Rollback()
+		}
+	}
 }
 
 // SessionCount returns the number of live sessions.
@@ -353,6 +368,34 @@ func (sess *Session) Engine() *engine.Engine {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	return sess.eng
+}
+
+// Txn returns the session's open transaction, or nil.
+func (sess *Session) Txn() *engine.Txn {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.txn
+}
+
+// beginTxn opens a transaction on the session (atomic check-and-set, so two
+// racing BEGINs cannot both win).
+func (sess *Session) beginTxn() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.txn != nil {
+		return errors.New("BEGIN: transaction already in progress")
+	}
+	sess.txn = sess.eng.Begin()
+	return nil
+}
+
+// takeTxn detaches and returns the open transaction (nil if none).
+func (sess *Session) takeTxn() *engine.Txn {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	t := sess.txn
+	sess.txn = nil
+	return t
 }
 
 // Settings returns the session's current profile and mode.
@@ -543,7 +586,15 @@ func (s *Service) QueryStream(ctx context.Context, sess *Session, sql string) (*
 		s.admission.release(held - 1)
 		held = 1
 	}
-	rows, err := eng.RunContext(qctx, prep)
+	// Inside an open session transaction, statements read the transaction's
+	// pinned snapshot plus its own uncommitted rows; otherwise each statement
+	// pins the store's current consistent cut (RunContextSnap with nil snap).
+	var snap *storage.Snapshot
+	var overlay map[*storage.Table][]storage.Row
+	if txn := sess.Txn(); txn != nil {
+		snap, overlay = txn.Snapshot(), txn.Overlay()
+	}
+	rows, err := eng.RunContextSnap(qctx, prep, snap, overlay)
 	if err != nil {
 		finish(err, nil)
 		return nil, err
@@ -623,10 +674,12 @@ func (s *Service) prepare(eng *engine.Engine, sql string) (*engine.Prepared, boo
 	return c.prep, false, c.err
 }
 
-// Exec runs DDL and DML (CREATE TABLE / CREATE FUNCTION / INSERT) under the
-// exclusive side of the DDL gate, then invalidates the plan cache if the
-// schema version changed. Pure-INSERT scripts leave cached plans valid (a
-// plan never captures row data) and so do not purge.
+// Exec runs DDL, DML and transaction control (CREATE TABLE / CREATE
+// FUNCTION / INSERT / BEGIN / COMMIT / ROLLBACK). Scripts containing DDL
+// take the exclusive side of the DDL gate and invalidate the plan cache if
+// the schema version changed; DML-only scripts run under the shared side,
+// concurrently with queries (readers scan immutable snapshots, so appends
+// cannot disturb them).
 func (s *Service) Exec(sess *Session, script string) error {
 	return s.ExecContext(context.Background(), sess, script)
 }
@@ -634,8 +687,14 @@ func (s *Service) Exec(sess *Session, script string) error {
 // ExecContext is Exec honoring cancellation (and the session statement
 // timeout): a cancelled script stops between statements, leaving the
 // already-applied prefix in place — DDL is not transactional, exactly as a
-// mid-script error behaves.
+// mid-script error behaves. Statements between BEGIN and COMMIT are the
+// exception: they buffer in the session's transaction and publish
+// atomically at COMMIT (or never).
 func (s *Service) ExecContext(ctx context.Context, sess *Session, script string) error {
+	parsed, err := parser.ParseScript(script)
+	if err != nil {
+		return err
+	}
 	qctx, cancel := sess.queryCtx(ctx)
 	defer cancel()
 	held, err := s.admission.acquireCtx(qctx, 1)
@@ -643,20 +702,85 @@ func (s *Service) ExecContext(ctx context.Context, sess *Session, script string)
 		return err
 	}
 	defer func() { s.admission.release(held) }()
+	defer func() {
+		s.mu.Lock()
+		s.execs++
+		s.mu.Unlock()
+	}()
+
+	if !scriptHasDDL(parsed) {
+		// DML and transaction control only: the shared side of the gate, so
+		// writers run alongside readers (and alongside each other, which is
+		// what lets the WAL group-commit batch their fsyncs).
+		s.ddl.RLock()
+		defer s.ddl.RUnlock()
+		return s.execDML(qctx, sess, parsed)
+	}
+
+	if sess.Txn() != nil {
+		return errors.New("cannot run DDL inside a transaction")
+	}
 	s.ddl.Lock()
 	defer s.ddl.Unlock()
-
 	before := s.cat.Version()
-	err = sess.Engine().ExecScriptContext(qctx, script)
+	err = sess.Engine().ExecParsedContext(qctx, parsed)
 	if s.cat.Version() != before {
 		// DDL happened (possibly partially, on error): drop stale plans.
 		// Version-keying already makes them unreachable; purging frees them.
 		s.cache.Purge()
 	}
-	s.mu.Lock()
-	s.execs++
-	s.mu.Unlock()
 	return err
+}
+
+// scriptHasDDL reports whether the script contains schema statements.
+func scriptHasDDL(script *ast.Script) bool {
+	return len(script.Tables) > 0 || len(script.Functions) > 0
+}
+
+// execDML executes a DDL-free script's statements in order against the
+// session, threading INSERTs through the session's open transaction when
+// one is active. Caller holds the shared DDL gate.
+func (s *Service) execDML(ctx context.Context, sess *Session, script *ast.Script) error {
+	for _, stmt := range script.Stmts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch st := stmt.(type) {
+		case *ast.InsertStmt:
+			if txn := sess.Txn(); txn != nil {
+				if err := txn.Insert(ctx, st); err != nil {
+					return err
+				}
+			} else if err := sess.Engine().ExecInsert(ctx, st); err != nil {
+				return err
+			}
+		case *ast.TxnStmt:
+			switch st.Kind {
+			case ast.TxnBegin:
+				if err := sess.beginTxn(); err != nil {
+					return err
+				}
+			case ast.TxnCommit:
+				txn := sess.takeTxn()
+				if txn == nil {
+					return errors.New("COMMIT: no transaction in progress")
+				}
+				if err := txn.Commit(); err != nil {
+					return err
+				}
+			case ast.TxnRollback:
+				txn := sess.takeTxn()
+				if txn == nil {
+					return errors.New("ROLLBACK: no transaction in progress")
+				}
+				txn.Rollback()
+			}
+		case *ast.SelectStmt:
+			// Scripts ignore bare SELECTs, as ExecScript always has (queries
+			// go through Query/QueryStream).
+		}
+	}
+	return nil
 }
 
 // CreateIndex declares a secondary index (DDL: exclusive, invalidates).

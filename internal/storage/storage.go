@@ -1,12 +1,24 @@
 // Package storage implements in-memory row storage: tables, hash indexes
 // for equality lookups, and lightweight column statistics (row counts and
 // min/max) used by the cost-based planner.
+//
+// Concurrency model (MVCC): a table's state is an immutable published
+// TableVersion reached through an atomic pointer. Readers pin a version (or
+// a store-wide Snapshot) and scan it without any locking; writers build the
+// next version and install it with a pointer swap. Index and statistics
+// caches live on the version, so an Append can never invalidate them under
+// a running query. Appends to the same table serialize on a per-table
+// writer lock; version installs additionally serialize on a store-wide
+// publish lock so Snapshot observes a consistent cut across tables (and a
+// multi-table transaction commit is all-or-nothing to every snapshot).
 package storage
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"udfdecorr/internal/catalog"
 	"udfdecorr/internal/sqltypes"
@@ -28,20 +40,130 @@ type ColStats struct {
 	DistinctCount int64 // approximate
 }
 
-// Table is an in-memory table with optional hash indexes.
-//
-// Concurrency: index and statistics caches are guarded by mu, so any number
-// of concurrent readers (scans, index probes, stats lookups) are safe. The
-// Rows slice itself is read lock-free by the scan operators for speed, so
-// Append must not run concurrently with queries — the engine/query service
-// serializes data loads behind a DDL/DML write lock.
-type Table struct {
-	Meta *catalog.Table
-	Rows []Row
+// TableVersion is one immutable published state of a table: a row prefix
+// plus lazily built per-version index and statistics caches. Successive
+// versions share the backing row array (a version only ever exposes a
+// length-bounded prefix, and writers extend the array strictly past every
+// published length), so publishing an append is O(batch), not O(table).
+type TableVersion struct {
+	meta *catalog.Table
+	rows []Row
 
+	// mu guards only the cache maps. The row data needs no lock: it is
+	// immutable for the lifetime of the version.
 	mu      sync.RWMutex
 	indexes map[string]map[string][]int // column -> key -> row ordinals
 	stats   map[string]ColStats
+}
+
+func newVersion(meta *catalog.Table, rows []Row) *TableVersion {
+	return &TableVersion{meta: meta, rows: rows}
+}
+
+// Rows returns the version's immutable rows.
+func (v *TableVersion) Rows() []Row { return v.rows }
+
+// RowCount returns the number of rows in the version.
+func (v *TableVersion) RowCount() int { return len(v.rows) }
+
+// EnsureIndex builds (or reuses) a hash index on the named column. The scan
+// runs outside the lock — rows are immutable, so concurrent readers are
+// never stalled behind an index build; two racing builds are idempotent and
+// the first install wins.
+func (v *TableVersion) EnsureIndex(col string) (map[string][]int, error) {
+	ord := v.meta.ColIndex(col)
+	if ord < 0 {
+		return nil, fmt.Errorf("table %s: no column %q", v.meta.Name, col)
+	}
+	v.mu.RLock()
+	idx, ok := v.indexes[col]
+	v.mu.RUnlock()
+	if ok {
+		return idx, nil
+	}
+	idx = make(map[string][]int, len(v.rows))
+	var key []byte
+	for i, r := range v.rows {
+		key = sqltypes.EncodeKey(key[:0], r[ord])
+		idx[string(key)] = append(idx[string(key)], i)
+	}
+	v.mu.Lock()
+	if prior, ok := v.indexes[col]; ok {
+		idx = prior
+	} else {
+		if v.indexes == nil {
+			v.indexes = map[string]map[string][]int{}
+		}
+		v.indexes[col] = idx
+	}
+	v.mu.Unlock()
+	return idx, nil
+}
+
+// Stats computes (and caches) statistics for a column. Like EnsureIndex,
+// the table scan happens outside the lock.
+func (v *TableVersion) Stats(col string) (ColStats, error) {
+	ord := v.meta.ColIndex(col)
+	if ord < 0 {
+		return ColStats{}, fmt.Errorf("table %s: no column %q", v.meta.Name, col)
+	}
+	v.mu.RLock()
+	st, ok := v.stats[col]
+	v.mu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	distinct := map[string]bool{}
+	var key []byte
+	st = ColStats{Min: sqltypes.Null, Max: sqltypes.Null}
+	for _, r := range v.rows {
+		val := r[ord]
+		if val.IsNull() {
+			continue
+		}
+		if st.Min.IsNull() || sqltypes.TotalCompare(val, st.Min) < 0 {
+			st.Min = val
+		}
+		if st.Max.IsNull() || sqltypes.TotalCompare(val, st.Max) > 0 {
+			st.Max = val
+		}
+		if len(distinct) < 100000 {
+			key = sqltypes.EncodeKey(key[:0], val)
+			distinct[string(key)] = true
+		}
+	}
+	st.DistinctCount = int64(len(distinct))
+	v.mu.Lock()
+	if prior, ok := v.stats[col]; ok {
+		st = prior
+	} else {
+		if v.stats == nil {
+			v.stats = map[string]ColStats{}
+		}
+		v.stats[col] = st
+	}
+	v.mu.Unlock()
+	return st, nil
+}
+
+// Table is an in-memory table whose state is an atomically published
+// immutable version. Readers are always lock-free: Rows/Version/RowCount
+// pin whatever version is current. Append is safe to run concurrently with
+// any number of readers.
+type Table struct {
+	Meta *catalog.Table
+
+	version atomic.Pointer[TableVersion]
+
+	// appendMu serializes writers to this table: the writer holding it owns
+	// the right to extend the shared backing row array past the published
+	// length and install the next version.
+	appendMu sync.Mutex
+
+	// pub is the publish lock shared by every table of the owning Store
+	// (standalone tables get a private one): version installs take it
+	// exclusively, Store.Snapshot takes it shared to read a consistent cut.
+	pub *sync.RWMutex
 
 	// onAppend is the durability commit hook (see Store.SetAppendHook): it
 	// runs before the rows become visible, so an error vetoes the append.
@@ -50,60 +172,71 @@ type Table struct {
 
 // NewTable creates an empty table for the given metadata.
 func NewTable(meta *catalog.Table) *Table {
-	return &Table{Meta: meta, indexes: map[string]map[string][]int{}, stats: map[string]ColStats{}}
+	t := &Table{Meta: meta, pub: &sync.RWMutex{}}
+	t.version.Store(newVersion(meta, nil))
+	return t
 }
 
-// Append adds rows; indexes and statistics are invalidated and rebuilt
-// lazily. When a commit hook is installed (durable stores) it runs first —
-// write-ahead — so rows the hook could not make durable are never visible.
-func (t *Table) Append(rows ...Row) error {
+// Version returns the currently published version.
+func (t *Table) Version() *TableVersion { return t.version.Load() }
+
+// Rows returns the currently published rows. The slice is immutable; hold a
+// Snapshot (or the returned version) to keep reading a consistent state
+// across statements.
+func (t *Table) Rows() []Row { return t.version.Load().rows }
+
+// RowCount returns the number of currently published rows.
+func (t *Table) RowCount() int { return len(t.version.Load().rows) }
+
+// checkArity validates row shapes before anything is logged or published.
+func (t *Table) checkArity(rows []Row) error {
 	for _, r := range rows {
 		if len(r) != len(t.Meta.Cols) {
 			return fmt.Errorf("table %s: row arity %d, want %d", t.Meta.Name, len(r), len(t.Meta.Cols))
 		}
+	}
+	return nil
+}
+
+// Append adds rows by publishing a new version; running queries keep the
+// version they pinned. When a commit hook is installed (durable stores) it
+// runs first — write-ahead — so rows the hook could not make durable are
+// never visible. The hook runs outside the writer lock so concurrent
+// appends to one table can share a group-commit fsync; replay order within
+// a table may therefore differ from publish order, which is fine because
+// tables are multisets (an acknowledged row is present, order is not part
+// of the contract).
+func (t *Table) Append(rows ...Row) error {
+	if err := t.checkArity(rows); err != nil {
+		return err
 	}
 	if t.onAppend != nil {
 		if err := t.onAppend(t.Meta, rows); err != nil {
 			return fmt.Errorf("table %s: commit hook: %w", t.Meta.Name, err)
 		}
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.Rows = append(t.Rows, rows...)
-	t.indexes = map[string]map[string][]int{}
-	t.stats = map[string]ColStats{}
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+	nv := t.nextVersionLocked(rows)
+	t.pub.Lock()
+	t.version.Store(nv)
+	t.pub.Unlock()
 	return nil
 }
 
-// RowCount returns the number of rows.
-func (t *Table) RowCount() int { return len(t.Rows) }
+// nextVersionLocked builds the successor version holding the current rows
+// plus the batch. Caller holds appendMu: extending the backing array past
+// the published length is invisible to every reader (they are bounded by
+// their version's length).
+func (t *Table) nextVersionLocked(rows []Row) *TableVersion {
+	cur := t.version.Load()
+	return newVersion(t.Meta, append(cur.rows, rows...))
+}
 
-// EnsureIndex builds (or reuses) a hash index on the named column and
-// returns it.
+// EnsureIndex builds (or reuses) a hash index on the named column of the
+// current version.
 func (t *Table) EnsureIndex(col string) (map[string][]int, error) {
-	ord := t.Meta.ColIndex(col)
-	if ord < 0 {
-		return nil, fmt.Errorf("table %s: no column %q", t.Meta.Name, col)
-	}
-	t.mu.RLock()
-	idx, ok := t.indexes[col]
-	t.mu.RUnlock()
-	if ok {
-		return idx, nil
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if idx, ok := t.indexes[col]; ok {
-		return idx, nil
-	}
-	idx = make(map[string][]int, len(t.Rows))
-	var key []byte
-	for i, r := range t.Rows {
-		key = sqltypes.EncodeKey(key[:0], r[ord])
-		idx[string(key)] = append(idx[string(key)], i)
-	}
-	t.indexes[col] = idx
-	return idx, nil
+	return t.version.Load().EnsureIndex(col)
 }
 
 // HasIndexableCol reports whether the column is declared indexed (primary
@@ -122,45 +255,10 @@ func (t *Table) HasIndexableCol(col string) bool {
 	return false
 }
 
-// Stats computes (and caches) statistics for a column.
+// Stats computes (and caches) statistics for a column of the current
+// version.
 func (t *Table) Stats(col string) (ColStats, error) {
-	ord := t.Meta.ColIndex(col)
-	if ord < 0 {
-		return ColStats{}, fmt.Errorf("table %s: no column %q", t.Meta.Name, col)
-	}
-	t.mu.RLock()
-	st, ok := t.stats[col]
-	t.mu.RUnlock()
-	if ok {
-		return st, nil
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if st, ok := t.stats[col]; ok {
-		return st, nil
-	}
-	distinct := map[string]bool{}
-	var key []byte
-	st = ColStats{Min: sqltypes.Null, Max: sqltypes.Null}
-	for _, r := range t.Rows {
-		v := r[ord]
-		if v.IsNull() {
-			continue
-		}
-		if st.Min.IsNull() || sqltypes.TotalCompare(v, st.Min) < 0 {
-			st.Min = v
-		}
-		if st.Max.IsNull() || sqltypes.TotalCompare(v, st.Max) > 0 {
-			st.Max = v
-		}
-		if len(distinct) < 100000 {
-			key = sqltypes.EncodeKey(key[:0], v)
-			distinct[string(key)] = true
-		}
-	}
-	st.DistinctCount = int64(len(distinct))
-	t.stats[col] = st
-	return st, nil
+	return t.version.Load().Stats(col)
 }
 
 // Store is a collection of tables.
@@ -168,6 +266,10 @@ type Store struct {
 	mu       sync.RWMutex
 	tables   map[string]*Table
 	onAppend func(meta *catalog.Table, rows []Row) error
+
+	// pub serializes version installs (exclusive) against snapshot capture
+	// (shared): a Snapshot sees either all or none of any publish.
+	pub sync.RWMutex
 }
 
 // NewStore creates an empty store.
@@ -198,6 +300,7 @@ func (s *Store) CreateTable(meta *catalog.Table) (*Table, error) {
 		return nil, fmt.Errorf("table %q already has storage", meta.Name)
 	}
 	t := NewTable(meta)
+	t.pub = &s.pub
 	t.onAppend = s.onAppend
 	s.tables[name] = t
 	return t, nil
@@ -218,4 +321,91 @@ func (s *Store) MustTable(name string) *Table {
 		panic(fmt.Sprintf("no table %q", name))
 	}
 	return t
+}
+
+// Snapshot is a consistent read view over a store: one pinned version per
+// table. Reading through a snapshot sees no writes published after capture.
+// A nil *Snapshot is valid and resolves every table to its current version.
+type Snapshot struct {
+	versions map[*Table]*TableVersion
+}
+
+// Snapshot captures a consistent cut of every table's current version.
+// Capture is cheap — one atomic load per table, no copying.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	tabs := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tabs = append(tabs, t)
+	}
+	s.mu.RUnlock()
+	sn := &Snapshot{versions: make(map[*Table]*TableVersion, len(tabs))}
+	s.pub.RLock()
+	for _, t := range tabs {
+		sn.versions[t] = t.version.Load()
+	}
+	s.pub.RUnlock()
+	return sn
+}
+
+// Version resolves a table to its pinned version, falling back to the
+// current version for tables created after capture (new tables are only
+// visible to readers once DDL completes, which the query service excludes
+// from running queries anyway).
+func (sn *Snapshot) Version(t *Table) *TableVersion {
+	if sn != nil {
+		if v, ok := sn.versions[t]; ok {
+			return v
+		}
+	}
+	return t.version.Load()
+}
+
+// Rows returns the pinned rows for a table.
+func (sn *Snapshot) Rows(t *Table) []Row { return sn.Version(t).rows }
+
+// TableWrite is one table's buffered rows in a transaction commit.
+type TableWrite struct {
+	Table *Table
+	Rows  []Row
+}
+
+// AppendBatch publishes appends to several tables atomically: commit (the
+// durability hook; may be nil) runs first — write-ahead — and an error from
+// it vetoes the whole batch; then every new version is installed under one
+// publish-lock hold, so no snapshot can observe a partially applied
+// transaction. Writer locks are taken in table-name order to avoid
+// deadlocking with concurrent commits.
+func (s *Store) AppendBatch(writes []TableWrite, commit func() error) error {
+	for _, w := range writes {
+		if err := w.Table.checkArity(w.Rows); err != nil {
+			return err
+		}
+	}
+	if commit != nil {
+		if err := commit(); err != nil {
+			return err
+		}
+	}
+	sorted := make([]TableWrite, len(writes))
+	copy(sorted, writes)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Table.Meta.Name < sorted[j].Table.Meta.Name
+	})
+	for _, w := range sorted {
+		w.Table.appendMu.Lock()
+	}
+	versions := make([]*TableVersion, len(sorted))
+	for i, w := range sorted {
+		versions[i] = w.Table.nextVersionLocked(w.Rows)
+	}
+	s.pub.Lock()
+	for i, w := range sorted {
+		w.Table.version.Store(versions[i])
+	}
+	s.pub.Unlock()
+	for _, w := range sorted {
+		w.Table.appendMu.Unlock()
+	}
+	return nil
 }

@@ -27,6 +27,20 @@ const (
 	RecIndex byte = 2
 	// RecInsert carries an acknowledged batch of rows for one table.
 	RecInsert byte = 3
+	// RecBegin opens a multi-statement transaction. Replay buffers the
+	// transaction's RecTxnInsert records and applies nothing until the
+	// matching RecCommit; a Begin for an already-pending txid resets it
+	// (stale leftovers from a txid reused across restarts).
+	RecBegin byte = 4
+	// RecCommit seals a transaction: replay applies its buffered inserts.
+	// A transaction whose commit record never made it to disk is discarded
+	// wholesale — uncommitted suffixes do not resurrect.
+	RecCommit byte = 5
+	// RecRollback abandons a pending transaction's buffered records.
+	RecRollback byte = 6
+	// RecTxnInsert carries one table's row batch inside a transaction
+	// (txid + the RecInsert payload).
+	RecTxnInsert byte = 7
 
 	// snapshot structural records (internal to this package)
 	recSnapBegin byte = 100
@@ -73,7 +87,59 @@ func (r Record) Index() (table, col string, err error) {
 
 // InsertRecord encodes a batch of rows appended to one table.
 func InsertRecord(table string, rows [][]sqltypes.Value) Record {
-	p := appendString(nil, table)
+	return Record{Type: RecInsert, Payload: encodeInsert(nil, table, rows)}
+}
+
+// BeginRecord opens transaction txid.
+func BeginRecord(txid uint64) Record {
+	return Record{Type: RecBegin, Payload: binary.BigEndian.AppendUint64(nil, txid)}
+}
+
+// CommitRecord seals transaction txid.
+func CommitRecord(txid uint64) Record {
+	return Record{Type: RecCommit, Payload: binary.BigEndian.AppendUint64(nil, txid)}
+}
+
+// RollbackRecord abandons transaction txid.
+func RollbackRecord(txid uint64) Record {
+	return Record{Type: RecRollback, Payload: binary.BigEndian.AppendUint64(nil, txid)}
+}
+
+// Txid decodes the transaction id of a RecBegin/RecCommit/RecRollback
+// record.
+func (r Record) Txid() (uint64, error) {
+	switch r.Type {
+	case RecBegin, RecCommit, RecRollback:
+	default:
+		return 0, fmt.Errorf("wal: record type %d carries no transaction id", r.Type)
+	}
+	if len(r.Payload) != 8 {
+		return 0, fmt.Errorf("wal: malformed transaction record (payload %d bytes)", len(r.Payload))
+	}
+	return binary.BigEndian.Uint64(r.Payload), nil
+}
+
+// TxnInsertRecord encodes one table's row batch inside transaction txid.
+func TxnInsertRecord(txid uint64, table string, rows [][]sqltypes.Value) Record {
+	p := binary.BigEndian.AppendUint64(nil, txid)
+	return Record{Type: RecTxnInsert, Payload: encodeInsert(p, table, rows)}
+}
+
+// TxnInsert decodes a RecTxnInsert record.
+func (r Record) TxnInsert() (txid uint64, table string, rows [][]sqltypes.Value, err error) {
+	if r.Type != RecTxnInsert {
+		return 0, "", nil, fmt.Errorf("wal: record type %d is not a transactional insert", r.Type)
+	}
+	if len(r.Payload) < 8 {
+		return 0, "", nil, fmt.Errorf("wal: truncated transactional insert record")
+	}
+	txid = binary.BigEndian.Uint64(r.Payload)
+	table, rows, err = decodeInsert(r.Payload[8:])
+	return txid, table, rows, err
+}
+
+func encodeInsert(p []byte, table string, rows [][]sqltypes.Value) []byte {
+	p = appendString(p, table)
 	p = binary.BigEndian.AppendUint32(p, uint32(len(rows)))
 	for _, row := range rows {
 		p = binary.BigEndian.AppendUint16(p, uint16(len(row)))
@@ -81,7 +147,7 @@ func InsertRecord(table string, rows [][]sqltypes.Value) Record {
 			p = appendValue(p, v)
 		}
 	}
-	return Record{Type: RecInsert, Payload: p}
+	return p
 }
 
 // Insert decodes a RecInsert record.
@@ -89,7 +155,10 @@ func (r Record) Insert() (table string, rows [][]sqltypes.Value, err error) {
 	if r.Type != RecInsert {
 		return "", nil, fmt.Errorf("wal: record type %d is not an insert batch", r.Type)
 	}
-	buf := r.Payload
+	return decodeInsert(r.Payload)
+}
+
+func decodeInsert(buf []byte) (table string, rows [][]sqltypes.Value, err error) {
 	table, buf, err = readString(buf)
 	if err != nil {
 		return "", nil, err

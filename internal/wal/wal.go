@@ -57,14 +57,22 @@ const (
 	// SyncNone never fsyncs; the OS decides. Survives process crashes
 	// (kill -9) but not power loss.
 	SyncNone
+	// SyncGroup fsyncs every append, but amortizes the fsync over the batch
+	// of concurrent appenders: committers park on a shared flush, one of
+	// them syncs everything written so far, and every covered waiter acks.
+	// Same durability as SyncAlways (an acknowledged append survives power
+	// loss), a fraction of the fsyncs under concurrent writers.
+	SyncGroup
 )
 
 // ParseSyncPolicy maps the -fsync flag surface onto a policy: "always",
-// "none"/"off", or a duration like "250ms" (interval mode).
+// "group", "none"/"off", or a duration like "250ms" (interval mode).
 func ParseSyncPolicy(s string) (SyncPolicy, time.Duration, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "", "always":
 		return SyncAlways, 0, nil
+	case "group":
+		return SyncGroup, 0, nil
 	case "none", "off", "never":
 		return SyncNone, 0, nil
 	}
@@ -84,6 +92,8 @@ func (p SyncPolicy) String() string {
 		return "interval"
 	case SyncNone:
 		return "none"
+	case SyncGroup:
+		return "group"
 	default:
 		return "?"
 	}
@@ -149,6 +159,25 @@ type Log struct {
 	bytes    int64  // total bytes across live segments
 	records  int64  // records appended this process
 	lastSync time.Time
+
+	// Group-commit state (SyncGroup policy). Batches are numbered: every
+	// append under mu takes the next writeGen ticket; a group flush observes
+	// the writeGen at sync time and advances syncGen to it, releasing every
+	// waiter whose ticket it covers. One flusher runs at a time; appenders
+	// arriving mid-flush park and the first of them becomes the next
+	// flusher — the classic two-generation group commit.
+	gmu      sync.Mutex // guards the fields below (never held across a sync)
+	gcond    *sync.Cond
+	writeGen uint64
+	syncGen  uint64
+	syncing  bool
+	syncErr  error // sticky: a failed group flush poisons the log (fail-stop)
+
+	// syncedSegBytes is the durable prefix of the current segment (guarded
+	// by mu); a failed group flush truncates back to it, since the batched
+	// frames of several writers cannot be selectively dropped.
+	syncedSegBytes int64
+	groupSyncs     int64 // group flushes performed (telemetry)
 }
 
 // Open replays the durable state in dir (snapshot first, then every live
@@ -217,6 +246,7 @@ func Open(dir string, opts Options, apply func(Record) error) (*Log, RecoverySta
 			ErrCorrupt, segs[0], firstSeg)
 	}
 	l := &Log{dir: dir, opts: opts, lock: lock, lastSync: time.Now()}
+	l.gcond = sync.NewCond(&l.gmu)
 	for i, seq := range segs {
 		if i > 0 && seq != segs[i-1]+1 {
 			return nil, stats, fmt.Errorf("%w: segment gap between %d and %d", ErrCorrupt, segs[i-1], seq)
@@ -249,6 +279,8 @@ func Open(dir string, opts Options, apply func(Record) error) (*Log, RecoverySta
 		}
 		l.f = f
 	}
+	// Whatever survived recovery is the durable prefix by definition.
+	l.syncedSegBytes = l.segBytes
 	ok = true
 	return l, stats, nil
 }
@@ -298,70 +330,169 @@ func (l *Log) createSegmentLocked(seq uint64) error {
 	l.f = f
 	l.seg = seq
 	l.segBytes = 0
+	l.syncedSegBytes = 0
 	return nil
 }
 
 // Append frames rec, writes it to the current segment (rotating first if the
 // segment is full), and syncs per the configured policy. An acknowledged
 // Append is durable to the extent the policy promises.
-func (l *Log) Append(rec Record) error {
-	if 1+len(rec.Payload) > maxRecordBody {
-		return fmt.Errorf("wal: record body %d bytes exceeds the %d limit", 1+len(rec.Payload), maxRecordBody)
+func (l *Log) Append(rec Record) error { return l.AppendAll(rec) }
+
+// AppendAll appends records contiguously under one lock hold — no other
+// append interleaves between them — then syncs once per the policy. The
+// durability layer relies on the contiguity to keep a transaction's
+// Begin/insert/Commit run together, so neither a concurrent append nor a
+// crash can split a committed transaction from its commit record.
+func (l *Log) AppendAll(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
 	}
-	frame := appendFrame(nil, rec)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
-		return errors.New("wal: log is closed")
-	}
-	if l.segBytes > 0 && l.segBytes+int64(len(frame)) > l.opts.SegmentBytes {
-		if err := l.rotateLocked(); err != nil {
-			return err
+	for _, rec := range recs {
+		if 1+len(rec.Payload) > maxRecordBody {
+			return fmt.Errorf("wal: record body %d bytes exceeds the %d limit", 1+len(rec.Payload), maxRecordBody)
 		}
 	}
-	if _, err := l.f.Write(frame); err != nil {
-		// A partial frame must not linger mid-segment: later successful
-		// appends after it would make the log unopenable (mid-log CRC
-		// failure). Roll the file back to the last good offset, or poison
-		// the log if even that fails.
-		l.discardTailLocked()
+	var frame []byte
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return errors.New("wal: log is closed")
+	}
+	// written/frames track this call's footprint in the CURRENT segment so
+	// a failure can roll it back; a mid-call rotation resets them (frames
+	// sealed into the previous segment were synced by the rotation and
+	// cannot be unwritten — for transaction batches the missing commit
+	// record makes replay discard them anyway).
+	var written, frames int64
+	fail := func(err error) error {
+		l.discardLocked(written, frames)
+		l.mu.Unlock()
 		return err
+	}
+	for _, rec := range recs {
+		frame = appendFrame(frame[:0], rec)
+		if l.segBytes > 0 && l.segBytes+int64(len(frame)) > l.opts.SegmentBytes {
+			if err := l.rotateLocked(); err != nil {
+				return fail(err)
+			}
+			written, frames = 0, 0
+		}
+		if _, err := l.f.Write(frame); err != nil {
+			// A partial frame must not linger mid-segment: later successful
+			// appends after it would make the log unopenable (mid-log CRC
+			// failure).
+			return fail(err)
+		}
+		l.segBytes += int64(len(frame))
+		l.bytes += int64(len(frame))
+		l.records++
+		written += int64(len(frame))
+		frames++
 	}
 	switch l.opts.Sync {
 	case SyncAlways:
 		if err := l.f.Sync(); err != nil {
 			// The caller will report this mutation as failed and veto it, so
 			// the record must not resurrect on replay.
-			l.discardTailLocked()
-			return err
+			return fail(err)
 		}
+		l.syncedSegBytes = l.segBytes
 	case SyncInterval:
 		if time.Since(l.lastSync) >= l.opts.SyncInterval {
 			l.lastSync = time.Now()
 			if err := l.f.Sync(); err != nil {
-				l.discardTailLocked()
-				return err
+				return fail(err)
 			}
+			l.syncedSegBytes = l.segBytes
 		}
+	case SyncGroup:
+		l.gmu.Lock()
+		l.writeGen++
+		ticket := l.writeGen
+		l.gmu.Unlock()
+		l.mu.Unlock()
+		return l.groupWait(ticket)
 	}
-	l.segBytes += int64(len(frame))
-	l.bytes += int64(len(frame))
-	l.records++
+	l.mu.Unlock()
 	return nil
 }
 
-// discardTailLocked truncates the current segment back to the last
-// successfully appended record after a failed write or sync. If the
-// truncate fails too, the log is closed (fail-stop): acknowledging further
-// appends on top of undefined bytes would risk silent corruption.
-func (l *Log) discardTailLocked() {
+// groupWait blocks until the append holding ticket is durably synced (nil)
+// or a group flush covering it failed. The first parked appender that finds
+// no flush in progress becomes the flusher for everything written so far;
+// appenders arriving mid-flush park for the next generation.
+func (l *Log) groupWait(ticket uint64) error {
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	for l.syncGen < ticket && l.syncErr == nil {
+		if !l.syncing {
+			l.syncing = true
+			l.gmu.Unlock()
+			covered, err := l.groupFlush()
+			l.gmu.Lock()
+			l.syncing = false
+			if err != nil {
+				l.syncErr = err // sticky: the log is fail-stopped
+			} else if covered > l.syncGen {
+				l.syncGen = covered
+			}
+			l.gcond.Broadcast()
+			continue
+		}
+		l.gcond.Wait()
+	}
+	if l.syncGen >= ticket {
+		return nil // covered by a successful flush, even if a later one failed
+	}
+	return l.syncErr
+}
+
+// groupFlush syncs the current segment, covering every append ticketed
+// before the sync, and returns the covered write generation. A failed sync
+// cannot selectively drop one writer's frames from the batch, so it rolls
+// the segment back to the durable prefix and closes the log (fail-stop):
+// every waiter in the batch errors and vetoes its mutation consistently.
+func (l *Log) groupFlush() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, errors.New("wal: log is closed")
+	}
+	l.gmu.Lock()
+	covered := l.writeGen
+	l.gmu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		if terr := l.f.Truncate(l.syncedSegBytes); terr == nil {
+			l.bytes -= l.segBytes - l.syncedSegBytes
+			l.segBytes = l.syncedSegBytes
+		}
+		l.f.Close()
+		l.f = nil
+		return 0, err
+	}
+	l.syncedSegBytes = l.segBytes
+	l.lastSync = time.Now()
+	l.groupSyncs++
+	return covered, nil
+}
+
+// discardLocked rolls the current segment back by n bytes / k records (plus
+// any trailing partial frame) after a failed write or sync. If the truncate
+// fails too, the log is closed (fail-stop): acknowledging further appends
+// on top of undefined bytes would risk silent corruption.
+func (l *Log) discardLocked(n, k int64) {
 	if l.f == nil {
 		return
 	}
-	if terr := l.f.Truncate(l.segBytes); terr != nil {
+	if terr := l.f.Truncate(l.segBytes - n); terr != nil {
 		l.f.Close()
 		l.f = nil
+		return
 	}
+	l.segBytes -= n
+	l.bytes -= n
+	l.records -= k
 }
 
 // rotateLocked seals the current segment and starts the next one. A sync
@@ -388,7 +519,11 @@ func (l *Log) Sync() error {
 		return nil
 	}
 	l.lastSync = time.Now()
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.syncedSegBytes = l.segBytes
+	return nil
 }
 
 // Checkpoint writes a snapshot and truncates the log: emit is called with a
@@ -447,13 +582,17 @@ type Stats struct {
 	Records int64
 	// Segment is the current segment sequence number.
 	Segment uint64
+	// GroupSyncs is the number of shared fsync batches flushed under the
+	// SyncGroup policy (0 for other policies). Records appended minus
+	// GroupSyncs approximates the fsyncs saved by batching.
+	GroupSyncs int64
 }
 
 // Stats snapshots the log counters.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{Bytes: l.bytes, Records: l.records, Segment: l.seg}
+	return Stats{Bytes: l.bytes, Records: l.records, Segment: l.seg, GroupSyncs: l.groupSyncs}
 }
 
 // Close syncs and closes the current segment and releases the directory
