@@ -41,6 +41,14 @@
 //	udfserverd -verify pre.json    -addr URL     assert they are unchanged
 //	udfserverd -durawrite -manifest acked.json   write-heavy load; manifest records acked rows
 //	udfserverd -duracheck -manifest acked.json   assert every acked row survived
+//
+// Observability: logs are structured (log/slog text to stderr; -log-level
+// debug|info|warn|error), -slow-query DURATION emits a "slow query" line with
+// the trace ID, SQL, wait/run breakdown and row count for every query at or
+// above the threshold, /metrics serves Prometheus text, and -pprof ADDR
+// serves the net/http/pprof profiling handlers on a separate listener
+// (e.g. -pprof localhost:6060, then `go tool pprof
+// http://localhost:6060/debug/pprof/profile`). Off by default.
 package main
 
 import (
@@ -51,13 +59,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -65,6 +73,7 @@ import (
 
 	"udfdecorr/internal/bench"
 	"udfdecorr/internal/engine"
+	"udfdecorr/internal/obs"
 	"udfdecorr/internal/server"
 	"udfdecorr/internal/wal"
 )
@@ -86,6 +95,10 @@ func main() {
 		fsync     = flag.String("fsync", "always", "durable mode: WAL fsync policy: always|none|<interval, e.g. 250ms>")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "durable mode: periodic checkpoint interval (0 = only on graceful shutdown)")
 
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		slowQuery = flag.Duration("slow-query", 0, "server: log queries at or above this duration (0 = off)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+
 		mixed    = flag.Bool("mixed", false, "run as mixed read/write load client (-mixed-writers inserters + -mixed-readers queriers)")
 		mWriters = flag.Int("mixed-writers", 4, "mixed mode: concurrent writer goroutines")
 		mReaders = flag.Int("mixed-readers", 2, "mixed mode: concurrent reader goroutines")
@@ -103,7 +116,16 @@ func main() {
 	)
 	flag.Parse()
 
-	var err error
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+
 	switch {
 	case *load:
 		err = runLoad(*addr, *clients, *rounds, *par, *cancelFrac)
@@ -122,10 +144,32 @@ func main() {
 			addr: *addr, dataset: *dataset, cacheSize: *cache, workers: *workers,
 			parallelism: *par, drain: *drain,
 			dataDir: *dataDir, fsync: *fsync, checkpointEvery: *ckptEvery,
+			slowQuery: *slowQuery,
 		})
 	}
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("udfserverd failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// buildLogger constructs the process-wide structured logger (slog text to
+// stderr) at the requested level.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug|info|warn|error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// servePprof exposes the net/http/pprof handlers on their own listener so
+// profiling traffic never mixes with the query API (and the API mux never
+// accidentally exposes profiling data).
+func servePprof(addr string) {
+	slog.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, nil); err != nil {
+		slog.Error("pprof server exited", "err", err)
 	}
 }
 
@@ -138,6 +182,7 @@ type serverConfig struct {
 	dataDir         string
 	fsync           string
 	checkpointEvery time.Duration
+	slowQuery       time.Duration
 }
 
 func runServer(cfg serverConfig) error {
@@ -146,9 +191,11 @@ func runServer(cfg serverConfig) error {
 		return err
 	}
 	svc := server.NewServiceFromEngine(boot, server.Options{
-		CacheSize: cfg.cacheSize, MaxConcurrent: cfg.workers, DefaultParallelism: cfg.parallelism})
-	log.Printf("udfserverd listening on %s (dataset=%s cache=%d workers=%d parallelism=%d durable=%v)",
-		cfg.addr, cfg.dataset, cfg.cacheSize, cfg.workers, cfg.parallelism, svc.Durable())
+		CacheSize: cfg.cacheSize, MaxConcurrent: cfg.workers, DefaultParallelism: cfg.parallelism,
+		SlowQueryThreshold: cfg.slowQuery, Logger: slog.Default()})
+	slog.Info("udfserverd listening", "addr", cfg.addr, "dataset", cfg.dataset,
+		"cache", cfg.cacheSize, "workers", cfg.workers, "parallelism", cfg.parallelism,
+		"durable", svc.Durable(), "slow_query", cfg.slowQuery)
 
 	srv := &http.Server{Addr: cfg.addr, Handler: server.NewHandler(svc)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -164,9 +211,9 @@ func runServer(cfg serverConfig) error {
 				select {
 				case <-ticker.C:
 					if err := svc.Checkpoint(); err != nil {
-						log.Printf("udfserverd: periodic checkpoint: %v", err)
+						slog.Error("periodic checkpoint failed", "err", err)
 					} else if st := svc.Stats().Durability; st != nil {
-						log.Printf("udfserverd: checkpoint #%d (wal now %d bytes)", st.Checkpoints, st.WALBytes)
+						slog.Info("checkpoint written", "n", st.Checkpoints, "wal_bytes", st.WALBytes)
 					}
 				case <-ckptDone:
 					return
@@ -181,9 +228,9 @@ func runServer(cfg serverConfig) error {
 			return
 		}
 		if err := svc.Checkpoint(); err != nil {
-			log.Printf("udfserverd: shutdown checkpoint failed: %v", err)
+			slog.Error("shutdown checkpoint failed", "err", err)
 		} else {
-			log.Printf("udfserverd: shutdown checkpoint written")
+			slog.Info("shutdown checkpoint written")
 		}
 	}
 
@@ -194,19 +241,18 @@ func runServer(cfg serverConfig) error {
 		return err
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
-		log.Printf("udfserverd: shutdown signal; draining %d sessions (deadline %s)",
-			svc.SessionCount(), cfg.drain)
+		slog.Info("shutdown signal; draining", "sessions", svc.SessionCount(), "deadline", cfg.drain)
 		shctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
 		if err := srv.Shutdown(shctx); err != nil {
 			// Deadline hit: force-close remaining connections, which cancels
 			// their queries through the request contexts.
-			log.Printf("udfserverd: drain deadline exceeded (%v), force-closing", err)
+			slog.Warn("drain deadline exceeded, force-closing", "err", err)
 			err = srv.Close()
 			finalCheckpoint()
 			return err
 		}
-		log.Printf("udfserverd: drained cleanly")
+		slog.Info("drained cleanly")
 		finalCheckpoint()
 		return nil
 	}
@@ -257,15 +303,15 @@ func bootEngine(dataset, dataDir, fsync string) (*engine.Engine, error) {
 	// functions-only): never re-seed over it, and never let the seed-failure
 	// cleanup below touch it.
 	if st.RecoveredRecords > 0 || len(e.Cat.Tables()) > 0 || len(e.Cat.Functions()) > 0 {
-		log.Printf("udfserverd: recovered %s (%d records replayed, %d torn bytes truncated, wal %d bytes)",
-			dataDir, st.RecoveredRecords, st.TornBytes, st.WALBytes)
+		slog.Info("recovered data dir", "dir", dataDir, "records_replayed", st.RecoveredRecords,
+			"torn_bytes", st.TornBytes, "wal_bytes", st.WALBytes)
 		return e, nil
 	}
 	if cfg == nil {
-		log.Printf("udfserverd: opened empty data dir %s", dataDir)
+		slog.Info("opened empty data dir", "dir", dataDir)
 		return e, nil
 	}
-	log.Printf("udfserverd: data dir %s is empty; seeding dataset %q", dataDir, dataset)
+	slog.Info("seeding empty data dir", "dir", dataDir, "dataset", dataset)
 	seed := func() error {
 		if err := bench.Populate(e, *cfg); err != nil {
 			return err
@@ -282,7 +328,7 @@ func bootEngine(dataset, dataDir, fsync string) (*engine.Engine, error) {
 		// the next start: wipe the log files this failed seed created (the
 		// dir held none before — the catalog was empty) and fail loudly.
 		if cerr := e.Durable.Close(); cerr != nil {
-			log.Printf("udfserverd: closing failed seed: %v", cerr)
+			slog.Error("closing failed seed", "err", cerr)
 		}
 		if rerr := removeWALFiles(dataDir); rerr != nil {
 			return nil, fmt.Errorf("seeding dataset: %w (and cleaning up the partial seed failed: %v — delete %s manually)", err, rerr, dataDir)
@@ -487,17 +533,26 @@ func runLoad(base string, clients, rounds, parallelism int, cancelFrac float64) 
 		}
 		baseline[q.Name] = canonical(reply.Rows)
 	}
-	log.Printf("baseline recorded: %d corpus queries", len(bench.Corpus))
+	slog.Info("baseline recorded", "corpus_queries", len(bench.Corpus))
 
+	// Latency distributions go into obs histograms (the same type behind the
+	// server's /metrics): fixed memory however long the run, percentile reads
+	// within 2× bucket resolution. The true max is tracked exactly alongside.
 	type stats struct {
 		queries      int64
 		mismatches   int64
 		cancelled    int64
 		rowsStreamed int64
-		latencies    []time.Duration
-		ttfrs        []time.Duration
+		lat          *obs.Histogram
+		ttfr         *obs.Histogram
+		latMax       time.Duration
+		ttfrMax      time.Duration
 	}
 	results := make([]stats, clients)
+	for i := range results {
+		results[i].lat = obs.NewHistogram()
+		results[i].ttfr = obs.NewHistogram()
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	// Sized for the worst case (every query of every client mismatching):
@@ -536,13 +591,19 @@ func runLoad(base string, clients, rounds, parallelism int, cancelFrac float64) 
 					results[i].queries++
 					results[i].rowsStreamed += int64(len(out.rows))
 					if out.gotFirst {
-						results[i].ttfrs = append(results[i].ttfrs, out.ttfr)
+						results[i].ttfr.Observe(out.ttfr)
+						if out.ttfr > results[i].ttfrMax {
+							results[i].ttfrMax = out.ttfr
+						}
 					}
 					if out.cancelled {
 						results[i].cancelled++
 						continue // a partial result can't be verified
 					}
-					results[i].latencies = append(results[i].latencies, out.total)
+					results[i].lat.Observe(out.total)
+					if out.total > results[i].latMax {
+						results[i].latMax = out.total
+					}
 					if canonical(out.rows) != baseline[q.Name] {
 						results[i].mismatches++
 						errs <- fmt.Errorf("client %d (%+v) %s: rows differ from serial baseline", i, combo, q.Name)
@@ -557,38 +618,36 @@ func runLoad(base string, clients, rounds, parallelism int, cancelFrac float64) 
 	failed := false
 	for err := range errs {
 		failed = true
-		log.Printf("ERROR: %v", err)
+		slog.Error("load client", "err", err)
 	}
 
-	var all, ttfrs []time.Duration
+	lat, ttfr := obs.NewHistogram(), obs.NewHistogram()
+	var latMax, ttfrMax time.Duration
 	var total, cancelled, rowsStreamed int64
 	for _, r := range results {
 		total += r.queries
 		cancelled += r.cancelled
 		rowsStreamed += r.rowsStreamed
-		all = append(all, r.latencies...)
-		ttfrs = append(ttfrs, r.ttfrs...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	sort.Slice(ttfrs, func(i, j int) bool { return ttfrs[i] < ttfrs[j] })
-	pctOf := func(ds []time.Duration, p float64) time.Duration {
-		if len(ds) == 0 {
-			return 0
+		lat.Merge(r.lat)
+		ttfr.Merge(r.ttfr)
+		if r.latMax > latMax {
+			latMax = r.latMax
 		}
-		return ds[int(p*float64(len(ds)-1))]
+		if r.ttfrMax > ttfrMax {
+			ttfrMax = r.ttfrMax
+		}
 	}
-	pct := func(p float64) time.Duration { return pctOf(all, p) }
 	fmt.Printf("clients=%d rounds=%d queries=%d cancelled=%d rows-streamed=%d elapsed=%s\n",
 		clients, rounds, total, cancelled, rowsStreamed, elapsed.Round(time.Millisecond))
 	if elapsed > 0 {
 		fmt.Printf("throughput: %.1f queries/sec\n", float64(total)/elapsed.Seconds())
 	}
 	fmt.Printf("latency (full stream): p50=%s p95=%s p99=%s max=%s\n",
-		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+		lat.Quantile(0.50).Round(time.Microsecond), lat.Quantile(0.95).Round(time.Microsecond),
+		lat.Quantile(0.99).Round(time.Microsecond), latMax.Round(time.Microsecond))
 	fmt.Printf("time-to-first-row: p50=%s p95=%s max=%s\n",
-		pctOf(ttfrs, 0.50).Round(time.Microsecond), pctOf(ttfrs, 0.95).Round(time.Microsecond),
-		pctOf(ttfrs, 1.0).Round(time.Microsecond))
+		ttfr.Quantile(0.50).Round(time.Microsecond), ttfr.Quantile(0.95).Round(time.Microsecond),
+		ttfrMax.Round(time.Microsecond))
 
 	// Server-side cache effectiveness.
 	resp, err := c.http.Get(base + "/stats")
@@ -604,6 +663,9 @@ func runLoad(base string, clients, rounds, parallelism int, cancelFrac float64) 
 			fmt.Printf("server parallel: pool=%d workers, %d parallel queries, %d morsels, %d worker launches, %d admission waits\n",
 				st.Parallel.WorkersConfigured, st.Parallel.ParallelQueries,
 				st.Parallel.MorselsExecuted, st.Parallel.WorkerLaunches, st.Parallel.AdmissionWaits)
+			fmt.Printf("server query latency: p50=%dµs p95=%dµs p99=%dµs over %d queries (slow: %d)\n",
+				st.QueryLatency.P50Micro, st.QueryLatency.P95Micro, st.QueryLatency.P99Micro,
+				st.QueryLatency.Count, st.SlowQueries)
 		}
 	}
 	if failed {

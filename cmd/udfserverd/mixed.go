@@ -9,13 +9,14 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"udfdecorr/internal/bench"
+	"udfdecorr/internal/obs"
 )
 
 // runMixed drives the mixed load for dur and prints one machine-parseable
@@ -55,6 +56,9 @@ func runMixed(base string, writers, readers, batchRows int, table string, dur ti
 		readQueries  atomic.Int64
 		readRows     atomic.Int64
 	)
+	// Per-statement latency distributions (histograms are safe for all
+	// writers/readers to observe concurrently).
+	writeLat, readLat := obs.NewHistogram(), obs.NewHistogram()
 	errs := make(chan error, writers+readers)
 	start := time.Now()
 	deadline := start.Add(dur)
@@ -77,11 +81,13 @@ func runMixed(base string, writers, readers, batchRows int, table string, dur ti
 					fmt.Fprintf(&script, "insert into %s values (%d, 'w%d-b%d-r%d');\n",
 						table, next+int64(i), w, b, i)
 				}
+				t0 := time.Now()
 				if err := cl.post("/exec", map[string]any{
 					"session": session, "script": script.String()}, nil); err != nil {
 					errs <- fmt.Errorf("writer %d batch %d: %w", w, b, err)
 					return
 				}
+				writeLat.Observe(time.Since(t0))
 				next += int64(batchRows)
 				ackedBatches.Add(1)
 				ackedRows.Add(int64(batchRows))
@@ -107,11 +113,13 @@ func runMixed(base string, writers, readers, batchRows int, table string, dur ti
 					sql = "select count(*) from " + table
 				}
 				var reply queryReply
+				t0 := time.Now()
 				if err := cl.post("/query", map[string]any{
 					"session": session, "sql": sql}, &reply); err != nil {
 					errs <- fmt.Errorf("reader %d: %w", r, err)
 					return
 				}
+				readLat.Observe(time.Since(t0))
 				readQueries.Add(1)
 				readRows.Add(int64(reply.RowCount))
 			}
@@ -123,7 +131,7 @@ func runMixed(base string, writers, readers, batchRows int, table string, dur ti
 	failed := false
 	for err := range errs {
 		failed = true
-		log.Printf("ERROR: %v", err)
+		slog.Error("mixed load", "err", err)
 	}
 	if failed {
 		return fmt.Errorf("mixed load failed")
@@ -134,7 +142,15 @@ func runMixed(base string, writers, readers, batchRows int, table string, dur ti
 	fmt.Printf("mixed: write_batches=%d write_rows=%d write_qps=%.2f rows_per_sec=%.1f\n",
 		ackedBatches.Load(), ackedRows.Load(),
 		float64(ackedBatches.Load())/secs, float64(ackedRows.Load())/secs)
+	fmt.Printf("mixed: write_latency p50=%s p95=%s p99=%s\n",
+		writeLat.Quantile(0.50).Round(time.Microsecond), writeLat.Quantile(0.95).Round(time.Microsecond),
+		writeLat.Quantile(0.99).Round(time.Microsecond))
 	fmt.Printf("mixed: read_queries=%d read_rows=%d read_qps=%.2f\n",
 		readQueries.Load(), readRows.Load(), float64(readQueries.Load())/secs)
+	if readQueries.Load() > 0 {
+		fmt.Printf("mixed: read_latency p50=%s p95=%s p99=%s\n",
+			readLat.Quantile(0.50).Round(time.Microsecond), readLat.Quantile(0.95).Round(time.Microsecond),
+			readLat.Quantile(0.99).Round(time.Microsecond))
+	}
 	return nil
 }

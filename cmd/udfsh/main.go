@@ -248,6 +248,7 @@ func (sh *shell) meta(cmd string) (quit bool, err error) {
 		fmt.Println(".profile sys1|sys2                — engine profile")
 		fmt.Println(".timeout <dur>|off                — per-statement timeout (e.g. 500ms, 2s)")
 		fmt.Println(".explain <query>                  — plan choices")
+		fmt.Println(".analyze <query>                  — execute and show per-operator rows/time")
 		fmt.Println(".rewrite <query>                  — decorrelated SQL")
 		fmt.Println(".checkpoint                       — snapshot a durable shell's data dir")
 		fmt.Println(".stats                            — plan cache + parallel + query counters")
@@ -345,6 +346,13 @@ func (sh *shell) meta(cmd string) (quit bool, err error) {
 		if eerr != nil {
 			fmt.Println("error:", eerr)
 			return false, eerr
+		}
+		fmt.Print(out)
+	case ".analyze":
+		out, aerr := sh.svc.ExplainAnalyze(context.Background(), sh.sess, strings.TrimPrefix(cmd, ".analyze "))
+		if aerr != nil {
+			fmt.Println("error:", aerr)
+			return false, aerr
 		}
 		fmt.Print(out)
 	case ".rewrite":

@@ -23,10 +23,17 @@
 //	vectorized  on | off | true | false | 1 | 0      (default off)
 //	parallelism intra-query worker degree            (default server's)
 //	timeout     per-statement timeout, Go duration   (default none)
+//	trace       trace-ID label: each query gets a "<label>-<n>" trace
+//	            ID, grep-able in the server's slow-query log (default:
+//	            server-generated IDs)
 //
 // The <service> name must have been registered with RegisterService; tests
 // and embedded uses can skip the registry (and the driver name) entirely
 // with sql.OpenDB(udfsql.NewConnector(svc, opts)).
+//
+// A query starting with EXPLAIN ANALYZE executes the statement and returns
+// the annotated per-operator plan instead of its rows: one "plan" column,
+// one row per line.
 package udfsql
 
 import (
@@ -39,6 +46,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"udfdecorr/internal/engine"
@@ -121,6 +129,8 @@ func (d *Driver) OpenConnector(dsn string) (driver.Connector, error) {
 					return nil, fmt.Errorf("udfsql: bad timeout value %q", val)
 				}
 				opts.Timeout = dur
+			case "trace":
+				opts.Trace = val
 			default:
 				return nil, fmt.Errorf("udfsql: unknown DSN parameter %q", key)
 			}
@@ -136,6 +146,10 @@ type Options struct {
 	Vectorized  bool
 	Parallelism int           // 0 adopts the service default
 	Timeout     time.Duration // per-statement; 0 = none
+	// Trace labels this connection's queries with "<Trace>-<n>" trace IDs
+	// (grep-able in the server's slow-query log). Empty means the server
+	// generates IDs.
+	Trace string
 }
 
 // Connector binds a service to session options; use with sql.OpenDB to
@@ -172,7 +186,7 @@ func (c *Connector) Connect(context.Context) (driver.Conn, error) {
 	if c.opts.Timeout > 0 {
 		sess.SetTimeout(c.opts.Timeout)
 	}
-	return &conn{svc: c.svc, sess: sess}, nil
+	return &conn{svc: c.svc, sess: sess, trace: c.opts.Trace}, nil
 }
 
 // Driver implements driver.Connector.
@@ -180,8 +194,22 @@ func (c *Connector) Driver() driver.Driver { return &Driver{} }
 
 // conn is one driver connection backed by a service session.
 type conn struct {
-	svc  *server.Service
-	sess *server.Session
+	svc   *server.Service
+	sess  *server.Session
+	trace string       // trace-ID label from Options.Trace ("" = server IDs)
+	seq   atomic.Int64 // per-connection trace sequence
+}
+
+// traceContext attaches the connection's next "<label>-<n>" trace ID, unless
+// the caller already put an explicit one on the context.
+func (c *conn) traceContext(ctx context.Context) context.Context {
+	if c.trace == "" {
+		return ctx
+	}
+	if _, ok := server.TraceIDFrom(ctx); ok {
+		return ctx
+	}
+	return server.WithTraceID(ctx, fmt.Sprintf("%s-%d", c.trace, c.seq.Add(1)))
 }
 
 // Prepare implements driver.Conn. Planning is deferred to execution, where
@@ -217,11 +245,33 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []driver.Nam
 	if len(args) > 0 {
 		return nil, fmt.Errorf("udfsql: the dialect has no placeholder parameters (got %d args)", len(args))
 	}
+	ctx = c.traceContext(ctx)
+	if inner, ok := cutExplainAnalyze(query); ok {
+		out, err := c.svc.ExplainAnalyze(ctx, c.sess, inner)
+		if err != nil {
+			return nil, err
+		}
+		return &planRows{lines: strings.Split(strings.TrimRight(out, "\n"), "\n")}, nil
+	}
 	st, err := c.svc.QueryStream(ctx, c.sess, query)
 	if err != nil {
 		return nil, err
 	}
 	return &rows{st: st}, nil
+}
+
+// cutExplainAnalyze strips a leading EXPLAIN ANALYZE (case-insensitive),
+// returning the statement to analyze.
+func cutExplainAnalyze(query string) (string, bool) {
+	trimmed := strings.TrimSpace(query)
+	const kw = "explain analyze"
+	if len(trimmed) > len(kw) && strings.EqualFold(trimmed[:len(kw)], kw) {
+		switch trimmed[len(kw)] {
+		case ' ', '\t', '\n', '\r':
+			return strings.TrimSpace(trimmed[len(kw):]), true
+		}
+	}
+	return "", false
 }
 
 // ExecContext implements driver.ExecerContext: DDL/DML scripts (CREATE
@@ -234,6 +284,29 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []driver.Name
 		return nil, err
 	}
 	return driver.ResultNoRows, nil
+}
+
+// planRows serves an EXPLAIN ANALYZE result: a single "plan" column with one
+// row per line of the annotated operator tree.
+type planRows struct {
+	lines []string
+	pos   int
+}
+
+// Columns implements driver.Rows.
+func (p *planRows) Columns() []string { return []string{"plan"} }
+
+// Close implements driver.Rows.
+func (p *planRows) Close() error { return nil }
+
+// Next implements driver.Rows.
+func (p *planRows) Next(dest []driver.Value) error {
+	if p.pos >= len(p.lines) {
+		return io.EOF
+	}
+	dest[0] = p.lines[p.pos]
+	p.pos++
+	return nil
 }
 
 // stmt is a prepared statement (text held per connection; the compiled plan

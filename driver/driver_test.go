@@ -8,12 +8,16 @@ package udfsql_test
 // error, restores worker slots, leaks no goroutines) and DSN parsing.
 
 import (
+	"bytes"
 	"context"
 	"database/sql"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -351,4 +355,85 @@ func TestDriverTransactions(t *testing.T) {
 	if n := count(); n != 2 {
 		t.Fatalf("rows after rollback = %d", n)
 	}
+}
+
+// TestDriverTraceAndExplainAnalyze covers the trace DSN label (each query
+// gets a "<label>-<n>" trace ID, visible in the server's slow-query log) and
+// the EXPLAIN ANALYZE interception (one "plan" column, per-operator stats).
+func TestDriverTraceAndExplainAnalyze(t *testing.T) {
+	var logBuf safeBuffer
+	boot, err := bench.NewEngine(engine.SYS1, engine.ModeRewrite, bench.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := boot.ExecScript(bench.ExtraUDFs); err != nil {
+		t.Fatal(err)
+	}
+	opts := server.DefaultOptions()
+	opts.SlowQueryThreshold = time.Nanosecond // every query logs
+	opts.Logger = slog.New(slog.NewTextHandler(&logBuf, nil))
+	svc := server.NewServiceFromEngine(boot, opts)
+	udfsql.RegisterService("trace-test", svc)
+
+	db, err := sql.Open("udfsql", "trace-test?trace=myjob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var n int64
+	if err := db.QueryRow("select count(*) from customer").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if logged := logBuf.String(); !strings.Contains(logged, "trace_id=myjob-1") {
+		t.Errorf("slow-query log missing driver trace ID:\n%s", logged)
+	}
+
+	rows, err := db.Query("EXPLAIN ANALYZE select custkey, lvl(custkey) from customer where custkey < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || cols[0] != "plan" {
+		t.Fatalf("columns = %v, want [plan]", cols)
+	}
+	var plan strings.Builder
+	for rows.Next() {
+		var line string
+		if err := rows.Scan(&line); err != nil {
+			t.Fatal(err)
+		}
+		plan.WriteString(line + "\n")
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rows=", "time="} {
+		if !strings.Contains(plan.String(), want) {
+			t.Errorf("EXPLAIN ANALYZE plan missing %q:\n%s", want, plan.String())
+		}
+	}
+}
+
+// safeBuffer is a mutex-guarded bytes.Buffer (the slog handler may be
+// written from query goroutines while the test reads it).
+type safeBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *safeBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *safeBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

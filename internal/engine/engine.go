@@ -453,6 +453,32 @@ func (e *Engine) Explain(sql string) (string, error) {
 	return p.Describe(e.Mode, e.Profile.Vectorized), nil
 }
 
+// QueryAnalyze executes sql with per-operator instrumentation, returning
+// both the materialized result and the annotated plan tree (EXPLAIN
+// ANALYZE). Instrumentation never changes results — the differential corpus
+// asserts it.
+func (e *Engine) QueryAnalyze(ctx context.Context, sql string) (*Result, string, error) {
+	p, err := e.PrepareContext(ctx, sql)
+	if err != nil {
+		return nil, "", err
+	}
+	rows, err := e.RunContextAnalyze(ctx, p, nil, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := rows.Materialize()
+	if err != nil {
+		return nil, "", err
+	}
+	return res, rows.Analyze(), nil
+}
+
+// ExplainAnalyze executes sql and returns only the annotated plan tree.
+func (e *Engine) ExplainAnalyze(ctx context.Context, sql string) (string, error) {
+	_, plan, err := e.QueryAnalyze(ctx, sql)
+	return plan, err
+}
+
 // RewriteSQL runs only the rewrite pipeline and reports the decorrelated
 // algebra (for the udfrewrite tool and tests).
 func (e *Engine) RewriteSQL(sql string) (*core.Result, error) {

@@ -42,10 +42,17 @@ type Rows struct {
 	batch *exec.Batch    // current batch (owned by bit, valid until next pull)
 	bpos  int            // next live index in batch
 
-	cur     storage.Row
-	err     error
-	closed  bool
-	onClose func(err error)
+	cur      storage.Row
+	err      error
+	closed   bool
+	returned int64 // rows handed to the caller (Next/Materialize)
+	onClose  func(err error)
+
+	// EXPLAIN ANALYZE state: the profiler attached to ectx, the plan root it
+	// measured, and the plan header (mode/executor/choices) captured at start.
+	prof   *exec.Profiler
+	root   exec.Node
+	header string
 }
 
 // RunContext starts executing a prepared query under the given context,
@@ -62,6 +69,18 @@ func (e *Engine) RunContext(ctx context.Context, p *Prepared) (*Rows, error) {
 // consistent cut, so every statement is snapshot-consistent: concurrent
 // commits never surface mid-scan.
 func (e *Engine) RunContextSnap(ctx context.Context, p *Prepared, snap *storage.Snapshot, overlay map[*storage.Table][]storage.Row) (*Rows, error) {
+	return e.runContextSnap(ctx, p, snap, overlay, false)
+}
+
+// RunContextAnalyze is RunContextSnap with per-operator instrumentation
+// enabled (EXPLAIN ANALYZE): every operator edge is wrapped with a timing
+// shim, and after the stream ends Analyze renders the annotated plan tree.
+// Results are identical to an uninstrumented run.
+func (e *Engine) RunContextAnalyze(ctx context.Context, p *Prepared, snap *storage.Snapshot, overlay map[*storage.Table][]storage.Row) (*Rows, error) {
+	return e.runContextSnap(ctx, p, snap, overlay, true)
+}
+
+func (e *Engine) runContextSnap(ctx context.Context, p *Prepared, snap *storage.Snapshot, overlay map[*storage.Table][]storage.Row, analyze bool) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -74,6 +93,11 @@ func (e *Engine) RunContextSnap(ctx context.Context, p *Prepared, snap *storage.
 	}
 	ectx.SetSnapshot(snap, overlay)
 	r := &Rows{cols: p.Cols, rewritten: p.Rewritten, ectx: ectx}
+	if analyze {
+		r.prof = ectx.EnableProfiling()
+		r.root = p.Node
+		r.header = p.Describe(e.Mode, e.Profile.Vectorized)
+	}
 	if _, ok := p.Node.(exec.BatchNode); ok {
 		bit, err := exec.OpenBatches(p.Node, ectx)
 		if err != nil {
@@ -81,7 +105,7 @@ func (e *Engine) RunContextSnap(ctx context.Context, p *Prepared, snap *storage.
 		}
 		r.bit = bit
 	} else {
-		it, err := p.Node.Open(ectx)
+		it, err := exec.OpenRows(p.Node, ectx)
 		if err != nil {
 			return nil, err
 		}
@@ -138,12 +162,14 @@ func (r *Rows) Next() bool {
 			return false
 		}
 		r.cur = row
+		r.returned++
 		return true
 	}
 	for {
 		if r.batch != nil && r.bpos < r.batch.Len() {
 			r.cur = r.batch.Row(r.batch.LiveAt(r.bpos))
 			r.bpos++
+			r.returned++
 			return true
 		}
 		b, ok, err := r.bit.NextBatch(exec.DefaultBatchSize)
@@ -219,6 +245,21 @@ func (r *Rows) Err() error { return r.err }
 // finished (Next returned false) or after Close for complete numbers.
 func (r *Rows) Counters() exec.Counters { return *r.ectx.Counters }
 
+// RowsReturned reports how many rows the caller has consumed so far (the
+// final count once the stream ends). The slow-query log records it.
+func (r *Rows) RowsReturned() int64 { return r.returned }
+
+// Analyze renders the annotated per-operator plan tree of a cursor started
+// with RunContextAnalyze ("" otherwise). Call after the stream finished —
+// parallel workers' stats are absorbed on close, and operator times keep
+// accumulating until then.
+func (r *Rows) Analyze() string {
+	if r.prof == nil {
+		return ""
+	}
+	return r.header + exec.FormatTree(r.root, r.prof)
+}
+
 // OnClose registers a hook invoked exactly once when the cursor closes
 // (explicitly, at end of stream, or on error), receiving the terminal error
 // (nil on clean completion). The query service uses it to release worker
@@ -290,6 +331,7 @@ func (r *Rows) Materialize() (*Result, error) {
 		for r.batch != nil && r.bpos < r.batch.Len() {
 			rows = append(rows, r.batch.Row(r.batch.LiveAt(r.bpos)))
 			r.bpos++
+			r.returned++
 		}
 		for {
 			if err := r.ectx.Cancelled(); err != nil {
@@ -304,6 +346,7 @@ func (r *Rows) Materialize() (*Result, error) {
 			if !ok {
 				break
 			}
+			r.returned += int64(b.Len())
 			rows = b.AppendTo(rows)
 		}
 	} else {

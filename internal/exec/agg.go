@@ -270,7 +270,7 @@ type aggGroup struct {
 
 // Open implements Node.
 func (h *HashAgg) Open(ctx *Ctx) (Iter, error) {
-	it, err := h.Child.Open(ctx)
+	it, err := OpenRows(h.Child, ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -43,7 +43,7 @@ func (a *Apply) Schema() []algebra.Column { return a.schema }
 
 // Open implements Node.
 func (a *Apply) Open(ctx *Ctx) (Iter, error) {
-	li, err := a.L.Open(ctx)
+	li, err := OpenRows(a.L, ctx)
 	if err != nil {
 		return nil, err
 	}

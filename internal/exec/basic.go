@@ -102,7 +102,7 @@ func (f *Filter) Schema() []algebra.Column { return f.Child.Schema() }
 
 // Open implements Node.
 func (f *Filter) Open(ctx *Ctx) (Iter, error) {
-	it, err := f.Child.Open(ctx)
+	it, err := OpenRows(f.Child, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +159,7 @@ func (p *Project) Schema() []algebra.Column { return p.schema }
 
 // Open implements Node.
 func (p *Project) Open(ctx *Ctx) (Iter, error) {
-	it, err := p.Child.Open(ctx)
+	it, err := OpenRows(p.Child, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +223,7 @@ func (l *Limit) Schema() []algebra.Column { return l.Child.Schema() }
 
 // Open implements Node.
 func (l *Limit) Open(ctx *Ctx) (Iter, error) {
-	it, err := l.Child.Open(ctx)
+	it, err := OpenRows(l.Child, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +324,7 @@ func (u *UnionAll) Schema() []algebra.Column { return u.L.Schema() }
 
 // Open implements Node.
 func (u *UnionAll) Open(ctx *Ctx) (Iter, error) {
-	li, err := u.L.Open(ctx)
+	li, err := OpenRows(u.L, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -352,7 +352,7 @@ func (u *unionIter) Next() (storage.Row, bool, error) {
 		if err := u.cur.Close(); err != nil {
 			return nil, false, err
 		}
-		ri, err := u.rest.Open(u.ctx)
+		ri, err := OpenRows(u.rest, u.ctx)
 		if err != nil {
 			return nil, false, err
 		}

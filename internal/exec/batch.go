@@ -8,6 +8,8 @@
 package exec
 
 import (
+	"time"
+
 	"udfdecorr/internal/sqltypes"
 	"udfdecorr/internal/storage"
 )
@@ -131,18 +133,35 @@ type BatchNode interface {
 // OpenBatches opens any node as a batch iterator: natively when the node is
 // batch-capable, otherwise through a row-to-batch transposing adapter.
 func OpenBatches(n Node, ctx *Ctx) (BatchIter, error) {
+	var st *OpStats
+	var start time.Time
+	if ctx.prof != nil {
+		st = ctx.prof.statsFor(n)
+		st.Opens++
+		start = time.Now()
+	}
 	if bn, ok := n.(BatchNode); ok {
 		it, err := bn.OpenBatch(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return contractWrap(it), nil
+		bi := BatchIter(contractWrap(it))
+		if st != nil {
+			st.Time += time.Since(start)
+			bi = &profBatchIter{in: bi, st: st}
+		}
+		return bi, nil
 	}
 	it, err := n.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return contractWrap(&rowToBatchIter{in: it, width: len(n.Schema())}), nil
+	bi := BatchIter(contractWrap(&rowToBatchIter{in: it, width: len(n.Schema())}))
+	if st != nil {
+		st.Time += time.Since(start)
+		bi = &profBatchIter{in: bi, st: st}
+	}
+	return bi, nil
 }
 
 // DrainBatches materializes all rows of a node, pulling batches when the

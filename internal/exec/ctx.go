@@ -62,6 +62,10 @@ type Ctx struct {
 	// (read-your-writes); nil outside explicit transactions.
 	snap    *storage.Snapshot
 	overlay map[*storage.Table][]storage.Row
+
+	// prof collects per-operator execution stats for EXPLAIN ANALYZE; nil
+	// (the default) keeps instrumentation entirely off the execution path.
+	prof *Profiler
 }
 
 // NewCtx returns a non-cancellable context with one (global) frame.
@@ -156,8 +160,14 @@ func (c *Ctx) forkWorker() *Ctx {
 		}
 		frames[i] = nf
 	}
-	return &Ctx{frames: frames, Interp: c.Interp, Counters: &Counters{}, depth: c.depth,
+	w := &Ctx{frames: frames, Interp: c.Interp, Counters: &Counters{}, depth: c.depth,
 		goctx: c.goctx, done: c.done, snap: c.snap, overlay: c.overlay}
+	if c.prof != nil {
+		// A private profiler per worker: stats merge into the parent's via
+		// absorbWorker alongside Counters.absorb, never racing the parent.
+		w.prof = NewProfiler()
+	}
+	return w
 }
 
 // Push adds a new variable frame (entering a UDF call or apply scope).
@@ -223,7 +233,7 @@ func Drain(n Node, ctx *Ctx) ([]storage.Row, error) {
 	if _, ok := n.(BatchNode); ok {
 		return DrainBatches(n, ctx)
 	}
-	it, err := n.Open(ctx)
+	it, err := OpenRows(n, ctx)
 	if err != nil {
 		return nil, err
 	}

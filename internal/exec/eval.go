@@ -291,7 +291,7 @@ func Compile(e algebra.Expr, schema []algebra.Column, r CallResolver) (Evaluator
 			for _, cb := range corr {
 				ctx.Set(cb.Param, row[cb.Col])
 			}
-			it, err := sub.Open(ctx)
+			it, err := OpenRows(sub, ctx)
 			if err != nil {
 				return sqltypes.Null, err
 			}

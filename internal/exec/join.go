@@ -58,7 +58,7 @@ func (j *NLJoin) Schema() []algebra.Column { return j.schema }
 
 // Open implements Node.
 func (j *NLJoin) Open(ctx *Ctx) (Iter, error) {
-	li, err := j.L.Open(ctx)
+	li, err := OpenRows(j.L, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +238,7 @@ func (j *HashJoin) Open(ctx *Ctx) (Iter, error) {
 		k := sqltypes.KeyOf(keyBuf...)
 		table[k] = append(table[k], r)
 	}
-	li, err := j.L.Open(ctx)
+	li, err := OpenRows(j.L, ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -312,6 +312,11 @@ func (e *Exchange) OpenBatch(ctx *Ctx) (BatchIter, error) {
 				x.errc <- err
 				return
 			}
+			if wctx.prof != nil {
+				// Attribute the worker's whole pipeline to the Exchange; the
+				// private profiler merges into the parent's as worker stats.
+				it = &profBatchIter{in: it, st: wctx.prof.statsFor(e)}
+			}
 			defer it.Close()
 			for {
 				select {
@@ -410,6 +415,9 @@ func (x *exchangeIter) finish() {
 	x.merged = true
 	for _, w := range x.wctxs {
 		x.parent.Counters.absorb(w.Counters)
+		if x.parent.prof != nil {
+			x.parent.prof.absorbWorker(w.prof)
+		}
 	}
 }
 
@@ -483,6 +491,9 @@ func (pg *parallelGroupBy) OpenBatch(ctx *Ctx) (BatchIter, error) {
 				errc <- err
 				return
 			}
+			if wctx.prof != nil {
+				it = &profBatchIter{in: it, st: wctx.prof.statsFor(pg)}
+			}
 			defer it.Close()
 			gt := newGroupTable(pg.aggs, len(pg.keys))
 			if err := gt.consume(wctx, it, Instantiate(pg.keys), instantiateArgs(pg.args)); err != nil {
@@ -495,6 +506,9 @@ func (pg *parallelGroupBy) OpenBatch(ctx *Ctx) (BatchIter, error) {
 	wg.Wait()
 	for _, w := range wctxs {
 		ctx.Counters.absorb(w.Counters)
+		if ctx.prof != nil {
+			ctx.prof.absorbWorker(w.prof)
+		}
 	}
 	select {
 	case err := <-errc:

@@ -1,0 +1,174 @@
+// Package obs is a small, dependency-free metrics layer: lock-free atomic
+// counters and gauges plus log-bucketed latency histograms, collected in a
+// Registry that renders the Prometheus text exposition format (version
+// 0.0.4). It exists so the query service, the WAL, and the load clients
+// share one latency-distribution type instead of ad-hoc sorted slices, and
+// so /stats (JSON) and /metrics (Prometheus) report from the same sources.
+//
+// Everything on the update path is a single atomic add — histograms bucket
+// by the position of the highest set bit (powers of two from 1µs), so
+// Observe is branch-light and allocation-free and safe for any number of
+// concurrent writers.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NumHistBuckets is the number of histogram buckets: bucket i holds
+// observations <= 2^i microseconds, so the range spans 1µs to ~36min
+// (2^31µs); anything slower lands in the last bucket, which Prometheus
+// exposition reports as +Inf.
+const NumHistBuckets = 32
+
+// Histogram is a fixed-layout latency histogram with power-of-two bucket
+// bounds. All methods are safe for concurrent use; Observe is two atomic
+// adds and an atomic increment.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [NumHistBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// HistBucketBound returns bucket i's inclusive upper bound.
+func HistBucketBound(i int) time.Duration {
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// histBucketOf maps a duration to its bucket index: the smallest i with
+// d <= 2^i µs, clamped to the top bucket.
+func histBucketOf(d time.Duration) int {
+	// Round up to whole microseconds so bucket upper bounds stay inclusive
+	// at nanosecond precision (1µs+1ns belongs to the 2µs bucket).
+	us := int64((d + time.Microsecond - 1) / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us - 1))
+	if i >= NumHistBuckets {
+		i = NumHistBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration (negative observations clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[histBucketOf(d)].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Merge folds o's observations into h (o keeps its contents).
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.sumNS.Add(o.sumNS.Load())
+	h.count.Add(o.count.Load())
+}
+
+// Snapshot captures a point-in-time copy of the bucket counts. Buckets are
+// read individually (not under a lock), so a snapshot taken during
+// concurrent writes may be off by in-flight observations — fine for
+// monitoring, which is the only consumer.
+type Snapshot struct {
+	Buckets [NumHistBuckets]int64
+	Count   int64
+	SumNS   int64
+}
+
+// Snapshot returns the current contents.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the containing bucket, returning 0 for an empty histogram. With
+// power-of-two buckets the estimate is within 2× of the true value, which
+// is what a latency report needs.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// Quantile estimates the q-quantile of a snapshot.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	total := int64(0)
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total-1)) + 1 // 1-based rank of the target observation
+	cum := int64(0)
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = HistBucketBound(i - 1)
+			}
+			hi := HistBucketBound(i)
+			// Position of the target within this bucket, in (0, 1].
+			frac := float64(rank-cum) / float64(n)
+			return lo + time.Duration(float64(hi-lo)*frac)
+		}
+		cum += n
+	}
+	return HistBucketBound(NumHistBuckets - 1)
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{time.Millisecond, 10},          // 1000µs ≤ 1024µs = 2^10
+		{time.Second, 20},               // 1e6µs ≤ 2^20µs
+		{time.Hour, NumHistBuckets - 1}, // beyond range clamps to top
+	}
+	for _, c := range cases {
+		if got := histBucketOf(c.d); got != c.want {
+			t.Errorf("histBucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's bound must itself map into that bucket (inclusive upper
+	// bounds), and one past it into the next.
+	for i := 0; i < NumHistBuckets-1; i++ {
+		if got := histBucketOf(HistBucketBound(i)); got != i {
+			t.Errorf("bound of bucket %d maps to %d", i, got)
+		}
+		if got := histBucketOf(HistBucketBound(i) + time.Microsecond); got != i+1 {
+			t.Errorf("bound of bucket %d +1µs maps to %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestHistogramObserveAndSum(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(-time.Second) // clamps to 0
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 3*time.Millisecond {
+		t.Fatalf("Sum = %v, want 3ms", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations at ~1ms, 10 at ~1s: p50 must report the fast bucket,
+	// p99 the slow one (within the 2× bucket resolution).
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 512*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 500*time.Millisecond || p99 > 2*time.Second {
+		t.Errorf("p99 = %v, want ~1s", p99)
+	}
+	if min, max := h.Quantile(0), h.Quantile(1); min > max {
+		t.Errorf("q0 %v > q1 %v", min, max)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 10; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	a.Merge(b)
+	if got := a.Count(); got != 20 {
+		t.Fatalf("merged Count = %d, want 20", got)
+	}
+	if got := a.Sum(); got != 10*time.Millisecond+10*time.Second {
+		t.Fatalf("merged Sum = %v", got)
+	}
+	if got := b.Count(); got != 10 {
+		t.Fatalf("Merge mutated source: Count = %d, want 10", got)
+	}
+	s := a.Snapshot()
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("bucket total = %d, want 20", total)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race this is the data-race check, and the final count/sum must be
+// exact regardless.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+				_ = h.Quantile(0.5) // concurrent reads must be safe too
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}
+
+// TestWritePrometheus validates the exposition output structurally: header
+// lines per family, parsable sample lines, cumulative nondecreasing
+// histogram buckets ending at +Inf == _count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "", "ops")
+	c.Add(7)
+	r.CounterFunc("test_by_mode_total", `mode="a"`, "per-mode", func() int64 { return 3 })
+	r.CounterFunc("test_by_mode_total", `mode="b"`, "per-mode", func() int64 { return 4 })
+	g := r.Gauge("test_depth", "", "depth")
+	g.Set(-2)
+	r.GaugeFloatFunc("test_uptime_seconds", "", "uptime", func() float64 { return 1.5 })
+	h := r.Histogram("test_latency_seconds", "latency")
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	samples := map[string]float64{}
+	var bucketCums []float64
+	types := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparsable sample line: %q", line)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		samples[name] = val
+		if strings.HasPrefix(name, "test_latency_seconds_bucket") {
+			bucketCums = append(bucketCums, val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]string{
+		"test_ops_total":       "counter",
+		"test_by_mode_total":   "counter",
+		"test_depth":           "gauge",
+		"test_latency_seconds": "histogram",
+	} {
+		if types[name] != want {
+			t.Errorf("TYPE of %s = %q, want %q", name, types[name], want)
+		}
+	}
+	if samples["test_ops_total"] != 7 {
+		t.Errorf("test_ops_total = %v", samples["test_ops_total"])
+	}
+	if samples[`test_by_mode_total{mode="a"}`] != 3 || samples[`test_by_mode_total{mode="b"}`] != 4 {
+		t.Errorf("per-mode samples wrong: %v", samples)
+	}
+	if samples["test_depth"] != -2 {
+		t.Errorf("test_depth = %v", samples["test_depth"])
+	}
+	if samples["test_uptime_seconds"] != 1.5 {
+		t.Errorf("test_uptime_seconds = %v", samples["test_uptime_seconds"])
+	}
+	if samples["test_latency_seconds_count"] != 2 {
+		t.Errorf("histogram _count = %v", samples["test_latency_seconds_count"])
+	}
+	wantSum := (time.Millisecond + time.Second).Seconds()
+	if got := samples["test_latency_seconds_sum"]; got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Errorf("histogram _sum = %v, want ~%v", got, wantSum)
+	}
+	if len(bucketCums) < 2 {
+		t.Fatalf("expected multiple bucket lines, got %d", len(bucketCums))
+	}
+	for i := 1; i < len(bucketCums); i++ {
+		if bucketCums[i] < bucketCums[i-1] {
+			t.Fatalf("bucket counts not cumulative: %v", bucketCums)
+		}
+	}
+	if last := bucketCums[len(bucketCums)-1]; last != 2 {
+		t.Errorf("+Inf bucket = %v, want 2 (== _count)", last)
+	}
+	if !strings.Contains(out, `test_latency_seconds_bucket{le="+Inf"} 2`) {
+		t.Errorf("missing +Inf bucket line in:\n%s", out)
+	}
+}
+
+func TestHistogramQuantileBoundsClamp(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	lo, hi := h.Quantile(-1), h.Quantile(2)
+	if lo <= 0 || hi < lo {
+		t.Fatalf("clamped quantiles out of order: q(-1)=%v q(2)=%v", lo, hi)
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind distinguishes exposition rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered series: a family name, optional fixed labels
+// ({mode="rewrite"}), and either a value source or a histogram.
+type metric struct {
+	name    string // family name, e.g. udfd_queries_total
+	labels  string // rendered label set without braces, e.g. `mode="rewrite"`; "" for none
+	help    string
+	kind    metricKind
+	intFn   func() int64   // counter/gauge source
+	floatFn func() float64 // alternative float source (e.g. uptime)
+	hist    *Histogram
+}
+
+// Registry is an ordered collection of metrics rendered to the Prometheus
+// text format. Registration is cheap and infrequent; reads walk the list.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(m *metric) {
+	r.mu.Lock()
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+}
+
+// Counter registers and returns a new owned counter series.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	c := &Counter{}
+	r.CounterFunc(name, labels, help, c.Value)
+	return c
+}
+
+// CounterFunc registers a counter series backed by fn — the way to expose
+// counters that already live elsewhere (e.g. the service's /stats fields)
+// so both surfaces report identical numbers.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() int64) {
+	r.add(&metric{name: name, labels: labels, help: help, kind: kindCounter, intFn: fn})
+}
+
+// Gauge registers and returns a new owned gauge series.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	g := &Gauge{}
+	r.GaugeFunc(name, labels, help, g.Value)
+	return g
+}
+
+// GaugeFunc registers a gauge series backed by fn.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() int64) {
+	r.add(&metric{name: name, labels: labels, help: help, kind: kindGauge, intFn: fn})
+}
+
+// GaugeFloatFunc registers a float-valued gauge series backed by fn.
+func (r *Registry) GaugeFloatFunc(name, labels, help string, fn func() float64) {
+	r.add(&metric{name: name, labels: labels, help: help, kind: kindGauge, floatFn: fn})
+}
+
+// Histogram registers and returns a new histogram series.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := NewHistogram()
+	r.add(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format 0.0.4. Families (same name, different labels) are
+// grouped under one # HELP/# TYPE header; histogram buckets are cumulative
+// with second-valued le bounds and a +Inf terminal bucket.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	// Group into families preserving first-seen order, so multi-label
+	// families (queries_total by mode) emit one header.
+	order := []string{}
+	families := map[string][]*metric{}
+	for _, m := range metrics {
+		if _, ok := families[m.name]; !ok {
+			order = append(order, m.name)
+		}
+		families[m.name] = append(families[m.name], m)
+	}
+	var b strings.Builder
+	for _, name := range order {
+		fam := families[name]
+		first := fam[0]
+		if first.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, first.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typeName(first.kind))
+		for _, m := range fam {
+			switch m.kind {
+			case kindCounter, kindGauge:
+				if m.floatFn != nil {
+					fmt.Fprintf(&b, "%s %s\n", seriesName(m.name, m.labels), formatFloat(m.floatFn()))
+				} else {
+					fmt.Fprintf(&b, "%s %d\n", seriesName(m.name, m.labels), m.intFn())
+				}
+			case kindHistogram:
+				writeHistogram(&b, m)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// writeHistogram emits the cumulative bucket series plus _sum and _count.
+// Empty buckets between populated ones still appear (cumulative counts are
+// nondecreasing by construction), but to keep the output small only bucket
+// bounds up to the first one covering every observation are listed before
+// +Inf.
+func writeHistogram(b *strings.Builder, m *metric) {
+	s := m.hist.Snapshot()
+	// Highest populated bucket decides how many explicit bounds to print.
+	top := 0
+	for i, n := range s.Buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	cum := int64(0)
+	for i := 0; i <= top && i < NumHistBuckets-1; i++ {
+		cum += s.Buckets[i]
+		le := formatFloat(HistBucketBound(i).Seconds())
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", m.name, le, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, s.Count)
+	fmt.Fprintf(b, "%s_sum %s\n", m.name, formatFloat(float64(s.SumNS)/1e9))
+	fmt.Fprintf(b, "%s_count %d\n", m.name, s.Count)
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -17,12 +18,18 @@ import (
 //	POST /stream   {"session","sql"}                -> NDJSON row stream
 //	POST /exec     {"session","script"}             -> {"ok"}
 //	POST /explain  {"session","sql"}                -> {"explain"}
+//	POST /explain?analyze=1 {"session","sql"}       -> {"explain"} (executes, per-operator stats)
 //	POST /checkpoint                                -> {"checkpoints","wal_bytes"}
 //	GET  /stats                                     -> Stats
+//	GET  /metrics                                   -> Prometheus text exposition
 //
 // The empty session ID addresses a shared default session (SYS1, rewrite
 // mode). Row values are rendered in SQL literal syntax (strings quoted,
 // NULL bare) so clients can compare results unambiguously.
+//
+// /query and /stream honor an X-Trace-Id request header (the query's trace
+// ID, grep-able in the slow-query log) and echo the effective ID — given or
+// generated — back on the response.
 //
 // Both /query and /stream execute under the request context: a client that
 // disconnects (or a session statement timeout that fires) cancels the query
@@ -46,7 +53,30 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { handleExplain(svc, w, r) })
 	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) { handleCheckpoint(svc, w, r) })
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(svc, w, r) })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(svc, w, r) })
 	return mux
+}
+
+// handleMetrics serves the Prometheus text exposition. It reads the same
+// live sources as /stats, so the two surfaces always agree.
+func handleMetrics(svc *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = svc.Metrics().WritePrometheus(w)
+}
+
+// traceContext attaches the X-Trace-Id request header (if any) to the
+// request context so the service adopts it as the query's trace ID.
+func traceContext(r *http.Request) context.Context {
+	ctx := r.Context()
+	if id := r.Header.Get("X-Trace-Id"); id != "" {
+		ctx = WithTraceID(ctx, id)
+	}
+	return ctx
 }
 
 // handleCheckpoint forces a snapshot + log truncation on a durable service
@@ -214,11 +244,12 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := svc.QueryContext(r.Context(), sess, req.SQL)
+	res, err := svc.QueryContext(traceContext(r), sess, req.SQL)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	w.Header().Set("X-Trace-Id", res.TraceID)
 	rows := make([][]string, len(res.Rows))
 	for i, row := range res.Rows {
 		out := make([]string, len(row))
@@ -275,13 +306,15 @@ func handleStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	st, err := svc.QueryStream(r.Context(), sess, req.SQL)
+	st, err := svc.QueryStream(traceContext(r), sess, req.SQL)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	defer st.Rows.Close()
+	defer func(start time.Time) { svc.ObserveStreamDuration(time.Since(start)) }(time.Now())
 
+	w.Header().Set("X-Trace-Id", st.TraceID)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -355,7 +388,13 @@ func handleExplain(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	out, err := svc.Explain(sess, req.SQL)
+	var out string
+	var err error
+	if v := r.URL.Query().Get("analyze"); v == "1" || v == "true" {
+		out, err = svc.ExplainAnalyze(traceContext(r), sess, req.SQL)
+	} else {
+		out, err = svc.Explain(sess, req.SQL)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -46,6 +47,13 @@ type Options struct {
 	// DefaultParallelism is the intra-query degree applied to sessions that
 	// do not choose one explicitly (0 leaves them serial).
 	DefaultParallelism int
+	// SlowQueryThreshold emits a structured slow-query log line for every
+	// query whose service time (plan lookup + execution, to stream close)
+	// meets it. 0 disables the log.
+	SlowQueryThreshold time.Duration
+	// Logger receives the service's structured logs (the slow-query log).
+	// nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 // DefaultOptions returns the default service configuration.
@@ -65,6 +73,9 @@ type admission struct {
 	free  int
 	size  int
 	waits int64 // acquisitions that had to block
+	// observeWait, when set, receives the blocked duration of every
+	// acquisition that had to wait (the admission-wait histogram).
+	observeWait func(time.Duration)
 	// FIFO tickets: an acquire proceeds only when it holds the serving
 	// ticket AND enough slots are free. A waiter whose context is cancelled
 	// before being served marks its ticket abandoned so the line advances
@@ -112,6 +123,7 @@ func (a *admission) acquireCtx(ctx context.Context, n int) (int, error) {
 	ticket := a.nextTicket
 	a.nextTicket++
 	blocked := false
+	var blockedAt time.Time
 	for a.serving != ticket || a.free < n {
 		if err := ctx.Err(); err != nil {
 			if a.serving == ticket {
@@ -121,10 +133,14 @@ func (a *admission) acquireCtx(ctx context.Context, n int) (int, error) {
 			}
 			a.mu.Unlock()
 			a.cond.Broadcast()
+			if blocked && a.observeWait != nil {
+				a.observeWait(time.Since(blockedAt))
+			}
 			return 0, err
 		}
 		if !blocked {
 			blocked = true
+			blockedAt = time.Now()
 			a.waits++
 		}
 		a.cond.Wait()
@@ -133,6 +149,9 @@ func (a *admission) acquireCtx(ctx context.Context, n int) (int, error) {
 	a.free -= n
 	a.mu.Unlock()
 	a.cond.Broadcast() // hand the line to the next ticket holder
+	if blocked && a.observeWait != nil {
+		a.observeWait(time.Since(blockedAt))
+	}
 	return n, nil
 }
 
@@ -213,6 +232,10 @@ type Service struct {
 	morsels          int64 // morsels executed by parallel workers
 	workerLaunches   int64 // parallel workers launched
 	started          time.Time
+
+	// metrics is the observability state: the /metrics registry, latency
+	// histograms, trace-ID generator and slow-query log (see obs.go).
+	metrics *serviceMetrics
 }
 
 // NewService builds a service over an existing catalog and store (usually
@@ -221,7 +244,7 @@ func NewService(cat *catalog.Catalog, store *storage.Store, opts Options) *Servi
 	if opts.MaxConcurrent <= 0 {
 		opts.MaxConcurrent = 32
 	}
-	return &Service{
+	s := &Service{
 		cat:                cat,
 		store:              store,
 		cache:              NewPlanCache(opts.CacheSize),
@@ -232,6 +255,8 @@ func NewService(cat *catalog.Catalog, store *storage.Store, opts Options) *Servi
 		queriesByMode:      map[string]int64{},
 		started:            time.Now(),
 	}
+	s.initObservability(opts)
+	return s
 }
 
 // DefaultParallelism returns the degree applied to sessions that do not
@@ -243,6 +268,9 @@ func (s *Service) DefaultParallelism() int { return s.defaultParallelism }
 func NewServiceFromEngine(e *engine.Engine, opts Options) *Service {
 	s := NewService(e.Cat, e.Store, opts)
 	s.durable = e.Durable
+	if s.durable != nil {
+		s.registerDurableMetrics()
+	}
 	return s
 }
 
@@ -260,9 +288,14 @@ func (s *Service) Checkpoint() error {
 	}
 	held := s.admission.acquire(1)
 	defer func() { s.admission.release(held) }()
+	gateStart := time.Now()
 	s.ddl.Lock()
+	s.metrics.ddlWait.Observe(time.Since(gateStart))
 	defer s.ddl.Unlock()
-	return s.durable.Checkpoint()
+	start := time.Now()
+	err := s.durable.Checkpoint()
+	s.metrics.checkpointDur.Observe(time.Since(start))
+	return err
 }
 
 // Catalog exposes the shared catalog (read-mostly; DDL goes through Exec).
@@ -497,6 +530,9 @@ type QueryResult struct {
 	CacheHit bool
 	// Elapsed is the end-to-end service time (plan lookup + execution).
 	Elapsed time.Duration
+	// TraceID identifies this query across the slow-query log and client
+	// records (caller-supplied via WithTraceID, or service-generated).
+	TraceID string
 }
 
 // workerBudget returns the admission slots a statement on this engine view
@@ -527,7 +563,7 @@ func (s *Service) QueryContext(ctx context.Context, sess *Session, sql string) (
 	if err != nil {
 		return nil, err
 	}
-	return &QueryResult{Result: res, CacheHit: st.CacheHit, Elapsed: time.Since(st.Started)}, nil
+	return &QueryResult{Result: res, CacheHit: st.CacheHit, Elapsed: time.Since(st.Started), TraceID: st.TraceID}, nil
 }
 
 // Stream is a streaming query result: a pull cursor plus service metadata.
@@ -539,6 +575,9 @@ type Stream struct {
 	Rows     *engine.Rows
 	CacheHit bool
 	Started  time.Time
+	// TraceID identifies this query in the slow-query log (caller-supplied
+	// via WithTraceID, or service-generated).
+	TraceID string
 }
 
 // QueryStream starts a SELECT through the session and the shared plan
@@ -552,27 +591,61 @@ type Stream struct {
 // phantom workers during execution. Waiting for admission itself honors
 // ctx, so a cancelled client leaves the queue without claiming slots.
 func (s *Service) QueryStream(ctx context.Context, sess *Session, sql string) (*Stream, error) {
+	return s.queryStream(ctx, sess, sql, false)
+}
+
+// QueryStreamAnalyze is QueryStream with EXPLAIN ANALYZE instrumentation:
+// once the stream ends, Stream.Rows.Analyze renders the per-operator plan
+// tree. Rows are identical to an uninstrumented run.
+func (s *Service) QueryStreamAnalyze(ctx context.Context, sess *Session, sql string) (*Stream, error) {
+	return s.queryStream(ctx, sess, sql, true)
+}
+
+// ExplainAnalyze executes sql to completion with per-operator
+// instrumentation and returns the annotated plan tree.
+func (s *Service) ExplainAnalyze(ctx context.Context, sess *Session, sql string) (string, error) {
+	st, err := s.QueryStreamAnalyze(ctx, sess, sql)
+	if err != nil {
+		return "", err
+	}
+	if _, err := st.Rows.Materialize(); err != nil {
+		return "", err
+	}
+	return st.Rows.Analyze(), nil
+}
+
+func (s *Service) queryStream(ctx context.Context, sess *Session, sql string, analyze bool) (*Stream, error) {
+	traceID := s.nextTraceID(ctx)
 	qctx, cancel := sess.queryCtx(ctx)
 	eng := sess.Engine()
+	waitStart := time.Now()
 	held, err := s.admission.acquireCtx(qctx, workerBudget(eng))
 	if err != nil {
 		cancel()
 		s.countQueryResult(eng.Mode, err, 1, nil)
 		return nil, err
 	}
+	gateStart := time.Now()
 	s.ddl.RLock()
+	s.metrics.ddlWait.Observe(time.Since(gateStart))
+	wait := time.Since(waitStart)
 
 	start := time.Now()
+	var prep *engine.Prepared
+	var hit bool
 	// finish runs exactly once per admitted query — on an error path here,
 	// or through the cursor's OnClose hook once the stream is live.
-	finish := func(qerr error, counters *exec.Counters) {
+	finish := func(qerr error, counters *exec.Counters, rowsReturned int64) {
 		s.ddl.RUnlock()
 		s.admission.release(held)
 		cancel()
 		s.countQueryResultCounters(eng.Mode, qerr, held, counters)
+		elapsed := time.Since(start)
+		s.metrics.queryDur.Observe(elapsed)
+		s.maybeLogSlow(traceID, sess, eng, sql, prep, hit, wait, elapsed, rowsReturned, qerr)
 	}
 
-	prep, hit, err := s.prepare(eng, sql)
+	prep, hit, err = s.prepare(eng, sql)
 	if err != nil {
 		// Count with slots=1: the query never executed, so it must not
 		// inflate the parallel_queries stat no matter the session's budget.
@@ -594,17 +667,22 @@ func (s *Service) QueryStream(ctx context.Context, sess *Session, sql string) (*
 	if txn := sess.Txn(); txn != nil {
 		snap, overlay = txn.Snapshot(), txn.Overlay()
 	}
-	rows, err := eng.RunContextSnap(qctx, prep, snap, overlay)
+	var rows *engine.Rows
+	if analyze {
+		rows, err = eng.RunContextAnalyze(qctx, prep, snap, overlay)
+	} else {
+		rows, err = eng.RunContextSnap(qctx, prep, snap, overlay)
+	}
 	if err != nil {
-		finish(err, nil)
+		finish(err, nil, 0)
 		return nil, err
 	}
 	rows.OnClose(func(qerr error) {
 		c := rows.Counters()
-		finish(qerr, &c)
+		finish(qerr, &c, rows.RowsReturned())
 	})
 	sess.countQuery()
-	return &Stream{Rows: rows, CacheHit: hit, Started: start}, nil
+	return &Stream{Rows: rows, CacheHit: hit, Started: start, TraceID: traceID}, nil
 }
 
 // Explain returns the plan description for a query, sharing the cache with
@@ -702,17 +780,20 @@ func (s *Service) ExecContext(ctx context.Context, sess *Session, script string)
 		return err
 	}
 	defer func() { s.admission.release(held) }()
-	defer func() {
+	defer func(start time.Time) {
+		s.metrics.execDur.Observe(time.Since(start))
 		s.mu.Lock()
 		s.execs++
 		s.mu.Unlock()
-	}()
+	}(time.Now())
 
 	if !scriptHasDDL(parsed) {
 		// DML and transaction control only: the shared side of the gate, so
 		// writers run alongside readers (and alongside each other, which is
 		// what lets the WAL group-commit batch their fsyncs).
+		gateStart := time.Now()
 		s.ddl.RLock()
+		s.metrics.ddlWait.Observe(time.Since(gateStart))
 		defer s.ddl.RUnlock()
 		return s.execDML(qctx, sess, parsed)
 	}
@@ -720,7 +801,9 @@ func (s *Service) ExecContext(ctx context.Context, sess *Session, script string)
 	if sess.Txn() != nil {
 		return errors.New("cannot run DDL inside a transaction")
 	}
+	gateStart := time.Now()
 	s.ddl.Lock()
+	s.metrics.ddlWait.Observe(time.Since(gateStart))
 	defer s.ddl.Unlock()
 	before := s.cat.Version()
 	err = sess.Engine().ExecParsedContext(qctx, parsed)
@@ -765,7 +848,10 @@ func (s *Service) execDML(ctx context.Context, sess *Session, script *ast.Script
 				if txn == nil {
 					return errors.New("COMMIT: no transaction in progress")
 				}
-				if err := txn.Commit(); err != nil {
+				commitStart := time.Now()
+				err := txn.Commit()
+				s.metrics.txnCommitDur.Observe(time.Since(commitStart))
+				if err != nil {
 					return err
 				}
 			case ast.TxnRollback:
@@ -787,7 +873,9 @@ func (s *Service) execDML(ctx context.Context, sess *Session, script *ast.Script
 func (s *Service) CreateIndex(table, col string) error {
 	held := s.admission.acquire(1)
 	defer func() { s.admission.release(held) }()
+	gateStart := time.Now()
 	s.ddl.Lock()
+	s.metrics.ddlWait.Observe(time.Since(gateStart))
 	defer s.ddl.Unlock()
 	before := s.cat.Version()
 	if err := s.cat.AddIndex(table, col); err != nil {
@@ -869,6 +957,11 @@ type Stats struct {
 	// recovered_records, ...); omitted for in-memory deployments.
 	Durability    *engine.DurabilityStats `json:"durability,omitempty"`
 	UptimeSeconds float64                 `json:"uptime_seconds"`
+	// QueryLatency summarizes the query-duration histogram (the full
+	// distribution is on /metrics as udfd_query_duration_seconds).
+	QueryLatency LatencyStats `json:"query_latency"`
+	// SlowQueries counts queries at or above the slow-query threshold.
+	SlowQueries int64 `json:"slow_queries"`
 }
 
 // Stats snapshots the service counters.
@@ -900,6 +993,8 @@ func (s *Service) Stats() Stats {
 	st.Parallel.AdmissionWaits = s.admission.waitCount()
 	st.Cache = s.cache.Stats()
 	st.CatalogVersion = s.cat.Version()
+	st.QueryLatency = latencyStats(s.metrics.queryDur)
+	st.SlowQueries = s.metrics.slowQueries.Value()
 	if s.durable != nil {
 		ds := s.durable.Stats()
 		st.Durability = &ds
@@ -918,6 +1013,9 @@ func (st Stats) Format() string {
 	fmt.Fprintf(&b, "parallel: pool=%d workers, %d parallel queries, %d morsels, %d worker launches, %d admission waits\n",
 		st.Parallel.WorkersConfigured, st.Parallel.ParallelQueries,
 		st.Parallel.MorselsExecuted, st.Parallel.WorkerLaunches, st.Parallel.AdmissionWaits)
+	fmt.Fprintf(&b, "latency: p50=%dµs p95=%dµs p99=%dµs over %d queries   slow queries: %d\n",
+		st.QueryLatency.P50Micro, st.QueryLatency.P95Micro, st.QueryLatency.P99Micro,
+		st.QueryLatency.Count, st.SlowQueries)
 	if st.Durability != nil {
 		fmt.Fprintf(&b, "durability: dir=%s wal=%d bytes (seg %d), %d checkpoints, %d recovered records, fsync=%s\n",
 			st.Durability.Dir, st.Durability.WALBytes, st.Durability.Segment,

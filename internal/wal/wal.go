@@ -34,9 +34,38 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
+
+// fsyncObserver, when set, receives the wall-clock latency of every
+// log-file fsync (see SetFsyncObserver).
+var fsyncObserver atomic.Pointer[func(time.Duration)]
+
+// SetFsyncObserver registers fn to receive the latency of each WAL
+// log-file fsync — the syncs that gate append acknowledgement, not the
+// checkpoint temp-file syncs. Pass nil to clear. The hook is process-wide
+// (one durable engine per process in practice) and must be fast and
+// non-blocking: it runs with the log lock held.
+func SetFsyncObserver(fn func(time.Duration)) {
+	if fn == nil {
+		fsyncObserver.Store(nil)
+		return
+	}
+	fsyncObserver.Store(&fn)
+}
+
+// syncLogFile fsyncs the live log segment, reporting the latency to the
+// registered observer (error or not — a slow failed fsync is still signal).
+func syncLogFile(f *os.File) error {
+	start := time.Now()
+	err := f.Sync()
+	if ob := fsyncObserver.Load(); ob != nil {
+		(*ob)(time.Since(start))
+	}
+	return err
+}
 
 // ErrCorrupt reports unrecoverable log damage: a CRC mismatch on a complete
 // record frame, or a torn record in a segment that is not the last. Torn
@@ -392,7 +421,7 @@ func (l *Log) AppendAll(recs ...Record) error {
 	}
 	switch l.opts.Sync {
 	case SyncAlways:
-		if err := l.f.Sync(); err != nil {
+		if err := syncLogFile(l.f); err != nil {
 			// The caller will report this mutation as failed and veto it, so
 			// the record must not resurrect on replay.
 			return fail(err)
@@ -401,7 +430,7 @@ func (l *Log) AppendAll(recs ...Record) error {
 	case SyncInterval:
 		if time.Since(l.lastSync) >= l.opts.SyncInterval {
 			l.lastSync = time.Now()
-			if err := l.f.Sync(); err != nil {
+			if err := syncLogFile(l.f); err != nil {
 				return fail(err)
 			}
 			l.syncedSegBytes = l.segBytes
@@ -462,7 +491,7 @@ func (l *Log) groupFlush() (uint64, error) {
 	l.gmu.Lock()
 	covered := l.writeGen
 	l.gmu.Unlock()
-	if err := l.f.Sync(); err != nil {
+	if err := syncLogFile(l.f); err != nil {
 		if terr := l.f.Truncate(l.syncedSegBytes); terr == nil {
 			l.bytes -= l.segBytes - l.syncedSegBytes
 			l.segBytes = l.syncedSegBytes
@@ -499,7 +528,7 @@ func (l *Log) discardLocked(n, k int64) {
 // failure leaves the current segment in place (nothing moved); any failure
 // past that point leaves the log closed — fail-stop, never inconsistent.
 func (l *Log) rotateLocked() error {
-	if err := l.f.Sync(); err != nil {
+	if err := syncLogFile(l.f); err != nil {
 		return err
 	}
 	seq := l.seg
@@ -519,7 +548,7 @@ func (l *Log) Sync() error {
 		return nil
 	}
 	l.lastSync = time.Now()
-	if err := l.f.Sync(); err != nil {
+	if err := syncLogFile(l.f); err != nil {
 		return err
 	}
 	l.syncedSegBytes = l.segBytes
