@@ -1,21 +1,27 @@
 // Command benchgate is the benchmark-regression gate: it parses `go test
-// -bench` output, compares it against a committed baseline, and fails when
-// a benchmark regresses beyond tolerance. CI runs it after the pinned
-// benchmark step and uploads the emitted BENCH_current.json as an artifact,
-// giving the repo a benchmark trajectory instead of an empty history.
+// -bench -benchmem` output, compares it against a committed baseline, and
+// fails when a benchmark regresses beyond tolerance. CI runs it after the
+// pinned benchmark step and uploads the emitted BENCH_current.json as an
+// artifact, giving the repo a benchmark trajectory instead of an empty
+// history.
 //
-// Two kinds of gate, because CI runners vary wildly in absolute speed:
+// Three kinds of gate, because CI runners vary wildly in absolute speed:
 //
-//   - Absolute: each benchmark's best ns/op must stay within -tolerance ×
-//     the committed baseline ns/op. A generous factor (default 4×) tolerates
-//     runner noise while still catching order-of-magnitude regressions.
+//   - Absolute time: each benchmark's best ns/op must stay within
+//     -tolerance × the committed baseline ns/op. A generous factor (default
+//     4×) tolerates runner noise while still catching order-of-magnitude
+//     regressions.
 //   - Ratio: pairs of benchmarks measured in the same run (vectorized vs
 //     row executor, plan-cache hit vs cold prepare) must preserve a minimum
 //     speedup. Ratios divide out the runner's speed, so they gate tightly.
+//   - Allocation ceiling: allocs/op is machine-independent, so ceilings
+//     gate absolutely with no tolerance factor. This is what keeps the
+//     zero-copy scan path honest: a change that silently reintroduces
+//     per-batch row pivoting fails the ceiling even on a fast runner.
 //
 // Usage:
 //
-//	go test -run XXX -bench ... -count 3 | tee bench.txt
+//	go test -run XXX -bench ... -benchmem -count 3 | tee bench.txt
 //	benchgate -baseline BENCH_baseline.json -in bench.txt -out BENCH_current.json
 //	benchgate -init -in bench.txt -out BENCH_baseline.json   # (re)create baseline
 package main
@@ -38,6 +44,13 @@ type baselineFile struct {
 	// NsPerOp maps benchmark name (without -N GOMAXPROCS suffix) to the
 	// reference best-of-count ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp records the reference allocation counts (informational;
+	// the binding gate is AllocCeilings).
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	// AllocCeilings maps benchmark name to the maximum admissible allocs/op.
+	// Allocation counts do not depend on runner speed, so these gate
+	// absolutely.
+	AllocCeilings map[string]float64 `json:"alloc_ceilings,omitempty"`
 	// Ratios are runner-speed-independent invariants.
 	Ratios []ratioGate `json:"ratios"`
 }
@@ -53,17 +66,29 @@ type ratioGate struct {
 
 // currentFile is the artifact CI uploads per run.
 type currentFile struct {
-	NsPerOp    map[string]float64 `json:"ns_per_op"`
-	Ratios     map[string]float64 `json:"ratios"`
-	GoMaxProcs int                `json:"gomaxprocs"`
-	Go         string             `json:"go"`
+	NsPerOp     map[string]float64 `json:"ns_per_op"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+	BytesPerOp  map[string]float64 `json:"bytes_per_op"`
+	Ratios      map[string]float64 `json:"ratios"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Go          string             `json:"go"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+// benchResult is the best observation for one benchmark across -count runs.
+type benchResult struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
+}
 
-// parseBench extracts best (minimum) ns/op per benchmark from -count runs.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	best := map[string]float64{}
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// parseBench extracts the best (minimum) ns/op — and, with -benchmem, the
+// minimum B/op and allocs/op — per benchmark from -count runs.
+func parseBench(r io.Reader) (map[string]*benchResult, error) {
+	best := map[string]*benchResult{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -75,8 +100,25 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		if old, ok := best[m[1]]; !ok || ns < old {
-			best[m[1]] = ns
+		b := best[m[1]]
+		if b == nil {
+			b = &benchResult{ns: ns}
+			best[m[1]] = b
+		} else if ns < b.ns {
+			b.ns = ns
+		}
+		if m[3] != "" {
+			bytes, errB := strconv.ParseFloat(m[3], 64)
+			allocs, errA := strconv.ParseFloat(m[4], 64)
+			if errB == nil && errA == nil {
+				if !b.hasMem || bytes < b.bytes {
+					b.bytes = bytes
+				}
+				if !b.hasMem || allocs < b.allocs {
+					b.allocs = allocs
+				}
+				b.hasMem = true
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -111,9 +153,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	nsOf := map[string]float64{}
+	allocsOf := map[string]float64{}
+	bytesOf := map[string]float64{}
+	for name, b := range current {
+		nsOf[name] = b.ns
+		if b.hasMem {
+			allocsOf[name] = b.allocs
+			bytesOf[name] = b.bytes
+		}
+	}
 
 	if *initBaseline {
-		base := baselineFile{NsPerOp: current, Ratios: defaultRatios}
+		base := baselineFile{
+			NsPerOp:       nsOf,
+			AllocsPerOp:   allocsOf,
+			AllocCeilings: defaultAllocCeilings(allocsOf),
+			Ratios:        defaultRatios,
+		}
 		if err := writeJSON(*out, base); err != nil {
 			fatal(err)
 		}
@@ -131,10 +188,12 @@ func main() {
 	}
 
 	report := currentFile{
-		NsPerOp:    current,
-		Ratios:     map[string]float64{},
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Go:         runtime.Version(),
+		NsPerOp:     nsOf,
+		AllocsPerOp: allocsOf,
+		BytesPerOp:  bytesOf,
+		Ratios:      map[string]float64{},
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Go:          runtime.Version(),
 	}
 	var failures []string
 
@@ -145,7 +204,7 @@ func main() {
 	sort.Strings(names)
 	for _, name := range names {
 		want := base.NsPerOp[name]
-		got, ok := current[name]
+		got, ok := nsOf[name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: missing from this run", name))
 			continue
@@ -161,9 +220,31 @@ func main() {
 			name, got, want, factor, status)
 	}
 
+	var ceilNames []string
+	for name := range base.AllocCeilings {
+		ceilNames = append(ceilNames, name)
+	}
+	sort.Strings(ceilNames)
+	for _, name := range ceilNames {
+		ceiling := base.AllocCeilings[name]
+		got, ok := allocsOf[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("allocs %s: missing from this run (was -benchmem passed?)", name))
+			continue
+		}
+		status := "ok"
+		if got > ceiling {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("allocs %s: %.0f allocs/op > ceiling %.0f",
+				name, got, ceiling))
+		}
+		fmt.Printf("benchgate: allocs %-43s %12.0f allocs/op  ceiling %8.0f %s\n",
+			name, got, ceiling, status)
+	}
+
 	for _, r := range base.Ratios {
-		slow, okS := current[r.Slow]
-		fast, okF := current[r.Fast]
+		slow, okS := nsOf[r.Slow]
+		fast, okF := nsOf[r.Fast]
 		if !okS || !okF {
 			failures = append(failures, fmt.Sprintf("ratio %s: missing %s or %s", r.Name, r.Slow, r.Fast))
 			continue
@@ -189,20 +270,38 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks and %d ratios within bounds; wrote %s\n",
-		len(base.NsPerOp), len(base.Ratios), *out)
+	fmt.Printf("benchgate: %d benchmarks, %d alloc ceilings and %d ratios within bounds; wrote %s\n",
+		len(base.NsPerOp), len(base.AllocCeilings), len(base.Ratios), *out)
 }
 
 // defaultRatios are the runner-independent invariants -init seeds: the
-// vectorized executor's win on the scan/filter pair and the plan cache's win
-// over cold prepares. Floors sit well under the locally measured speedups
-// (2.7x and 6x) so ordinary noise passes but a real architectural regression
-// — the vectorized path losing its edge, the cache stopping to hit — fails.
+// vectorized executor's win on the scan/filter pair, the columnar zero-copy
+// scan's tighter floor on the same pair, and the plan cache's win over cold
+// prepares. Floors sit well under the locally measured speedups so ordinary
+// noise passes but a real architectural regression — the vectorized path
+// losing its edge, a scan that starts pivoting rows again, the cache
+// stopping to hit — fails.
 var defaultRatios = []ratioGate{
 	{Name: "scanfilter_vectorized_speedup",
 		Slow: "BenchmarkScanFilterProject_Row", Fast: "BenchmarkScanFilterProject_Vectorized", Min: 1.4},
+	{Name: "scanfilter_columnar_speedup",
+		Slow: "BenchmarkScanFilterProject_Row", Fast: "BenchmarkScanFilterProject_Vectorized", Min: 2.5},
 	{Name: "plancache_hit_speedup",
 		Slow: "BenchmarkPlanCache/Cold", Fast: "BenchmarkPlanCache/Warm", Min: 2.0},
+}
+
+// defaultAllocCeilings seeds ceilings at 3× the measured allocs/op for the
+// scan/filter pair: loose enough for incidental churn, tight enough that
+// reintroducing a per-row or per-batch materialization (thousands of
+// allocations) fails.
+func defaultAllocCeilings(allocs map[string]float64) map[string]float64 {
+	ceil := map[string]float64{}
+	for _, name := range []string{"BenchmarkScanFilterProject_Row", "BenchmarkScanFilterProject_Vectorized"} {
+		if a, ok := allocs[name]; ok {
+			ceil[name] = float64(int64(a*3) + 16)
+		}
+	}
+	return ceil
 }
 
 func writeJSON(path string, v any) error {

@@ -29,7 +29,8 @@ type DurabilityOptions struct {
 	SyncInterval time.Duration
 	// SegmentBytes is the WAL segment rotation threshold (<=0: wal default).
 	SegmentBytes int64
-	// SnapshotBatchRows chunks table rows into snapshot records (<=0: 1024).
+	// SnapshotBatchRows is retained for configuration compatibility; columnar
+	// snapshots chunk by segment and byte size instead.
 	SnapshotBatchRows int
 }
 
@@ -146,10 +147,6 @@ func (d *Durability) Close() error { return d.log.Close() }
 // Checkpoint writes a snapshot of the catalog and every table's rows, then
 // truncates the log. See Engine.Checkpoint for the locking contract.
 func (d *Durability) Checkpoint() error {
-	batch := d.opts.SnapshotBatchRows
-	if batch <= 0 {
-		batch = 1024
-	}
 	err := d.log.Checkpoint(func(write func(wal.Record) error) error {
 		// DDL first (tables before the rows that need them, functions in one
 		// pass since they only bind at planning time), then data, then the
@@ -170,32 +167,33 @@ func (d *Durability) Checkpoint() error {
 			if !ok {
 				continue
 			}
-			rows := st.Rows() // immutable published version
-			// Chunk by row count AND estimated bytes: the log refuses
-			// records over its hard size limit, so wide rows must cut
-			// batches early rather than accumulate into one giant record.
+			// Snapshot data is written column-major, one RecSegment per
+			// published storage segment: replay re-installs segment-aligned
+			// chunks without pivoting (see storage.Table.AppendCols). Wide
+			// segments are cut into sub-ranges so no record exceeds the log's
+			// size limit; sub-slicing columns is free, the values alias the
+			// immutable segment.
 			const chunkByteTarget = 4 << 20
-			chunk := make([][]sqltypes.Value, 0, batch)
-			chunkBytes := 0
-			flush := func() error {
-				if len(chunk) == 0 {
-					return nil
+			for _, sg := range st.Version().Segments() {
+				n := sg.Len()
+				if n == 0 {
+					continue
 				}
-				err := write(wal.InsertRecord(t.Name, chunk))
-				chunk, chunkBytes = chunk[:0], 0
-				return err
-			}
-			for _, r := range rows {
-				chunk = append(chunk, r)
-				chunkBytes += rowSizeEstimate(r)
-				if len(chunk) >= batch || chunkBytes >= chunkByteTarget {
-					if err := flush(); err != nil {
+				pieces := int(sg.Bytes()/chunkByteTarget) + 1
+				per := (n + pieces - 1) / pieces
+				cols := make([][]sqltypes.Value, sg.Width())
+				for lo := 0; lo < n; lo += per {
+					hi := lo + per
+					if hi > n {
+						hi = n
+					}
+					for c := range cols {
+						cols[c] = sg.Col(c)[lo:hi]
+					}
+					if err := write(wal.SegmentRecord(t.Name, cols, hi-lo)); err != nil {
 						return err
 					}
 				}
-			}
-			if err := flush(); err != nil {
-				return err
 			}
 		}
 		for _, t := range tables {
@@ -212,19 +210,6 @@ func (d *Durability) Checkpoint() error {
 	}
 	d.checkpoints.Add(1)
 	return nil
-}
-
-// rowSizeEstimate approximates a row's encoded size (kind byte + payload
-// per value) for snapshot chunk cuts.
-func rowSizeEstimate(r storage.Row) int {
-	n := 2 // arity prefix
-	for _, v := range r {
-		n += 9 // kind byte + fixed payload upper bound
-		if v.Kind() == sqltypes.KindString {
-			n += len(v.Str())
-		}
-	}
-	return n
 }
 
 // onCatalogChange is the catalog commit hook: render the mutation as a log
@@ -364,11 +349,24 @@ func applyRecord(cat *catalog.Catalog, store *storage.Store, rec wal.Record) err
 		}
 		return cat.AddIndex(table, col)
 	case wal.RecInsert:
+		// Live appends, and the snapshot data format of checkpoints written
+		// by pre-columnar binaries: replaying one pivots the rows into the
+		// columnar store, upgrading old checkpoints in place.
 		table, rows, err := rec.Insert()
 		if err != nil {
 			return err
 		}
 		return applyInsert(store, table, rows)
+	case wal.RecSegment:
+		table, cols, nrows, err := rec.Segment()
+		if err != nil {
+			return err
+		}
+		st, ok := store.Table(table)
+		if !ok {
+			return fmt.Errorf("segment for unknown table %q", table)
+		}
+		return st.AppendCols(cols, nrows)
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}

@@ -11,9 +11,13 @@ package engine_test
 //
 // The batch-contract property test rides the same corpus: a hook wraps
 // every iterator handed across an operator edge — including inside parallel
-// worker pipelines — and asserts NextBatch(max) never yields more than max
-// live rows, for max ∈ {1, 2, 3, 7, 1024}. This is the test that makes the
-// hash-join hot-key bug class unrepresentable for future operators.
+// worker pipelines — and checks both contract clauses (see exec/contract.go):
+// NextBatch(max) never yields more than max live rows, for max ∈ {1, 2, 3,
+// 7, 1024}; and no operator reads a batch past its validity window (each
+// handed-out batch is poisoned when the window closes, so retained-batch
+// aliasing surfaces as a result mismatch against an unchecked run). This is
+// the test that makes the hash-join hot-key and the scan-buffer-reuse bug
+// classes unrepresentable for future operators.
 
 import (
 	"fmt"
@@ -108,13 +112,13 @@ func TestDifferentialParallel(t *testing.T) {
 func TestBatchContractProperty(t *testing.T) {
 	var mu sync.Mutex
 	var violations []string
-	exec.SetBatchContractHook(func(in exec.BatchIter) exec.BatchIter {
+	hook := func(in exec.BatchIter) exec.BatchIter {
 		return exec.NewContractChecker(in, func(got, max int) {
 			mu.Lock()
 			violations = append(violations, fmt.Sprintf("inner edge: %d live rows for max %d", got, max))
 			mu.Unlock()
 		})
-	})
+	}
 	defer exec.SetBatchContractHook(nil)
 	defer func(old int) { exec.MorselRows = old }(exec.MorselRows)
 	exec.MorselRows = 64
@@ -130,12 +134,26 @@ func TestBatchContractProperty(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", q.Name, err)
 			}
+			// Ground truth from the same plan with the hook disarmed: the
+			// checked runs below must reproduce it exactly. The checker
+			// poisons every handed-out batch at the end of its validity
+			// window, so any operator that retains a batch (or its column
+			// vectors) past the contract reads sentinels and this
+			// comparison fails — that is the retained-batch-aliasing half
+			// of the property.
+			exec.SetBatchContractHook(nil)
+			want, err := exec.DrainBatches(prep.Node, exec.NewCtx(eng.Interp))
+			if err != nil {
+				t.Fatalf("%s (unchecked): %v", q.Name, err)
+			}
+			exec.SetBatchContractHook(hook)
 			for _, max := range []int{1, 2, 3, 7, 1024} {
 				ctx := exec.NewCtx(eng.Interp)
 				bi, err := exec.OpenBatches(prep.Node, ctx)
 				if err != nil {
 					t.Fatalf("%s: %v", q.Name, err)
 				}
+				var got []storage.Row
 				for {
 					b, ok, err := bi.NextBatch(max)
 					if err != nil {
@@ -151,8 +169,12 @@ func TestBatchContractProperty(t *testing.T) {
 							fmt.Sprintf("%s root: %d live rows for max %d", q.Name, b.Len(), max))
 						mu.Unlock()
 					}
+					got = b.AppendTo(got)
 				}
 				bi.Close()
+				assertApproxMultiset(t,
+					fmt.Sprintf("%s (p=%d, max=%d) checked vs unchecked", q.Name, degree, max),
+					want, got)
 			}
 		}
 	}

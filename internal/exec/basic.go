@@ -70,9 +70,10 @@ func (n *IndexLookup) Open(ctx *Ctx) (Iter, error) {
 	probe := sqltypes.KeyOf(key)
 	ordinals := idx[probe]
 	rows := make([]storage.Row, len(ordinals), len(ordinals)+len(overlay))
-	base := ver.Rows()
 	for i, o := range ordinals {
-		rows[i] = base[o]
+		// Per-ordinal materialization out of the column segments: a lookup
+		// touching a handful of rows never forces the full row-view pivot.
+		rows[i] = ver.RowAt(o)
 	}
 	// Uncommitted transaction-local rows are not in the version's index;
 	// they are few, so a linear probe keeps read-your-writes correct.

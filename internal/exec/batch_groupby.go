@@ -49,7 +49,7 @@ func (g *BatchGroupBy) OpenBatch(ctx *Ctx) (BatchIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &batchScanIter{rows: rows, width: len(g.schema)}, nil
+	return &rowFeedIter{rows: rows, width: len(g.schema)}, nil
 }
 
 // instantiateArgs materializes per-execution argument evaluators.

@@ -29,23 +29,91 @@ func (s *BatchScan) Open(ctx *Ctx) (Iter, error) { return openRowsViaBatches(s, 
 
 // OpenBatch implements BatchNode.
 func (s *BatchScan) OpenBatch(ctx *Ctx) (BatchIter, error) {
-	return &batchScanIter{rows: ctx.TableRows(s.Tab), width: len(s.schema), ctx: ctx}, nil
+	ver, overlay := ctx.TableVersion(s.Tab)
+	storage.NoteZeroCopyScan()
+	return &batchScanIter{segs: ver.Segments(), overlay: overlay, width: len(s.schema), ctx: ctx}, nil
 }
 
+// batchScanIter serves zero-copy batches straight out of a version's column
+// segments: the returned batch's column vectors alias storage (bounded so a
+// batch never spans a segment), with no per-batch pivot or copy. Uncommitted
+// transaction-overlay rows, when present, follow the segments through a
+// small pivot buffer.
 type batchScanIter struct {
+	segs    []*storage.Segment
+	seg     int // current segment index
+	off     int // next row offset within the current segment
+	overlay []storage.Row
+	ovPos   int
+	width   int
+	out     Batch  // reused batch header; Cols alias segment storage
+	buf     *Batch // pivot buffer, only for overlay rows
+	ctx     *Ctx
+}
+
+func (s *batchScanIter) NextBatch(max int) (*Batch, bool, error) {
+	if err := s.ctx.Cancelled(); err != nil {
+		return nil, false, err
+	}
+	for s.seg < len(s.segs) {
+		sg := s.segs[s.seg]
+		if s.off >= sg.Len() {
+			s.seg++
+			s.off = 0
+			continue
+		}
+		end := s.off + max
+		if end > sg.Len() {
+			end = sg.Len()
+		}
+		if s.out.Cols == nil {
+			s.out.Cols = make([][]sqltypes.Value, s.width)
+		}
+		for c := 0; c < s.width; c++ {
+			s.out.Cols[c] = sg.Col(c)[s.off:end]
+		}
+		s.out.Sel = nil
+		s.out.n = end - s.off
+		s.off = end
+		return &s.out, true, nil
+	}
+	if s.ovPos >= len(s.overlay) {
+		return nil, false, nil
+	}
+	end := s.ovPos + max
+	if end > len(s.overlay) {
+		end = len(s.overlay)
+	}
+	if s.buf == nil {
+		s.buf = NewBatch(s.width, max)
+	}
+	b := s.buf
+	b.Sel = nil
+	b.n = end - s.ovPos
+	chunk := s.overlay[s.ovPos:end]
+	for c := 0; c < s.width; c++ {
+		col := b.Cols[c][:0]
+		for _, r := range chunk {
+			col = append(col, r[c])
+		}
+		b.Cols[c] = col
+	}
+	s.ovPos = end
+	return b, true, nil
+}
+
+func (s *batchScanIter) Close() error { return nil }
+
+// rowFeedIter serves an already-materialized row slice as batches through a
+// reused pivot buffer; it feeds group-by results back into batch parents.
+type rowFeedIter struct {
 	rows  []storage.Row
 	pos   int
 	width int
 	buf   *Batch
-	ctx   *Ctx // nil for internal materialized feeds (parallelGroupBy output)
 }
 
-func (s *batchScanIter) NextBatch(max int) (*Batch, bool, error) {
-	if s.ctx != nil {
-		if err := s.ctx.Cancelled(); err != nil {
-			return nil, false, err
-		}
-	}
+func (s *rowFeedIter) NextBatch(max int) (*Batch, bool, error) {
 	if s.pos >= len(s.rows) {
 		return nil, false, nil
 	}
@@ -71,7 +139,7 @@ func (s *batchScanIter) NextBatch(max int) (*Batch, bool, error) {
 	return b, true, nil
 }
 
-func (s *batchScanIter) Close() error { return nil }
+func (s *rowFeedIter) Close() error { return nil }
 
 // ---------------------------------------------------------------------------
 // BatchFilter

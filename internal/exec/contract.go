@@ -1,14 +1,29 @@
 package exec
 
-import "sync/atomic"
+import (
+	"sync/atomic"
 
-// The BatchIter contract — NextBatch(max) never yields a batch with more
-// than max live rows — is what lets batch sizes propagate through operator
-// trees without any consumer re-checking. This file provides a test hook
-// that wraps every iterator handed across an operator edge (OpenBatches and
-// the parallel segment pipelines) with a checker, so the differential
-// corpus doubles as a property test of the contract for every operator,
-// including ones added later.
+	"udfdecorr/internal/sqltypes"
+)
+
+// The BatchIter contract has two clauses:
+//
+//  1. Size: NextBatch(max) never yields a batch with more than max live
+//     rows, which lets batch sizes propagate through operator trees without
+//     any consumer re-checking.
+//
+//  2. Ownership: the returned *Batch — the struct AND every column vector it
+//     references — is owned by the iterator and valid only until the next
+//     NextBatch or Close call. Scan iterators alias storage segments
+//     zero-copy and rewrite their header in place; other operators reuse
+//     private buffers. A consumer that needs data beyond that window must
+//     copy it out (Batch.AppendTo / Batch.Row); individual sqltypes.Value
+//     elements are immutable and always safe to keep.
+//
+// This file provides a test hook that wraps every iterator handed across an
+// operator edge (OpenBatches and the parallel segment pipelines) with a
+// checker, so the differential corpus doubles as a property test of the
+// contract for every operator, including ones added later.
 
 // batchContractHook, when set, wraps batch iterators at every operator
 // edge. Test-only: install with SetBatchContractHook before running queries
@@ -33,9 +48,21 @@ func contractWrap(it BatchIter) BatchIter {
 	return it
 }
 
+// BatchPoison is the sentinel written over expired batch copies by the
+// contract checker. A consumer that reads a batch past its validity window
+// sees this value, so result comparisons in the property test flag the
+// retention.
+var BatchPoison = sqltypes.NewString("\x00batch-contract-poison\x00")
+
 // NewContractChecker wraps an iterator so every NextBatch(max) result is
-// checked against the contract; violations are reported through onViolation
-// with the observed live row count and the requested max.
+// checked against the size clause (violations reported through onViolation
+// with the observed live row count and the requested max) AND the ownership
+// clause: each batch is handed out as a private deep copy in one of two
+// alternating buffers, and the previous handout is overwritten with
+// BatchPoison the moment the next call is made. A consumer that retains a
+// batch — the pointer or its column slices — past the contract window reads
+// poison instead of silently reading whatever the producer reused the
+// buffer for, turning an aliasing bug into a deterministic wrong answer.
 func NewContractChecker(in BatchIter, onViolation func(got, max int)) BatchIter {
 	return &contractIter{in: in, onViolation: onViolation}
 }
@@ -43,14 +70,65 @@ func NewContractChecker(in BatchIter, onViolation func(got, max int)) BatchIter 
 type contractIter struct {
 	in          BatchIter
 	onViolation func(got, max int)
+	bufs        [2]*Batch
+	cur         int
 }
 
 func (c *contractIter) NextBatch(max int) (*Batch, bool, error) {
 	b, ok, err := c.in.NextBatch(max)
-	if ok && b.Len() > max {
+	if !ok || err != nil {
+		// End of stream or error also ends the previous batch's window.
+		poisonBatch(c.bufs[c.cur])
+		return b, ok, err
+	}
+	if b.Len() > max {
 		c.onViolation(b.Len(), max)
 	}
-	return b, ok, err
+	c.cur ^= 1
+	poisonBatch(c.bufs[c.cur^1])
+	out := c.bufs[c.cur]
+	if out == nil {
+		out = &Batch{}
+		c.bufs[c.cur] = out
+	}
+	copyBatchInto(out, b)
+	return out, true, nil
 }
 
-func (c *contractIter) Close() error { return c.in.Close() }
+func (c *contractIter) Close() error {
+	poisonBatch(c.bufs[0])
+	poisonBatch(c.bufs[1])
+	return c.in.Close()
+}
+
+// poisonBatch overwrites a previously handed-out copy with the sentinel.
+// Only checker-owned buffers are ever poisoned — never the producer's
+// vectors, which may alias immutable storage segments.
+func poisonBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	for _, col := range b.Cols {
+		for i := range col {
+			col[i] = BatchPoison
+		}
+	}
+}
+
+// copyBatchInto deep-copies src's column vectors and selection into dst's
+// reusable backing.
+func copyBatchInto(dst, src *Batch) {
+	if cap(dst.Cols) < len(src.Cols) {
+		dst.Cols = make([][]sqltypes.Value, len(src.Cols))
+	}
+	dst.Cols = dst.Cols[:len(src.Cols)]
+	for i, col := range src.Cols {
+		dst.Cols[i] = append(dst.Cols[i][:0], col...)
+	}
+	if src.Sel == nil {
+		dst.Sel = nil
+	} else {
+		dst.Sel = append(dst.Sel[:0], src.Sel...)
+	}
+	dst.n = src.n
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/sqltypes"
 	"udfdecorr/internal/storage"
 )
 
@@ -25,10 +26,23 @@ import (
 // it after init.
 var MorselRows = 4 * DefaultBatchSize
 
-// morselSource hands out row ranges of a scanned table to workers.
+// morselSource hands out row-ordinal ranges of a scanned table to workers.
+// Ordinals [0, segRows) address the pinned version's column segments
+// (relying on the storage invariant that every segment but the last holds
+// exactly storage.SegmentRows rows); ordinals past segRows address the
+// transaction overlay, scanned after the published data.
 type morselSource struct {
-	rows []storage.Row
-	next int64 // atomic cursor (in rows)
+	segs    []*storage.Segment
+	segRows int // total rows across segs
+	overlay []storage.Row
+	total   int   // segRows + len(overlay)
+	next    int64 // atomic cursor (in row ordinals)
+}
+
+func newMorselSource(ver *storage.TableVersion, overlay []storage.Row) *morselSource {
+	m := &morselSource{segs: ver.Segments(), segRows: ver.RowCount(), overlay: overlay}
+	m.total = m.segRows + len(overlay)
+	return m
 }
 
 // grab claims the next morsel; ok=false when the table is exhausted.
@@ -36,19 +50,19 @@ func (m *morselSource) grab() (lo, hi int, ok bool) {
 	size := MorselRows
 	end := atomic.AddInt64(&m.next, int64(size))
 	lo = int(end) - size
-	if lo >= len(m.rows) {
+	if lo >= m.total {
 		return 0, 0, false
 	}
 	hi = int(end)
-	if hi > len(m.rows) {
-		hi = len(m.rows)
+	if hi > m.total {
+		hi = m.total
 	}
 	return lo, hi, true
 }
 
 // morselCount returns how many morsels the source will hand out.
 func (m *morselSource) morselCount() int {
-	return (len(m.rows) + MorselRows - 1) / MorselRows
+	return (m.total + MorselRows - 1) / MorselRows
 }
 
 // segState is the per-execution shared state of a parallel segment: the
@@ -96,7 +110,9 @@ type segScan struct {
 }
 
 func (s *segScan) prepare(ctx *Ctx, st *segState) error {
-	st.src = &morselSource{rows: ctx.TableRows(s.tab)}
+	ver, overlay := ctx.TableVersion(s.tab)
+	st.src = newMorselSource(ver, overlay)
+	storage.NoteZeroCopyScan()
 	return nil
 }
 
@@ -108,13 +124,16 @@ func (s *segScan) schema() []algebra.Column { return s.cols }
 func (s *segScan) describe() string         { return "scan(" + s.tab.Meta.Name + ")" }
 
 // morselScanIter reads batches out of morsels claimed from the shared
-// dispenser.
+// dispenser. Batches over published data are zero-copy segment slices
+// (clamped at segment boundaries); overlay rows pivot through a private
+// buffer.
 type morselScanIter struct {
 	src    *morselSource
 	width  int
 	ctx    *Ctx
-	lo, hi int // remaining range of the current morsel
-	buf    *Batch
+	lo, hi int    // remaining range of the current morsel
+	out    Batch  // reused batch header; Cols alias segment storage
+	buf    *Batch // pivot buffer, only for overlay rows
 }
 
 func (m *morselScanIter) NextBatch(max int) (*Batch, bool, error) {
@@ -132,17 +151,43 @@ func (m *morselScanIter) NextBatch(max int) (*Batch, bool, error) {
 		m.lo, m.hi = lo, hi
 		m.ctx.Counters.Morsels++
 	}
-	end := m.lo + max
-	if end > m.hi {
-		end = m.hi
+	src := m.src
+	if m.lo < src.segRows {
+		sg := src.segs[m.lo/storage.SegmentRows]
+		off := m.lo % storage.SegmentRows
+		end := off + max
+		if lim := off + (m.hi - m.lo); lim < end {
+			end = lim
+		}
+		if sg.Len() < end {
+			end = sg.Len()
+		}
+		if m.out.Cols == nil {
+			m.out.Cols = make([][]sqltypes.Value, m.width)
+		}
+		for c := 0; c < m.width; c++ {
+			m.out.Cols[c] = sg.Col(c)[off:end]
+		}
+		m.out.Sel = nil
+		m.out.n = end - off
+		m.lo += m.out.n
+		return &m.out, true, nil
+	}
+	lo := m.lo - src.segRows
+	end := lo + max
+	if lim := lo + (m.hi - m.lo); lim < end {
+		end = lim
+	}
+	if len(src.overlay) < end {
+		end = len(src.overlay)
 	}
 	if m.buf == nil {
 		m.buf = NewBatch(m.width, max)
 	}
 	b := m.buf
 	b.Sel = nil
-	b.n = end - m.lo
-	chunk := m.src.rows[m.lo:end]
+	b.n = end - lo
+	chunk := src.overlay[lo:end]
 	for c := 0; c < m.width; c++ {
 		col := b.Cols[c][:0]
 		for _, r := range chunk {
@@ -150,7 +195,7 @@ func (m *morselScanIter) NextBatch(max int) (*Batch, bool, error) {
 		}
 		b.Cols[c] = col
 	}
-	m.lo = end
+	m.lo += b.n
 	return b, true, nil
 }
 
@@ -525,7 +570,7 @@ func (pg *parallelGroupBy) OpenBatch(ctx *Ctx) (BatchIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &batchScanIter{rows: rows, width: len(pg.sch)}, nil
+	return &rowFeedIter{rows: rows, width: len(pg.sch)}, nil
 }
 
 // ---------------------------------------------------------------------------

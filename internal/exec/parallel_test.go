@@ -55,8 +55,18 @@ func intTable(t *testing.T, name string, n int, mod int64) *storage.Table {
 }
 
 func TestMorselSourceCoversEveryRowOnce(t *testing.T) {
-	rows := make([]storage.Row, 3*MorselRows+17)
-	src := &morselSource{rows: rows}
+	n := 3*MorselRows + 17
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{sqltypes.NewInt(int64(i))}
+	}
+	// Published segments plus a transaction overlay: the dispenser must
+	// cover the combined ordinal space exactly once.
+	tab := newTestTable(t, "m", []string{"a"}, rows[:n-5])
+	src := newMorselSource(tab.Version(), rows[n-5:])
+	if src.total != n {
+		t.Fatalf("total = %d, want %d", src.total, n)
+	}
 	if got, want := src.morselCount(), 4; got != want {
 		t.Fatalf("morselCount = %d, want %d", got, want)
 	}

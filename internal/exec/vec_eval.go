@@ -169,6 +169,11 @@ func CompileVec(e algebra.Expr, schema []algebra.Column, r CallResolver) (VecFac
 		}, nil
 
 	case *algebra.Arith:
+		// Single-column float chains fuse into a register kernel (see
+		// vec_kernel.go): one read and one write per element.
+		if idx, fn, ok := floatKernelExpr(x, schema); ok && fn != nil {
+			return compileArithKernel(x, idx, fn, schema, r)
+		}
 		lF, err := CompileVec(x.L, schema, r)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,281 @@
+package exec
+
+// Fused single-column float kernels for the vectorized hot path. An
+// arithmetic chain over one column reference and float constants — the
+// dominant shape of scan filters and computed projections — compiles to a
+// closure over float64, so the inner loop reads one storage value, computes
+// in registers, and writes one result, with no intermediate value vectors.
+//
+// The specialization preserves the engine's SQL semantics exactly because a
+// float constant operand forces every intermediate onto the engine's float
+// promotion path regardless of the column's per-row kind; NULL and
+// non-numeric elements take a compiled row-expression fallback, so error
+// text and NULL propagation stay identical to the generic evaluator.
+
+import (
+	"udfdecorr/internal/algebra"
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+// floatFn maps one column value (promoted to float64) to the expression's
+// value. A nil floatFn is the identity (a bare column reference).
+type floatFn func(float64) float64
+
+// floatConstVal unwraps a float constant operand.
+func floatConstVal(e algebra.Expr) (float64, bool) {
+	c, ok := e.(*algebra.Const)
+	if !ok || c.Val.Kind() != sqltypes.KindFloat {
+		return 0, false
+	}
+	return c.Val.Float(), true
+}
+
+// floatKernelExpr compiles e into (column ordinal, kernel) when e is a
+// chain of +,-,*,/ over exactly one column reference and float constants.
+// Division by a constant zero and variable divisors stay on the generic
+// path (they must raise the engine's division-by-zero error); modulo is
+// excluded because the engine computes it through int64 casts.
+func floatKernelExpr(e algebra.Expr, schema []algebra.Column) (int, floatFn, bool) {
+	switch x := e.(type) {
+	case *algebra.ColRef:
+		for i, c := range schema {
+			if c.Matches(x.Qual, x.Name) {
+				return i, nil, true
+			}
+		}
+	case *algebra.Arith:
+		if idx, fn, ok := floatKernelExpr(x.L, schema); ok {
+			if c, okc := floatConstVal(x.R); okc {
+				if g, okg := fuseConstRight(x.Op, fn, c); okg {
+					return idx, g, true
+				}
+			}
+		}
+		if idx, fn, ok := floatKernelExpr(x.R, schema); ok {
+			if c, okc := floatConstVal(x.L); okc {
+				if g, okg := fuseConstLeft(x.Op, c, fn); okg {
+					return idx, g, true
+				}
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+// fuseConstRight builds v ↦ fn(v) op c.
+func fuseConstRight(op sqltypes.ArithOp, fn floatFn, c float64) (floatFn, bool) {
+	if fn == nil {
+		switch op {
+		case sqltypes.OpAdd:
+			return func(v float64) float64 { return v + c }, true
+		case sqltypes.OpSub:
+			return func(v float64) float64 { return v - c }, true
+		case sqltypes.OpMul:
+			return func(v float64) float64 { return v * c }, true
+		case sqltypes.OpDiv:
+			if c == 0 {
+				return nil, false
+			}
+			return func(v float64) float64 { return v / c }, true
+		}
+		return nil, false
+	}
+	switch op {
+	case sqltypes.OpAdd:
+		return func(v float64) float64 { return fn(v) + c }, true
+	case sqltypes.OpSub:
+		return func(v float64) float64 { return fn(v) - c }, true
+	case sqltypes.OpMul:
+		return func(v float64) float64 { return fn(v) * c }, true
+	case sqltypes.OpDiv:
+		if c == 0 {
+			return nil, false
+		}
+		return func(v float64) float64 { return fn(v) / c }, true
+	}
+	return nil, false
+}
+
+// fuseConstLeft builds v ↦ c op fn(v). Division is excluded: the divisor
+// would be per-row and a zero must raise the engine's error.
+func fuseConstLeft(op sqltypes.ArithOp, c float64, fn floatFn) (floatFn, bool) {
+	if fn == nil {
+		switch op {
+		case sqltypes.OpAdd:
+			return func(v float64) float64 { return c + v }, true
+		case sqltypes.OpSub:
+			return func(v float64) float64 { return c - v }, true
+		case sqltypes.OpMul:
+			return func(v float64) float64 { return c * v }, true
+		}
+		return nil, false
+	}
+	switch op {
+	case sqltypes.OpAdd:
+		return func(v float64) float64 { return c + fn(v) }, true
+	case sqltypes.OpSub:
+		return func(v float64) float64 { return c - fn(v) }, true
+	case sqltypes.OpMul:
+		return func(v float64) float64 { return c * fn(v) }, true
+	}
+	return nil, false
+}
+
+// compileArithKernel builds the fused evaluator for a kernelizable
+// arithmetic expression: one column read, register arithmetic, one value
+// write per live row. rowEv handles the rare non-numeric elements with the
+// generic row semantics (exact error text included).
+func compileArithKernel(e algebra.Expr, idx int, fn floatFn, schema []algebra.Column, r CallResolver) (VecFactory, error) {
+	rowEv, err := Compile(e, schema, r)
+	if err != nil {
+		return nil, err
+	}
+	return func() VecEvaluator {
+		var buf []sqltypes.Value
+		var rowBuf storage.Row
+		return func(ctx *Ctx, b *Batch) ([]sqltypes.Value, error) {
+			if idx >= b.Width() {
+				return nil, Errorf("batch too narrow for fused column %d", idx)
+			}
+			col := b.Cols[idx]
+			buf = vecBuf(buf, b.Physical())
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				p := b.LiveAt(i)
+				v := col[p]
+				switch v.Kind() {
+				case sqltypes.KindFloat:
+					buf[p] = sqltypes.NewFloat(fn(v.Float()))
+				case sqltypes.KindInt:
+					buf[p] = sqltypes.NewFloat(fn(float64(v.Int())))
+				case sqltypes.KindNull:
+					buf[p] = sqltypes.Null
+				default:
+					if cap(rowBuf) < b.Width() {
+						rowBuf = make(storage.Row, b.Width())
+					}
+					rb := rowBuf[:b.Width()]
+					for j, c := range b.Cols {
+						rb[j] = c[p]
+					}
+					out, err := rowEv(ctx, rb)
+					if err != nil {
+						return nil, err
+					}
+					buf[p] = out
+				}
+			}
+			return buf, nil
+		}
+	}, nil
+}
+
+// compileCmpKernelPred builds a fused filter predicate for comparisons of a
+// kernelizable side against a numeric constant: column read, register
+// arithmetic and compare, Tri write — no intermediate vectors at all. An
+// integer constant is admitted only against a non-trivial kernel (whose
+// intermediates are float either way); against a bare integer column the
+// engine compares in int64, which float64 cannot represent beyond 2^53.
+func compileCmpKernelPred(x *algebra.Cmp, schema []algebra.Column, r CallResolver) (PredFactory, bool) {
+	accepts, haveTable := cmpAccepts(x.Op)
+	if !haveTable {
+		return nil, false
+	}
+	cmpConst := func(e algebra.Expr, fn floatFn) (float64, bool) {
+		c, ok := e.(*algebra.Const)
+		if !ok {
+			return 0, false
+		}
+		switch c.Val.Kind() {
+		case sqltypes.KindFloat:
+			return c.Val.Float(), true
+		case sqltypes.KindInt:
+			if fn != nil {
+				return float64(c.Val.Int()), true
+			}
+		}
+		return 0, false
+	}
+	var idx int
+	var fn floatFn
+	var c float64
+	var flip bool
+	if i, f, ok := floatKernelExpr(x.L, schema); ok {
+		if k, okc := cmpConst(x.R, f); okc {
+			idx, fn, c, flip = i, f, k, false
+			goto build
+		}
+	}
+	if i, f, ok := floatKernelExpr(x.R, schema); ok {
+		if k, okc := cmpConst(x.L, f); okc {
+			idx, fn, c, flip = i, f, k, true
+			goto build
+		}
+	}
+	return nil, false
+build:
+	rowEv, err := Compile(x, schema, r)
+	if err != nil {
+		return nil, false
+	}
+	return func() VecPredicate {
+		var rowBuf storage.Row
+		return func(ctx *Ctx, b *Batch, out []sqltypes.Tri) error {
+			if idx >= b.Width() {
+				return Errorf("batch too narrow for fused column %d", idx)
+			}
+			col := b.Cols[idx]
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				p := b.LiveAt(i)
+				v := col[p]
+				var xv float64
+				switch v.Kind() {
+				case sqltypes.KindFloat:
+					xv = v.Float()
+				case sqltypes.KindInt:
+					xv = float64(v.Int())
+				case sqltypes.KindNull:
+					out[p] = sqltypes.Unknown
+					continue
+				default:
+					if cap(rowBuf) < b.Width() {
+						rowBuf = make(storage.Row, b.Width())
+					}
+					rb := rowBuf[:b.Width()]
+					for j, cc := range b.Cols {
+						rb[j] = cc[p]
+					}
+					rv, err := rowEv(ctx, rb)
+					if err != nil {
+						return err
+					}
+					out[p] = sqltypes.TriOf(rv)
+					continue
+				}
+				if fn != nil {
+					xv = fn(xv)
+				}
+				// Mirrors sqltypes.Compare's float three-way, NaN included
+				// (neither branch taken → "equal").
+				cmp := 0
+				switch {
+				case xv < c:
+					cmp = -1
+				case xv > c:
+					cmp = 1
+				}
+				if flip {
+					cmp = -cmp
+				}
+				if accepts[cmp+1] {
+					out[p] = sqltypes.True
+				} else {
+					out[p] = sqltypes.False
+				}
+			}
+			return nil
+		}
+	}, true
+}

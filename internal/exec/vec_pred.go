@@ -25,6 +25,11 @@ type PredFactory func() VecPredicate
 func CompilePred(e algebra.Expr, schema []algebra.Column, r CallResolver) (PredFactory, error) {
 	switch x := e.(type) {
 	case *algebra.Cmp:
+		// Kernelizable side vs. constant fuses arithmetic and compare into
+		// one register loop (see vec_kernel.go).
+		if pf, ok := compileCmpKernelPred(x, schema, r); ok {
+			return pf, nil
+		}
 		lF, err := CompileVec(x.L, schema, r)
 		if err != nil {
 			return nil, err

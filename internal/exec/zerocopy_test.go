@@ -1,0 +1,113 @@
+package exec
+
+// Zero-copy scan tests: BatchScan batches must alias the table version's
+// column segments directly (no per-batch pivot), stop at segment
+// boundaries, and fall back to a pivot buffer only for transaction-overlay
+// rows.
+
+import (
+	"testing"
+
+	"udfdecorr/internal/sqltypes"
+	"udfdecorr/internal/storage"
+)
+
+func TestBatchScanAliasesSegments(t *testing.T) {
+	n := storage.SegmentRows + 100
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64(2 * i))}
+	}
+	tab := newTestTable(t, "z", []string{"a", "b"}, rows)
+	segs := tab.Version().Segments()
+	if len(segs) != 2 {
+		t.Fatalf("fixture spans %d segments, want 2", len(segs))
+	}
+
+	before := storage.ZeroCopyScans()
+	bi, err := NewBatchScan(tab, schema2("a", "b")).OpenBatch(NewCtx(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bi.Close()
+	if storage.ZeroCopyScans() != before+1 {
+		t.Fatal("zero-copy scan counter did not advance")
+	}
+
+	seg, off, total := 0, 0, 0
+	for {
+		b, ok, err := bi.NextBatch(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		sg := segs[seg]
+		// The batch's vectors must be sub-slices of the segment's columns —
+		// same backing array, no copy — and never span a segment boundary.
+		if off+b.Len() > sg.Len() {
+			t.Fatalf("batch at segment %d offset %d spans the boundary (%d rows)", seg, off, b.Len())
+		}
+		for c := 0; c < 2; c++ {
+			if &b.Cols[c][0] != &sg.Col(c)[off] {
+				t.Fatalf("batch at segment %d offset %d col %d does not alias storage", seg, off, c)
+			}
+		}
+		total += b.Len()
+		off += b.Len()
+		if off == sg.Len() {
+			seg, off = seg+1, 0
+		}
+	}
+	if total != n {
+		t.Fatalf("scan yielded %d rows, want %d", total, n)
+	}
+}
+
+func TestBatchScanOverlayAfterSegments(t *testing.T) {
+	base := []storage.Row{
+		{sqltypes.NewInt(1), sqltypes.NewInt(2)},
+		{sqltypes.NewInt(3), sqltypes.NewInt(6)},
+	}
+	tab := newTestTable(t, "z", []string{"a", "b"}, base)
+	overlay := []storage.Row{
+		{sqltypes.NewInt(100), sqltypes.NewInt(200)},
+		{sqltypes.NewInt(101), sqltypes.NewInt(202)},
+		{sqltypes.NewInt(102), sqltypes.NewInt(204)},
+	}
+	ctx := NewCtx(nil)
+	ctx.SetSnapshot(nil, map[*storage.Table][]storage.Row{tab: overlay})
+
+	bi, err := NewBatchScan(tab, schema2("a", "b")).OpenBatch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bi.Close()
+	var got []int64
+	for {
+		b, ok, err := bi.NextBatch(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			p := b.LiveAt(i)
+			if b.Cols[1][p].Int() != 2*b.Cols[0][p].Int() {
+				t.Fatalf("row (%v, %v) breaks the fixture", b.Cols[0][p], b.Cols[1][p])
+			}
+			got = append(got, b.Cols[0][p].Int())
+		}
+	}
+	want := []int64{1, 3, 100, 101, 102}
+	if len(got) != len(want) {
+		t.Fatalf("scan yielded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan yielded %v, want %v (segments first, then overlay)", got, want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"udfdecorr/internal/engine"
 	"udfdecorr/internal/obs"
+	"udfdecorr/internal/storage"
 	"udfdecorr/internal/wal"
 )
 
@@ -122,6 +123,22 @@ func (s *Service) initObservability(opts Options) {
 		func() int64 { return int64(s.cache.Stats().Size) })
 	reg.GaugeFloatFunc("udfd_uptime_seconds", "", "Seconds since the service started.",
 		func() float64 { return time.Since(s.started).Seconds() })
+
+	// Columnar storage shape and scan-path counters. The shape gauges walk
+	// every table's published version per scrape (metered for polling, not
+	// hot paths); the scan counters are process-wide atomics.
+	reg.GaugeFunc("udfd_storage_tables", "", "Tables in the store.",
+		func() int64 { return int64(s.store.StorageStats().Tables) })
+	reg.GaugeFunc("udfd_storage_segments", "", "Published column segments across all tables.",
+		func() int64 { return int64(s.store.StorageStats().Segments) })
+	reg.GaugeFunc("udfd_storage_rows", "", "Published rows across all tables.",
+		func() int64 { return s.store.StorageStats().Rows })
+	reg.GaugeFunc("udfd_storage_column_bytes", "", "Estimated bytes held by published column segments.",
+		func() int64 { return s.store.StorageStats().ColumnBytes })
+	counter("udfd_zero_copy_scans_total", "Batch scans served zero-copy from column segments.",
+		storage.ZeroCopyScans)
+	counter("udfd_pivoted_scans_total", "Scans that materialized a row-major pivot of a table version.",
+		storage.PivotedScans)
 
 	m.slowQueries = reg.Counter("udfd_slow_queries_total", "",
 		"Queries at or above the slow-query threshold.")

@@ -955,8 +955,12 @@ type Stats struct {
 	Parallel         ParallelStats `json:"parallel"`
 	// Durability reports WAL/checkpoint counters (wal_bytes, checkpoints,
 	// recovered_records, ...); omitted for in-memory deployments.
-	Durability    *engine.DurabilityStats `json:"durability,omitempty"`
-	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Durability *engine.DurabilityStats `json:"durability,omitempty"`
+	// Storage reports the columnar store's physical shape (tables, published
+	// segments, estimated column bytes) and the scan-path counters (zero-copy
+	// versus pivoted row-major materializations).
+	Storage       storage.StorageStats `json:"storage"`
+	UptimeSeconds float64              `json:"uptime_seconds"`
 	// QueryLatency summarizes the query-duration histogram (the full
 	// distribution is on /metrics as udfd_query_duration_seconds).
 	QueryLatency LatencyStats `json:"query_latency"`
@@ -999,6 +1003,7 @@ func (s *Service) Stats() Stats {
 		ds := s.durable.Stats()
 		st.Durability = &ds
 	}
+	st.Storage = s.store.StorageStats()
 	return st
 }
 
@@ -1021,6 +1026,9 @@ func (st Stats) Format() string {
 			st.Durability.Dir, st.Durability.WALBytes, st.Durability.Segment,
 			st.Durability.Checkpoints, st.Durability.RecoveredRecords, st.Durability.SyncPolicy)
 	}
+	fmt.Fprintf(&b, "storage: %d tables, %d segments, %d rows, %d column bytes, scans: %d zero-copy / %d pivoted\n",
+		st.Storage.Tables, st.Storage.Segments, st.Storage.Rows, st.Storage.ColumnBytes,
+		st.Storage.ZeroCopyScans, st.Storage.PivotedScans)
 	modes := make([]string, 0, len(st.QueriesByMode))
 	for m := range st.QueriesByMode {
 		modes = append(modes, m)

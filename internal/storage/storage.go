@@ -1,6 +1,6 @@
-// Package storage implements in-memory row storage: tables, hash indexes
-// for equality lookups, and lightweight column statistics (row counts and
-// min/max) used by the cost-based planner.
+// Package storage implements in-memory columnar table storage: immutable
+// column-major segments, hash indexes for equality lookups, and lightweight
+// column statistics (row counts and min/max) used by the cost-based planner.
 //
 // Concurrency model (MVCC): a table's state is an immutable published
 // TableVersion reached through an atomic pointer. Readers pin a version (or
@@ -11,6 +11,11 @@
 // writer lock; version installs additionally serialize on a store-wide
 // publish lock so Snapshot observes a consistent cut across tables (and a
 // multi-table transaction commit is all-or-nothing to every snapshot).
+//
+// Physical layout: a version's data is a list of immutable column-major
+// Segments (see columnar.go). The vectorized executor reads segment column
+// vectors zero-copy; the row executor reads a per-version row-major pivot
+// built lazily by Rows().
 package storage
 
 import (
@@ -40,34 +45,113 @@ type ColStats struct {
 	DistinctCount int64 // approximate
 }
 
-// TableVersion is one immutable published state of a table: a row prefix
-// plus lazily built per-version index and statistics caches. Successive
-// versions share the backing row array (a version only ever exposes a
-// length-bounded prefix, and writers extend the array strictly past every
-// published length), so publishing an append is O(batch), not O(table).
+// TableVersion is one immutable published state of a table: a column-major
+// segment list plus lazily built per-version index, statistics, and row-view
+// caches. Successive versions share segments (and the open tail segment's
+// backing arrays — writers extend the arrays strictly past every published
+// segment bound), so publishing an append is O(batch), not O(table).
 type TableVersion struct {
 	meta *catalog.Table
-	rows []Row
+	segs []*Segment
+	n    int
 
-	// mu guards only the cache maps. The row data needs no lock: it is
-	// immutable for the lifetime of the version.
-	mu      sync.RWMutex
-	indexes map[string]map[string][]int // column -> key -> row ordinals
-	stats   map[string]ColStats
+	// mu guards only the cache fields below. The segment data needs no
+	// lock: it is immutable for the lifetime of the version.
+	mu        sync.RWMutex
+	indexes   map[string]map[string][]int // column -> key -> row ordinals
+	stats     map[string]ColStats
+	rowview   []Row // lazily pivoted row-major view (row-executor fallback)
+	rowsReady bool
 }
 
-func newVersion(meta *catalog.Table, rows []Row) *TableVersion {
-	return &TableVersion{meta: meta, rows: rows}
+func newVersion(meta *catalog.Table, segs []*Segment, n int) *TableVersion {
+	return &TableVersion{meta: meta, segs: segs, n: n}
 }
 
-// Rows returns the version's immutable rows.
-func (v *TableVersion) Rows() []Row { return v.rows }
+// NewVersionFromSegments builds a standalone version over pre-built
+// segments; for tests that need to exercise layouts directly.
+func NewVersionFromSegments(meta *catalog.Table, segs []*Segment) *TableVersion {
+	n := 0
+	for _, s := range segs {
+		n += s.n
+	}
+	return newVersion(meta, segs, n)
+}
+
+// Segments returns the version's immutable column-major segments. Every
+// segment except possibly the last holds exactly SegmentRows rows, so row
+// ordinal o lives at segment o/SegmentRows, offset o%SegmentRows.
+func (v *TableVersion) Segments() []*Segment { return v.segs }
 
 // RowCount returns the number of rows in the version.
-func (v *TableVersion) RowCount() int { return len(v.rows) }
+func (v *TableVersion) RowCount() int { return v.n }
+
+// Rows returns a row-major view of the version, pivoting the column
+// segments on first use and caching the result for the version's lifetime
+// (first install wins, built outside the lock). This is the compatibility
+// path for the row executor, the UDF interpreter, and result adapters; the
+// vectorized scan path reads Segments directly and never pays this pivot.
+func (v *TableVersion) Rows() []Row {
+	v.mu.RLock()
+	rv, ready := v.rowview, v.rowsReady
+	v.mu.RUnlock()
+	if ready {
+		return rv
+	}
+	w := len(v.meta.Cols)
+	rows := make([]Row, v.n)
+	arena := make([]sqltypes.Value, v.n*w)
+	for i := range rows {
+		rows[i] = arena[i*w : (i+1)*w : (i+1)*w]
+	}
+	base := 0
+	for _, seg := range v.segs {
+		for c, col := range seg.cols {
+			for i := 0; i < seg.n; i++ {
+				arena[(base+i)*w+c] = col[i]
+			}
+		}
+		base += seg.n
+	}
+	v.mu.Lock()
+	if v.rowsReady {
+		rows = v.rowview
+	} else {
+		v.rowview, v.rowsReady = rows, true
+		NotePivotedScan()
+	}
+	v.mu.Unlock()
+	return rows
+}
+
+// RowAt materializes row ordinal i. When the row view is already built it is
+// served from there (no allocation); otherwise one row is pivoted out of its
+// segment — index lookups touching a handful of ordinals never force a full
+// table pivot.
+func (v *TableVersion) RowAt(i int) Row {
+	v.mu.RLock()
+	if v.rowsReady {
+		r := v.rowview[i]
+		v.mu.RUnlock()
+		return r
+	}
+	v.mu.RUnlock()
+	seg := v.segs[i/SegmentRows]
+	return seg.AppendRowTo(make(Row, 0, len(v.meta.Cols)), i%SegmentRows)
+}
+
+// forEachVal visits column ord of every row in ordinal order.
+func (v *TableVersion) forEachVal(ord int, fn func(val sqltypes.Value)) {
+	for _, seg := range v.segs {
+		col := seg.cols[ord]
+		for i := 0; i < seg.n; i++ {
+			fn(col[i])
+		}
+	}
+}
 
 // EnsureIndex builds (or reuses) a hash index on the named column. The scan
-// runs outside the lock — rows are immutable, so concurrent readers are
+// runs outside the lock — segments are immutable, so concurrent readers are
 // never stalled behind an index build; two racing builds are idempotent and
 // the first install wins.
 func (v *TableVersion) EnsureIndex(col string) (map[string][]int, error) {
@@ -81,12 +165,14 @@ func (v *TableVersion) EnsureIndex(col string) (map[string][]int, error) {
 	if ok {
 		return idx, nil
 	}
-	idx = make(map[string][]int, len(v.rows))
+	idx = make(map[string][]int, v.n)
 	var key []byte
-	for i, r := range v.rows {
-		key = sqltypes.EncodeKey(key[:0], r[ord])
+	i := 0
+	v.forEachVal(ord, func(val sqltypes.Value) {
+		key = sqltypes.EncodeKey(key[:0], val)
 		idx[string(key)] = append(idx[string(key)], i)
-	}
+		i++
+	})
 	v.mu.Lock()
 	if prior, ok := v.indexes[col]; ok {
 		idx = prior
@@ -101,7 +187,7 @@ func (v *TableVersion) EnsureIndex(col string) (map[string][]int, error) {
 }
 
 // Stats computes (and caches) statistics for a column. Like EnsureIndex,
-// the table scan happens outside the lock.
+// the column scan happens outside the lock.
 func (v *TableVersion) Stats(col string) (ColStats, error) {
 	ord := v.meta.ColIndex(col)
 	if ord < 0 {
@@ -116,10 +202,9 @@ func (v *TableVersion) Stats(col string) (ColStats, error) {
 	distinct := map[string]bool{}
 	var key []byte
 	st = ColStats{Min: sqltypes.Null, Max: sqltypes.Null}
-	for _, r := range v.rows {
-		val := r[ord]
+	v.forEachVal(ord, func(val sqltypes.Value) {
 		if val.IsNull() {
-			continue
+			return
 		}
 		if st.Min.IsNull() || sqltypes.TotalCompare(val, st.Min) < 0 {
 			st.Min = val
@@ -131,7 +216,7 @@ func (v *TableVersion) Stats(col string) (ColStats, error) {
 			key = sqltypes.EncodeKey(key[:0], val)
 			distinct[string(key)] = true
 		}
-	}
+	})
 	st.DistinctCount = int64(len(distinct))
 	v.mu.Lock()
 	if prior, ok := v.stats[col]; ok {
@@ -156,9 +241,16 @@ type Table struct {
 	version atomic.Pointer[TableVersion]
 
 	// appendMu serializes writers to this table: the writer holding it owns
-	// the right to extend the shared backing row array past the published
-	// length and install the next version.
+	// the open tail segment's backing arrays (tail/tailLen below), the right
+	// to extend them past the published bounds, and the right to install the
+	// next version.
 	appendMu sync.Mutex
+
+	// tail is the open tail segment's backing: one array of capacity
+	// SegmentRows per column, of which the first tailLen values are
+	// published. Guarded by appendMu; see columnar.go.
+	tail    [][]sqltypes.Value
+	tailLen int
 
 	// pub is the publish lock shared by every table of the owning Store
 	// (standalone tables get a private one): version installs take it
@@ -173,20 +265,20 @@ type Table struct {
 // NewTable creates an empty table for the given metadata.
 func NewTable(meta *catalog.Table) *Table {
 	t := &Table{Meta: meta, pub: &sync.RWMutex{}}
-	t.version.Store(newVersion(meta, nil))
+	t.version.Store(newVersion(meta, nil, 0))
 	return t
 }
 
 // Version returns the currently published version.
 func (t *Table) Version() *TableVersion { return t.version.Load() }
 
-// Rows returns the currently published rows. The slice is immutable; hold a
-// Snapshot (or the returned version) to keep reading a consistent state
-// across statements.
-func (t *Table) Rows() []Row { return t.version.Load().rows }
+// Rows returns a row-major view of the currently published version (see
+// TableVersion.Rows). Hold a Snapshot (or the returned version) to keep
+// reading a consistent state across statements.
+func (t *Table) Rows() []Row { return t.version.Load().Rows() }
 
 // RowCount returns the number of currently published rows.
-func (t *Table) RowCount() int { return len(t.version.Load().rows) }
+func (t *Table) RowCount() int { return t.version.Load().n }
 
 // checkArity validates row shapes before anything is logged or published.
 func (t *Table) checkArity(rows []Row) error {
@@ -224,13 +316,52 @@ func (t *Table) Append(rows ...Row) error {
 	return nil
 }
 
-// nextVersionLocked builds the successor version holding the current rows
-// plus the batch. Caller holds appendMu: extending the backing array past
-// the published length is invisible to every reader (they are bounded by
-// their version's length).
+// AppendCols adds nrows of column-major data (one vector per column) by
+// publishing a new version. When the chunk aligns with a segment boundary
+// the vectors are installed as published segments without copying, so
+// columnar checkpoint replay rebuilds a table at memcpy-free cost; callers
+// transfer ownership of the vectors either way.
+func (t *Table) AppendCols(cols [][]sqltypes.Value, nrows int) error {
+	if len(cols) != len(t.Meta.Cols) {
+		return fmt.Errorf("table %s: column arity %d, want %d", t.Meta.Name, len(cols), len(t.Meta.Cols))
+	}
+	for c, col := range cols {
+		if len(col) != nrows {
+			return fmt.Errorf("table %s: column %d has %d values, want %d", t.Meta.Name, c, len(col), nrows)
+		}
+	}
+	if t.onAppend != nil {
+		rows := make([]Row, nrows)
+		for i := range rows {
+			r := make(Row, len(cols))
+			for c := range cols {
+				r[c] = cols[c][i]
+			}
+			rows[i] = r
+		}
+		if err := t.onAppend(t.Meta, rows); err != nil {
+			return fmt.Errorf("table %s: commit hook: %w", t.Meta.Name, err)
+		}
+	}
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+	a := t.newAppenderLocked()
+	a.appendCols(cols, nrows)
+	nv := a.version()
+	t.pub.Lock()
+	t.version.Store(nv)
+	t.pub.Unlock()
+	return nil
+}
+
+// nextVersionLocked builds the successor version holding the current data
+// plus the batch. Caller holds appendMu: extending the tail backing arrays
+// past the published bounds is invisible to every reader (their versions'
+// segment headers do not cover the new slots).
 func (t *Table) nextVersionLocked(rows []Row) *TableVersion {
-	cur := t.version.Load()
-	return newVersion(t.Meta, append(cur.rows, rows...))
+	a := t.newAppenderLocked()
+	a.appendRows(rows)
+	return a.version()
 }
 
 // EnsureIndex builds (or reuses) a hash index on the named column of the
@@ -323,6 +454,43 @@ func (s *Store) MustTable(name string) *Table {
 	return t
 }
 
+// StorageStats summarizes the store's physical state for the observability
+// endpoints, plus the process-wide scan-path counters.
+type StorageStats struct {
+	Tables        int   `json:"tables"`
+	Segments      int   `json:"segments"`
+	Rows          int64 `json:"rows"`
+	ColumnBytes   int64 `json:"column_bytes"`
+	ZeroCopyScans int64 `json:"zero_copy_scans"`
+	PivotedScans  int64 `json:"pivoted_scans"`
+}
+
+// StorageStats walks every table's current version and sums segment counts
+// and estimated column bytes. The walk touches every string payload, so it
+// is metered for observability polling, not hot paths.
+func (s *Store) StorageStats() StorageStats {
+	s.mu.RLock()
+	tabs := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tabs = append(tabs, t)
+	}
+	s.mu.RUnlock()
+	st := StorageStats{
+		Tables:        len(tabs),
+		ZeroCopyScans: ZeroCopyScans(),
+		PivotedScans:  PivotedScans(),
+	}
+	for _, t := range tabs {
+		v := t.version.Load()
+		st.Segments += len(v.segs)
+		st.Rows += int64(v.n)
+		for _, seg := range v.segs {
+			st.ColumnBytes += seg.Bytes()
+		}
+	}
+	return st
+}
+
 // Snapshot is a consistent read view over a store: one pinned version per
 // table. Reading through a snapshot sees no writes published after capture.
 // A nil *Snapshot is valid and resolves every table to its current version.
@@ -361,8 +529,8 @@ func (sn *Snapshot) Version(t *Table) *TableVersion {
 	return t.version.Load()
 }
 
-// Rows returns the pinned rows for a table.
-func (sn *Snapshot) Rows(t *Table) []Row { return sn.Version(t).rows }
+// Rows returns a row-major view of the pinned version for a table.
+func (sn *Snapshot) Rows(t *Table) []Row { return sn.Version(t).Rows() }
 
 // TableWrite is one table's buffered rows in a transaction commit.
 type TableWrite struct {

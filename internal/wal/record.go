@@ -41,6 +41,12 @@ const (
 	// RecTxnInsert carries one table's row batch inside a transaction
 	// (txid + the RecInsert payload).
 	RecTxnInsert byte = 7
+	// RecSegment carries one column-major chunk of a table: the checkpoint
+	// snapshot format for columnar storage (values grouped by column, so
+	// recovery installs them as segments without pivoting). Recovery also
+	// accepts legacy row-major RecInsert snapshots, upgrading checkpoints
+	// written by earlier binaries on replay.
+	RecSegment byte = 8
 
 	// snapshot structural records (internal to this package)
 	recSnapBegin byte = 100
@@ -136,6 +142,54 @@ func (r Record) TxnInsert() (txid uint64, table string, rows [][]sqltypes.Value,
 	txid = binary.BigEndian.Uint64(r.Payload)
 	table, rows, err = decodeInsert(r.Payload[8:])
 	return txid, table, rows, err
+}
+
+// SegmentRecord encodes nrows of column-major data for one table: each of
+// cols contributes its first nrows values, column after column.
+func SegmentRecord(table string, cols [][]sqltypes.Value, nrows int) Record {
+	p := appendString(nil, table)
+	p = binary.BigEndian.AppendUint16(p, uint16(len(cols)))
+	p = binary.BigEndian.AppendUint32(p, uint32(nrows))
+	for _, col := range cols {
+		for _, v := range col[:nrows] {
+			p = appendValue(p, v)
+		}
+	}
+	return Record{Type: RecSegment, Payload: p}
+}
+
+// Segment decodes a RecSegment record into freshly allocated column vectors
+// (safe for the caller to install as storage segments).
+func (r Record) Segment() (table string, cols [][]sqltypes.Value, nrows int, err error) {
+	if r.Type != RecSegment {
+		return "", nil, 0, fmt.Errorf("wal: record type %d is not a column segment", r.Type)
+	}
+	buf := r.Payload
+	table, buf, err = readString(buf)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if len(buf) < 6 {
+		return "", nil, 0, fmt.Errorf("wal: truncated segment record")
+	}
+	ncols := int(binary.BigEndian.Uint16(buf))
+	nrows = int(binary.BigEndian.Uint32(buf[2:]))
+	buf = buf[6:]
+	cols = make([][]sqltypes.Value, ncols)
+	for c := range cols {
+		col := make([]sqltypes.Value, nrows)
+		for i := range col {
+			col[i], buf, err = readValue(buf)
+			if err != nil {
+				return "", nil, 0, fmt.Errorf("wal: segment record col %d row %d: %w", c, i, err)
+			}
+		}
+		cols[c] = col
+	}
+	if len(buf) != 0 {
+		return "", nil, 0, fmt.Errorf("wal: trailing bytes in segment record")
+	}
+	return table, cols, nrows, nil
 }
 
 func encodeInsert(p []byte, table string, rows [][]sqltypes.Value) []byte {
