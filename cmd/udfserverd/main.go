@@ -94,6 +94,10 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable mode: data directory for WAL + checkpoints (empty = in-memory)")
 		fsync     = flag.String("fsync", "always", "durable mode: WAL fsync policy: always|none|<interval, e.g. 250ms>")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "durable mode: periodic checkpoint interval (0 = only on graceful shutdown)")
+		walRetain = flag.Int("wal-retain", 4, "durable mode: sealed WAL segments kept below each checkpoint (the replica catch-up window; 0 deletes immediately)")
+
+		follow     = flag.String("follow", "", "follower mode: leader base URL to replicate from (runs as a read-only replica)")
+		catchupDir = flag.String("catchup-dir", "", "follower mode: dead leader's data dir to drain at promotion (used by SIGUSR1 and /repl/promote requests without an explicit dir)")
 
 		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		slowQuery = flag.Duration("slow-query", 0, "server: log queries at or above this duration (0 = off)")
@@ -139,12 +143,18 @@ func main() {
 		err = runDuraWrite(*addr, *writeTable, *manifest, *batches, *batchRows)
 	case *duraCheck:
 		err = runDuraCheck(*addr, *writeTable, *manifest, *exact)
+	case *follow != "":
+		err = runFollower(followerConfig{
+			addr: *addr, leader: *follow, catchupDir: *catchupDir,
+			cacheSize: *cache, workers: *workers, parallelism: *par,
+			drain: *drain, slowQuery: *slowQuery,
+		})
 	default:
 		err = runServer(serverConfig{
 			addr: *addr, dataset: *dataset, cacheSize: *cache, workers: *workers,
 			parallelism: *par, drain: *drain,
 			dataDir: *dataDir, fsync: *fsync, checkpointEvery: *ckptEvery,
-			slowQuery: *slowQuery,
+			walRetain: *walRetain, slowQuery: *slowQuery,
 		})
 	}
 	if err != nil {
@@ -182,11 +192,12 @@ type serverConfig struct {
 	dataDir         string
 	fsync           string
 	checkpointEvery time.Duration
+	walRetain       int
 	slowQuery       time.Duration
 }
 
 func runServer(cfg serverConfig) error {
-	boot, err := bootEngine(cfg.dataset, cfg.dataDir, cfg.fsync)
+	boot, err := bootEngine(cfg.dataset, cfg.dataDir, cfg.fsync, cfg.walRetain)
 	if err != nil {
 		return err
 	}
@@ -261,7 +272,7 @@ func runServer(cfg serverConfig) error {
 // bootEngine builds the serving engine: volatile with the requested dataset,
 // or durable over dataDir (recovering existing state; a fresh dir is seeded
 // with the dataset and checkpointed so startup replay stays cheap).
-func bootEngine(dataset, dataDir, fsync string) (*engine.Engine, error) {
+func bootEngine(dataset, dataDir, fsync string, walRetain int) (*engine.Engine, error) {
 	var cfg *bench.Config
 	switch dataset {
 	case "none":
@@ -294,7 +305,7 @@ func bootEngine(dataset, dataDir, fsync string) (*engine.Engine, error) {
 		return nil, err
 	}
 	e, err := engine.OpenDurable(dataDir, engine.SYS1, engine.ModeRewrite,
-		engine.DurabilityOptions{Sync: policy, SyncInterval: interval})
+		engine.DurabilityOptions{Sync: policy, SyncInterval: interval, RetainSegments: walRetain})
 	if err != nil {
 		return nil, err
 	}

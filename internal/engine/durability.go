@@ -10,6 +10,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +30,10 @@ type DurabilityOptions struct {
 	SyncInterval time.Duration
 	// SegmentBytes is the WAL segment rotation threshold (<=0: wal default).
 	SegmentBytes int64
+	// RetainSegments keeps that many sealed WAL segments past each
+	// checkpoint's replay boundary so catching-up replicas can still stream
+	// them (0: delete superseded segments immediately).
+	RetainSegments int
 	// SnapshotBatchRows is retained for configuration compatibility; columnar
 	// snapshots chunk by segment and byte size instead.
 	SnapshotBatchRows int
@@ -64,6 +69,12 @@ type DurabilityStats struct {
 	WALRecords int64 `json:"wal_records"`
 	// Segment is the current WAL segment sequence number.
 	Segment uint64 `json:"segment"`
+	// OldestSegment is the smallest WAL segment still on disk (checkpoint
+	// retention keeps sealed segments for catching-up replicas).
+	OldestSegment uint64 `json:"oldest_segment"`
+	// NewestSegment is the open segment (same as Segment; the pair makes the
+	// retained window readable at a glance in /stats).
+	NewestSegment uint64 `json:"newest_segment"`
 	// Checkpoints counts checkpoints taken since open.
 	Checkpoints int64 `json:"checkpoints"`
 	// RecoveredRecords is the number of snapshot + log records replayed when
@@ -89,9 +100,10 @@ func OpenDurable(dir string, profile Profile, mode Mode, opts DurabilityOptions)
 
 	rp := &replayer{cat: cat, store: store, pending: map[uint64][]pendingInsert{}}
 	log, rstats, err := wal.Open(dir, wal.Options{
-		Sync:         opts.Sync,
-		SyncInterval: opts.SyncInterval,
-		SegmentBytes: opts.SegmentBytes,
+		Sync:           opts.Sync,
+		SyncInterval:   opts.SyncInterval,
+		SegmentBytes:   opts.SegmentBytes,
+		RetainSegments: opts.RetainSegments,
 	}, rp.apply)
 	if err != nil {
 		return nil, fmt.Errorf("opening data dir %s: %w", dir, err)
@@ -132,6 +144,8 @@ func (d *Durability) Stats() DurabilityStats {
 		WALBytes:         ls.Bytes,
 		WALRecords:       ls.Records,
 		Segment:          ls.Segment,
+		OldestSegment:    ls.OldestSegment,
+		NewestSegment:    ls.NewestSegment,
 		Checkpoints:      d.checkpoints.Load(),
 		RecoveredRecords: d.recoveredRecords,
 		TornBytes:        d.recoveredTorn,
@@ -143,6 +157,14 @@ func (d *Durability) Stats() DurabilityStats {
 // Close seals the log. The engine remains usable for queries but further
 // mutations fail.
 func (d *Durability) Close() error { return d.log.Close() }
+
+// WAL exposes the underlying log for the replication stream server (reads
+// only: sealed/live segment chunks, the durable tip, the tip watch).
+func (d *Durability) WAL() *wal.Log { return d.log }
+
+// Dir returns the data directory (the replication snapshot endpoint serves
+// its checkpoint file).
+func (d *Durability) Dir() string { return d.dir }
 
 // Checkpoint writes a snapshot of the catalog and every table's rows, then
 // truncates the log. See Engine.Checkpoint for the locking contract.
@@ -302,12 +324,33 @@ func (rp *replayer) apply(rec wal.Record) error {
 		}
 		inserts := rp.pending[txid]
 		delete(rp.pending, txid)
-		for _, ins := range inserts {
-			if err := applyInsert(rp.store, ins.table, ins.rows); err != nil {
-				return err
-			}
+		if len(inserts) == 0 {
+			return nil
 		}
-		return nil
+		// Publish the transaction's tables in one atomic batch, exactly as
+		// the original commit did: a replica applying this mid-traffic must
+		// never expose a state where one table committed and another has not.
+		// Records for the same table merge into one write (AppendBatch locks
+		// per table, so a table must not appear twice).
+		byTable := map[string]int{}
+		writes := make([]storage.TableWrite, 0, len(inserts))
+		for _, ins := range inserts {
+			rows := make([]storage.Row, len(ins.rows))
+			for i, r := range ins.rows {
+				rows[i] = r
+			}
+			if idx, ok := byTable[ins.table]; ok {
+				writes[idx].Rows = append(writes[idx].Rows, rows...)
+				continue
+			}
+			st, ok := rp.store.Table(ins.table)
+			if !ok {
+				return fmt.Errorf("insert into unknown table %q", ins.table)
+			}
+			byTable[ins.table] = len(writes)
+			writes = append(writes, storage.TableWrite{Table: st, Rows: rows})
+		}
+		return rp.store.AppendBatch(writes, nil)
 	case wal.RecRollback:
 		txid, err := rec.Txid()
 		if err != nil {
@@ -397,6 +440,47 @@ func applyDDL(cat *catalog.Catalog, store *storage.Store, sql string) error {
 		}
 	}
 	return nil
+}
+
+// Replayer is the incremental WAL applier a read replica feeds: the same
+// txid-buffered logic recovery uses, applied record-by-record against a live
+// catalog+store. Transactional inserts buffer until their commit record
+// arrives and then publish atomically, so a replica's visible state is
+// always transaction-consistent — an uncommitted txn suffix (a leader that
+// died between BEGIN and COMMIT reaching the stream) is simply never
+// applied. Records apply strictly in stream order from one tail loop, but
+// PendingTxns is polled from health/metrics goroutines, so the wrapper
+// serializes access to the underlying single-threaded replayer.
+type Replayer struct {
+	mu sync.Mutex
+	rp *replayer
+}
+
+// NewReplayer builds an applier over the replica's catalog and store.
+func NewReplayer(cat *catalog.Catalog, store *storage.Store) *Replayer {
+	return &Replayer{rp: &replayer{cat: cat, store: store, pending: map[uint64][]pendingInsert{}}}
+}
+
+// Apply installs one WAL record (snapshot or stream) into the replica.
+func (r *Replayer) Apply(rec wal.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rp.apply(rec)
+}
+
+// PendingTxns reports transactions with buffered inserts awaiting a commit
+// record — nonzero while the stream sits mid-transaction.
+func (r *Replayer) PendingTxns() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.rp.pending)
+}
+
+// IsDDL reports whether a record mutates the schema; the replica applies
+// those under its query service's exclusive DDL gate (and invalidates
+// cached plans), exactly as a leader-side DDL statement would.
+func IsDDL(rec wal.Record) bool {
+	return rec.Type == wal.RecDDL || rec.Type == wal.RecIndex
 }
 
 // TableDDL renders a catalog table back into the CREATE TABLE statement that

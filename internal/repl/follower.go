@@ -1,0 +1,363 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"udfdecorr/internal/catalog"
+	"udfdecorr/internal/engine"
+	"udfdecorr/internal/storage"
+	"udfdecorr/internal/wal"
+)
+
+// ErrFellBehind is the fatal tail error when the leader checkpointed past the
+// follower's position (HTTP 410 / wal.ErrSegmentGone): the replica's state can
+// no longer be completed from the stream and it must re-bootstrap from a fresh
+// snapshot. Raise the leader's -wal-retain if this happens under normal load.
+var ErrFellBehind = errors.New("repl: fell behind the leader's WAL retention window; restart the follower to re-bootstrap")
+
+// Status is a point-in-time picture of a follower's replication progress,
+// served on /healthz and exported as gauges on /metrics.
+type Status struct {
+	LeaderURL string `json:"leader_url"`
+	// Segment/Offset is the next stream position to fetch (all bytes before
+	// it have been applied).
+	Segment uint64 `json:"segment"`
+	Offset  int64  `json:"offset"`
+	// AppliedRecords counts WAL records applied since bootstrap, including
+	// those replayed from the snapshot image.
+	AppliedRecords int64 `json:"applied_records"`
+	// LagRecords is the leader's durable tip minus the applied position, in
+	// records, as of the last stream response (-1 before the first response).
+	LagRecords int64 `json:"lag_records"`
+	// PendingTxns counts transactions with buffered-but-uncommitted inserts;
+	// their rows are invisible until a commit record arrives.
+	PendingTxns int `json:"pending_txns"`
+	// LastError is the most recent transient stream error ("" when healthy);
+	// Fatal marks an unrecoverable one (tail loop has exited).
+	LastError string `json:"last_error,omitempty"`
+	Fatal     bool   `json:"fatal,omitempty"`
+}
+
+// Follower bootstraps replica state from a leader's checkpoint and keeps it
+// current by tailing the leader's WAL stream. All records flow through the
+// same txid-buffered apply logic recovery uses, so uncommitted transaction
+// suffixes are never visible on the replica.
+type Follower struct {
+	base   string // leader URL, no trailing slash
+	client *http.Client
+	cat    *catalog.Catalog
+	store  *storage.Store
+	rp     *engine.Replayer
+
+	// gate serializes a DDL apply against in-flight replica reads (the
+	// server's DDL write-lock); nil applies directly.
+	gate func(func() error) error
+
+	mu        sync.Mutex
+	seg       uint64
+	off       int64
+	segBase   int64 // cumulative records at byte 0 of seg (from hdrSegRecords)
+	segFrames int64 // frames applied within seg
+	applied   int64
+	lag       int64
+	lastErr   string
+	fatal     bool
+}
+
+// NewFollower prepares an empty replica fed from leaderURL. The catalog and
+// store are fresh; hand them to engine.NewShared for the serving engine.
+func NewFollower(leaderURL string, gate func(func() error) error) *Follower {
+	cat := catalog.New()
+	store := storage.NewStore()
+	return &Follower{
+		base:   strings.TrimRight(leaderURL, "/"),
+		client: &http.Client{}, // long-poll responses: no client-wide timeout
+		cat:    cat,
+		store:  store,
+		rp:     engine.NewReplayer(cat, store),
+		gate:   gate,
+		seg:    1,
+		lag:    -1,
+	}
+}
+
+// Catalog returns the replica's catalog (shared with the serving engine).
+func (f *Follower) Catalog() *catalog.Catalog { return f.cat }
+
+// Store returns the replica's storage (shared with the serving engine).
+func (f *Follower) Store() *storage.Store { return f.store }
+
+// Status reports the follower's current replication position and health.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Status{
+		LeaderURL:      f.base,
+		Segment:        f.seg,
+		Offset:         f.off,
+		AppliedRecords: f.applied,
+		LagRecords:     f.lag,
+		PendingTxns:    f.rp.PendingTxns(),
+		LastError:      f.lastErr,
+		Fatal:          f.fatal,
+	}
+}
+
+// applyRecord routes one WAL record through the replayer, taking the DDL
+// gate for schema changes so replica readers never observe a half-applied
+// catalog mutation.
+func (f *Follower) applyRecord(rec wal.Record) error {
+	if f.gate != nil && engine.IsDDL(rec) {
+		return f.gate(func() error { return f.rp.Apply(rec) })
+	}
+	return f.rp.Apply(rec)
+}
+
+// Bootstrap fetches the leader's latest checkpoint and replays it into the
+// replica, leaving the follower positioned at the snapshot's first segment.
+// A leader that has never checkpointed (404) starts the replica empty at
+// segment 1 — the stream carries its whole history.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.base+"/repl/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("repl: fetch snapshot from %s: %w", f.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil // no checkpoint yet: start from the beginning of the log
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("repl: snapshot: leader returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("repl: snapshot: %w", err)
+	}
+	// Count records as they apply (not after), so a partial snapshot apply is
+	// visible to the caller — retrying over it would duplicate rows.
+	apply := func(rec wal.Record) error {
+		if err := f.applyRecord(rec); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		f.applied++
+		f.mu.Unlock()
+		return nil
+	}
+	_, firstSeg, err := wal.ParseSnapshot(buf, apply)
+	if err != nil {
+		return fmt.Errorf("repl: snapshot: %w", err)
+	}
+	f.mu.Lock()
+	f.seg = firstSeg
+	f.off = 0
+	// The leader's record coordinates restart at the snapshot boundary
+	// (snapshot contents are not part of the live log lineage), so the
+	// stream position starts at record 0 of firstSeg.
+	f.segBase = 0
+	f.segFrames = 0
+	f.mu.Unlock()
+	return nil
+}
+
+// Run tails the leader's WAL stream until ctx is cancelled, applying each
+// chunk as it arrives. Transient errors (leader restarting, network blips)
+// are retried with backoff and surfaced in Status; ErrFellBehind and corrupt
+// or mis-framed chunks are fatal and end the loop.
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := 100 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		err := f.fetchOnce(ctx)
+		if err == nil {
+			backoff = 100 * time.Millisecond
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if isFatal(err) {
+			f.mu.Lock()
+			f.lastErr = err.Error()
+			f.fatal = true
+			f.mu.Unlock()
+			return err
+		}
+		f.mu.Lock()
+		f.lastErr = err.Error()
+		f.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+func isFatal(err error) bool {
+	return errors.Is(err, ErrFellBehind) || errors.Is(err, wal.ErrCorrupt) || errors.Is(err, errBadStream)
+}
+
+// errBadStream marks a protocol violation: the leader returned bytes that do
+// not decode as whole frames. Retrying would re-apply a prefix, so it's fatal.
+var errBadStream = errors.New("repl: leader sent a malformed WAL chunk")
+
+// fetchOnce performs one long-poll round trip and applies whatever arrives.
+func (f *Follower) fetchOnce(ctx context.Context) error {
+	f.mu.Lock()
+	seg, off := f.seg, f.off
+	f.mu.Unlock()
+
+	u := fmt.Sprintf("%s/repl/wal?segment=%d&offset=%d&wait_ms=%d", f.base, seg, off, 10_000)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("repl: stream from %s: %w", f.base, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return fmt.Errorf("%w (leader dropped segment %d)", ErrFellBehind, seg)
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("repl: stream: leader returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("repl: stream read: %w", err)
+	}
+	sealed := resp.Header.Get(hdrSealed) == "1"
+
+	n, consumed, err := wal.ScanFrames(data, f.applyRecord)
+	if err != nil {
+		// A CRC failure or apply error after n applied frames: the position
+		// advances past what WAS applied so a retry never double-applies.
+		f.advance(n, consumed, false, resp.Header)
+		return err
+	}
+	if consumed != int64(len(data)) {
+		// The leader promises whole frames; a trailing partial means the
+		// stream is broken (or not a WAL endpoint at all).
+		f.advance(n, consumed, false, resp.Header)
+		return fmt.Errorf("%w: %d trailing bytes do not frame", errBadStream, int64(len(data))-consumed)
+	}
+	f.advance(n, consumed, sealed, resp.Header)
+	return nil
+}
+
+// advance moves the stream position by one applied chunk and recomputes lag
+// from the response's tip headers (tip, segment base, and frames applied are
+// all in the same record coordinate system).
+func (f *Follower) advance(frames, bytes int64, sealed bool, hd http.Header) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.off += bytes
+	f.segFrames += frames
+	f.applied += frames
+	if v := hd.Get(hdrSegRecords); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			f.segBase = n
+		}
+	}
+	if v := hd.Get(hdrTipRecords); v != "" {
+		if tip, err := strconv.ParseInt(v, 10, 64); err == nil {
+			lag := tip - (f.segBase + f.segFrames)
+			if lag < 0 {
+				lag = 0
+			}
+			f.lag = lag
+		}
+	}
+	f.lastErr = ""
+	if sealed {
+		f.seg++
+		f.off = 0
+		f.segBase += f.segFrames
+		f.segFrames = 0
+	}
+}
+
+// CatchupFromDir drains the tail of a dead leader's WAL straight from its
+// data directory — the zero-loss half of promotion. It takes the directory's
+// flock first: if the leader still runs, the lock fails loudly (with the
+// holder hint) and promotion is refused rather than forking the timeline.
+// Every fsynced — i.e. possibly acknowledged — record beyond the follower's
+// streamed position is applied; a torn final frame (the leader died
+// mid-write, so it was never acknowledged) is tolerated in the last segment
+// only. Uncommitted transaction suffixes stay buffered and are never
+// published. Returns the number of records recovered.
+func (f *Follower) CatchupFromDir(dir string) (int64, error) {
+	lock, err := wal.LockDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("repl: catch-up refused: %w", err)
+	}
+	defer lock.Close()
+
+	segs, err := wal.SegmentFiles(dir)
+	if err != nil {
+		return 0, fmt.Errorf("repl: catch-up: %w", err)
+	}
+	f.mu.Lock()
+	seg, off := f.seg, f.off
+	f.mu.Unlock()
+
+	var recovered int64
+	for i, seq := range segs {
+		if seq < seg {
+			continue
+		}
+		if seq > seg {
+			return recovered, fmt.Errorf("repl: catch-up: segment %d missing from %s (follower at %d)", seg, dir, seg)
+		}
+		buf, err := os.ReadFile(wal.SegmentFilePath(dir, seq))
+		if err != nil {
+			return recovered, fmt.Errorf("repl: catch-up: %w", err)
+		}
+		if off > int64(len(buf)) {
+			return recovered, fmt.Errorf("repl: catch-up: follower offset %d beyond segment %d (%d bytes)", off, seq, len(buf))
+		}
+		n, consumed, err := wal.ScanFrames(buf[off:], f.applyRecord)
+		recovered += n
+		if err != nil {
+			return recovered, fmt.Errorf("repl: catch-up: segment %d: %w", seq, err)
+		}
+		if off+consumed != int64(len(buf)) && i != len(segs)-1 {
+			return recovered, fmt.Errorf("repl: catch-up: torn record inside non-final segment %d", seq)
+		}
+		off += consumed
+		if i != len(segs)-1 {
+			seg, off = seq+1, 0
+		}
+	}
+
+	f.mu.Lock()
+	f.seg = seg
+	f.off = off
+	f.applied += recovered
+	f.lag = 0
+	f.mu.Unlock()
+	return recovered, nil
+}

@@ -1,0 +1,170 @@
+// Package repl is the physical-replication subsystem: a leader ships its
+// write-ahead log as an HTTP stream, and followers bootstrap from the
+// leader's latest checkpoint, tail the stream, and apply records through
+// the engine's recovery logic into their own catalog+store — MVCC read
+// replicas whose visible state is always transaction-consistent.
+//
+// The wire protocol is deliberately dumb: /repl/snapshot is the raw bytes
+// of checkpoint.snap (the follower parses it with the same code recovery
+// uses), and /repl/wal?segment=N&offset=K is a run of whole CRC-framed
+// records cut from the leader's durable prefix. Positions are (segment,
+// byte offset) pairs in the leader's coordinate system; record-count
+// headers let both sides compute replication lag in records exactly.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"udfdecorr/internal/wal"
+)
+
+// Wire protocol headers on /repl/wal responses.
+const (
+	// hdrSealed is "1" when the response's bytes reach the end of a sealed
+	// segment: the reader advances to (segment+1, 0) after applying them.
+	hdrSealed = "X-Repl-Sealed"
+	// hdrTipSegment/hdrTipOffset name the leader's durable tip when the
+	// response was cut.
+	hdrTipSegment = "X-Repl-Tip-Segment"
+	hdrTipOffset  = "X-Repl-Tip-Offset"
+	// hdrTipRecords is the cumulative record count at the durable tip, and
+	// hdrSegRecords the count at the requested segment's first byte; the
+	// difference minus the frames a follower has applied inside the segment
+	// is its lag, in records.
+	hdrTipRecords = "X-Repl-Tip-Records"
+	hdrSegRecords = "X-Repl-Segment-Records"
+)
+
+// maxWait caps a /repl/wal long-poll; followers re-poll immediately, so the
+// cap only bounds how long a dead follower's request can pin a connection.
+const maxWait = 30 * time.Second
+
+// defaultChunk bounds one /repl/wal response body.
+const defaultChunk = 1 << 20
+
+// LeaderHandlers serves a leader's replication endpoints over its live WAL.
+type LeaderHandlers struct {
+	log *wal.Log
+	dir string
+}
+
+// NewLeaderHandlers builds the handler set for a durable service's log and
+// data directory.
+func NewLeaderHandlers(log *wal.Log, dir string) *LeaderHandlers {
+	return &LeaderHandlers{log: log, dir: dir}
+}
+
+// Register mounts the replication endpoints on a mux.
+func (h *LeaderHandlers) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/repl/snapshot", h.serveSnapshot)
+	mux.HandleFunc("/repl/wal", h.serveWAL)
+}
+
+// serveSnapshot streams the latest checkpoint image. 404 means the leader
+// has never checkpointed: the follower starts empty at segment 1.
+func (h *LeaderHandlers) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	// The snapshot file is replaced atomically by rename; reading it through
+	// one open descriptor sees exactly one complete image.
+	buf, err := os.ReadFile(wal.SnapshotPath(h.dir))
+	if errors.Is(err, os.ErrNotExist) {
+		http.Error(w, "no checkpoint yet", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	_, _ = w.Write(buf)
+}
+
+// serveWAL returns framed records from (segment, offset), long-polling at
+// the durable tip for up to wait_ms. 410 Gone means the segment was
+// checkpointed past the retention window and the follower must re-bootstrap.
+func (h *LeaderHandlers) serveWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	seg, err := strconv.ParseUint(q.Get("segment"), 10, 64)
+	if err != nil || seg == 0 {
+		http.Error(w, "bad segment", http.StatusBadRequest)
+		return
+	}
+	off, err := strconv.ParseInt(q.Get("offset"), 10, 64)
+	if err != nil || off < 0 {
+		http.Error(w, "bad offset", http.StatusBadRequest)
+		return
+	}
+	maxBytes := defaultChunk
+	if s := q.Get("max_bytes"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 && n <= 16<<20 {
+			maxBytes = n
+		}
+	}
+	var wait time.Duration
+	if s := q.Get("wait_ms"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			wait = time.Duration(n) * time.Millisecond
+			if wait > maxWait {
+				wait = maxWait
+			}
+		}
+	}
+	deadline := time.Now().Add(wait)
+
+	for {
+		// Grab the watch channel BEFORE reading: a tip advance between the
+		// read and the wait then fires the channel rather than being missed.
+		watch := h.log.TipWatch()
+		data, sealed, rerr := h.log.ReadSegment(seg, off, maxBytes)
+		if rerr != nil {
+			if errors.Is(rerr, wal.ErrSegmentGone) {
+				http.Error(w, fmt.Sprintf("segment %d: %v", seg, rerr), http.StatusGone)
+				return
+			}
+			http.Error(w, rerr.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(data) > 0 || sealed || wait == 0 || time.Now().After(deadline) {
+			tip := h.log.StreamTip()
+			hd := w.Header()
+			hd.Set("Content-Type", "application/octet-stream")
+			if sealed {
+				hd.Set(hdrSealed, "1")
+			} else {
+				hd.Set(hdrSealed, "0")
+			}
+			hd.Set(hdrTipSegment, strconv.FormatUint(tip.Segment, 10))
+			hd.Set(hdrTipOffset, strconv.FormatInt(tip.Offset, 10))
+			hd.Set(hdrTipRecords, strconv.FormatInt(tip.Records, 10))
+			if n, ok := h.log.SegmentStartRecords(seg); ok {
+				hd.Set(hdrSegRecords, strconv.FormatInt(n, 10))
+			}
+			hd.Set("Content-Length", strconv.Itoa(len(data)))
+			_, _ = w.Write(data)
+			return
+		}
+		remain := time.Until(deadline)
+		timer := time.NewTimer(remain)
+		select {
+		case <-watch:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"udfdecorr/internal/engine"
+	"udfdecorr/internal/repl"
 )
 
 // NewHandler builds the HTTP/JSON API over a service:
@@ -22,6 +23,9 @@ import (
 //	POST /checkpoint                                -> {"checkpoints","wal_bytes"}
 //	GET  /stats                                     -> Stats
 //	GET  /metrics                                   -> Prometheus text exposition
+//	GET  /healthz                                   -> role, WAL position, replication lag
+//	GET  /repl/snapshot                             -> latest checkpoint image (durable only)
+//	GET  /repl/wal?segment=N&offset=K               -> framed WAL records (durable only)
 //
 // The empty session ID addresses a shared default session (SYS1, rewrite
 // mode). Row values are rendered in SQL literal syntax (strings quoted,
@@ -54,7 +58,48 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) { handleCheckpoint(svc, w, r) })
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(svc, w, r) })
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(svc, w, r) })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { handleHealthz(svc, w, r) })
+	if svc.durable != nil {
+		// A durable service is a valid replication source: its WAL stream and
+		// checkpoint are served regardless of role, so chained topologies
+		// (follower-of-follower) stay possible once a node is promoted.
+		repl.NewLeaderHandlers(svc.durable.WAL(), svc.durable.Dir()).Register(mux)
+	}
 	return mux
+}
+
+// handleHealthz is the readiness probe: the node's replication role, its WAL
+// position (the durable tip on a leader, the applied stream position on a
+// follower), and replication lag. A follower whose tail loop died fatally
+// reports 503 so load balancers stop routing reads to a stale replica.
+func handleHealthz(svc *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	role := svc.Role()
+	resp := map[string]any{"role": string(role)}
+	healthy := true
+	if st, ok := svc.ReplStatus(); ok {
+		resp["repl"] = st
+		if role == RoleFollower && st.Fatal {
+			healthy = false
+		}
+	}
+	if svc.durable != nil {
+		tip := svc.durable.WAL().StreamTip()
+		resp["wal"] = map[string]any{
+			"segment": tip.Segment,
+			"offset":  tip.Offset,
+			"records": tip.Records,
+		}
+	}
+	resp["healthy"] = healthy
+	code := http.StatusOK
+	if !healthy {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // handleMetrics serves the Prometheus text exposition. It reads the same

@@ -31,6 +31,7 @@ import (
 	"udfdecorr/internal/engine"
 	"udfdecorr/internal/exec"
 	"udfdecorr/internal/parser"
+	"udfdecorr/internal/repl"
 	"udfdecorr/internal/storage"
 )
 
@@ -218,6 +219,14 @@ type Service struct {
 	durable *engine.Durability
 
 	defaultParallelism int
+
+	// Replication role state (repl.go). Services are leaders (read-write)
+	// unless SetFollower flips them into a read-only replica; Promote flips
+	// back at failover. replStatus reports the feeding follower's progress.
+	replMu     sync.RWMutex
+	role       Role
+	leaderURL  string
+	replStatus func() repl.Status
 
 	mu       sync.Mutex // guards sessions, seq, and the stat counters below
 	sessions map[string]*Session
@@ -773,6 +782,11 @@ func (s *Service) ExecContext(ctx context.Context, sess *Session, script string)
 	if err != nil {
 		return err
 	}
+	if scriptMutates(parsed) {
+		if err := s.rejectOnReplica(); err != nil {
+			return err
+		}
+	}
 	qctx, cancel := sess.queryCtx(ctx)
 	defer cancel()
 	held, err := s.admission.acquireCtx(qctx, 1)
@@ -818,6 +832,21 @@ func (s *Service) ExecContext(ctx context.Context, sess *Session, script string)
 // scriptHasDDL reports whether the script contains schema statements.
 func scriptHasDDL(script *ast.Script) bool {
 	return len(script.Tables) > 0 || len(script.Functions) > 0
+}
+
+// scriptMutates reports whether the script would change state: DDL, INSERTs,
+// or transaction control. Read-only replicas reject exactly these.
+func scriptMutates(script *ast.Script) bool {
+	if scriptHasDDL(script) {
+		return true
+	}
+	for _, stmt := range script.Stmts {
+		switch stmt.(type) {
+		case *ast.InsertStmt, *ast.TxnStmt:
+			return true
+		}
+	}
+	return false
 }
 
 // execDML executes a DDL-free script's statements in order against the
@@ -871,6 +900,9 @@ func (s *Service) execDML(ctx context.Context, sess *Session, script *ast.Script
 
 // CreateIndex declares a secondary index (DDL: exclusive, invalidates).
 func (s *Service) CreateIndex(table, col string) error {
+	if err := s.rejectOnReplica(); err != nil {
+		return err
+	}
 	held := s.admission.acquire(1)
 	defer func() { s.admission.release(held) }()
 	gateStart := time.Now()
@@ -1022,9 +1054,10 @@ func (st Stats) Format() string {
 		st.QueryLatency.P50Micro, st.QueryLatency.P95Micro, st.QueryLatency.P99Micro,
 		st.QueryLatency.Count, st.SlowQueries)
 	if st.Durability != nil {
-		fmt.Fprintf(&b, "durability: dir=%s wal=%d bytes (seg %d), %d checkpoints, %d recovered records, fsync=%s\n",
-			st.Durability.Dir, st.Durability.WALBytes, st.Durability.Segment,
-			st.Durability.Checkpoints, st.Durability.RecoveredRecords, st.Durability.SyncPolicy)
+		fmt.Fprintf(&b, "durability: dir=%s wal=%d bytes (segs %d..%d), %d checkpoints, %d recovered records, fsync=%s\n",
+			st.Durability.Dir, st.Durability.WALBytes, st.Durability.OldestSegment,
+			st.Durability.NewestSegment, st.Durability.Checkpoints,
+			st.Durability.RecoveredRecords, st.Durability.SyncPolicy)
 	}
 	fmt.Fprintf(&b, "storage: %d tables, %d segments, %d rows, %d column bytes, scans: %d zero-copy / %d pivoted\n",
 		st.Storage.Tables, st.Storage.Segments, st.Storage.Rows, st.Storage.ColumnBytes,

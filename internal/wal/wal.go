@@ -137,6 +137,13 @@ type Options struct {
 	// SegmentBytes rotates to a fresh segment once the current one exceeds
 	// this size. <=0 means 4 MiB.
 	SegmentBytes int64
+	// RetainSegments keeps that many sealed segments below each checkpoint's
+	// replay boundary instead of deleting them immediately, so a replica
+	// catching up from an older snapshot can still stream them. 0 restores
+	// the delete-at-checkpoint behavior. Retained segments are dead weight
+	// for recovery (they predate the snapshot) and are cleaned up on the
+	// next Open.
+	RetainSegments int
 }
 
 const (
@@ -188,6 +195,15 @@ type Log struct {
 	bytes    int64  // total bytes across live segments
 	records  int64  // records appended this process
 	lastSync time.Time
+
+	// Replication-stream state: the durable tip (what may be shipped to a
+	// replica), per-segment cumulative record counts (lag is computed in
+	// records, in one coordinate system), and the tip-watch channel closed
+	// whenever the durable tip advances (long-polling readers wait on it).
+	oldestSeg  uint64           // smallest on-disk segment seq (incl. retained)
+	logRecords int64            // cumulative records in this log lineage (replayed + appended)
+	segStart   map[uint64]int64 // logRecords value at each live segment's start
+	tipCh      chan struct{}
 
 	// Group-commit state (SyncGroup policy). Batches are numbered: every
 	// append under mu takes the next writeGen ticket; a group flush observes
@@ -274,13 +290,15 @@ func Open(dir string, opts Options, apply func(Record) error) (*Log, RecoverySta
 		return nil, stats, fmt.Errorf("%w: first live segment is %d, snapshot boundary is %d (segment missing or stale snapshot deleted)",
 			ErrCorrupt, segs[0], firstSeg)
 	}
-	l := &Log{dir: dir, opts: opts, lock: lock, lastSync: time.Now()}
+	l := &Log{dir: dir, opts: opts, lock: lock, lastSync: time.Now(),
+		segStart: map[uint64]int64{}, tipCh: make(chan struct{})}
 	l.gcond = sync.NewCond(&l.gmu)
 	for i, seq := range segs {
 		if i > 0 && seq != segs[i-1]+1 {
 			return nil, stats, fmt.Errorf("%w: segment gap between %d and %d", ErrCorrupt, segs[i-1], seq)
 		}
 		last := i == len(segs)-1
+		l.segStart[seq] = l.logRecords
 		n, kept, torn, err := replaySegment(filepath.Join(dir, segName(seq)), last, apply)
 		if err != nil {
 			return nil, stats, err
@@ -289,6 +307,7 @@ func Open(dir string, opts Options, apply func(Record) error) (*Log, RecoverySta
 		stats.Segments++
 		stats.TornBytes += torn
 		l.bytes += kept
+		l.logRecords += n
 		if last {
 			l.seg = seq
 			l.segBytes = kept
@@ -310,22 +329,46 @@ func Open(dir string, opts Options, apply func(Record) error) (*Log, RecoverySta
 	}
 	// Whatever survived recovery is the durable prefix by definition.
 	l.syncedSegBytes = l.segBytes
+	l.oldestSeg = l.seg
+	if len(segs) > 0 {
+		l.oldestSeg = segs[0]
+	}
 	ok = true
 	return l, stats, nil
 }
 
 // acquireDirLock takes a non-blocking exclusive flock on path, failing fast
-// when another process holds the directory.
+// when another process holds the directory. The holder records itself in the
+// LOCK file, so a double-open error can name who owns the directory — the
+// classic way to hit this is pointing a follower at its leader's live data
+// dir, which must fail loudly rather than with a bare EWOULDBLOCK.
 func acquireDirLock(path string) (*os.File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		holder := "holder unknown"
+		if b, rerr := os.ReadFile(path); rerr == nil && len(strings.TrimSpace(string(b))) > 0 {
+			holder = "held by " + strings.TrimSpace(string(b))
+		}
 		f.Close()
-		return nil, fmt.Errorf("wal: data directory %s is locked by another process: %w", filepath.Dir(path), err)
+		return nil, fmt.Errorf("wal: data directory %q is locked by another process (%s): %w — a follower must use its leader's /repl endpoints, never its data dir",
+			filepath.Dir(path), holder, err)
+	}
+	// Best-effort holder stamp: truncate any stale owner's note first.
+	if err := f.Truncate(0); err == nil {
+		_, _ = f.WriteAt([]byte(fmt.Sprintf("pid %d since %s", os.Getpid(), time.Now().UTC().Format(time.RFC3339))), 0)
 	}
 	return f, nil
+}
+
+// LockDir takes the same exclusive flock a Log holds on its data directory
+// and returns it for the caller to Close. Promotion uses it to prove a dead
+// leader really is dead before draining its WAL tail from the filesystem: if
+// the leader still runs, the flock fails with the holder's identity.
+func LockDir(dir string) (*os.File, error) {
+	return acquireDirLock(filepath.Join(dir, lockName))
 }
 
 // listSegments returns the segment sequence numbers in dir, sorted.
@@ -360,7 +403,23 @@ func (l *Log) createSegmentLocked(seq uint64) error {
 	l.seg = seq
 	l.segBytes = 0
 	l.syncedSegBytes = 0
+	if l.segStart != nil {
+		l.segStart[seq] = l.logRecords
+	}
+	if l.oldestSeg == 0 {
+		l.oldestSeg = seq
+	}
+	l.advanceTipLocked() // the previous segment (if any) is sealed: fully readable
 	return nil
+}
+
+// advanceTipLocked wakes every long-polling stream reader: the durable tip
+// moved (a sync completed or a segment sealed). Caller holds mu.
+func (l *Log) advanceTipLocked() {
+	if l.tipCh != nil {
+		close(l.tipCh)
+		l.tipCh = make(chan struct{})
+	}
 }
 
 // Append frames rec, writes it to the current segment (rotating first if the
@@ -416,6 +475,7 @@ func (l *Log) AppendAll(recs ...Record) error {
 		l.segBytes += int64(len(frame))
 		l.bytes += int64(len(frame))
 		l.records++
+		l.logRecords++
 		written += int64(len(frame))
 		frames++
 	}
@@ -427,6 +487,7 @@ func (l *Log) AppendAll(recs ...Record) error {
 			return fail(err)
 		}
 		l.syncedSegBytes = l.segBytes
+		l.advanceTipLocked()
 	case SyncInterval:
 		if time.Since(l.lastSync) >= l.opts.SyncInterval {
 			l.lastSync = time.Now()
@@ -434,7 +495,11 @@ func (l *Log) AppendAll(recs ...Record) error {
 				return fail(err)
 			}
 			l.syncedSegBytes = l.segBytes
+			l.advanceTipLocked()
 		}
+	case SyncNone:
+		// No durability promise: the shippable tip is simply what was written.
+		l.advanceTipLocked()
 	case SyncGroup:
 		l.gmu.Lock()
 		l.writeGen++
@@ -503,6 +568,7 @@ func (l *Log) groupFlush() (uint64, error) {
 	l.syncedSegBytes = l.segBytes
 	l.lastSync = time.Now()
 	l.groupSyncs++
+	l.advanceTipLocked()
 	return covered, nil
 }
 
@@ -522,6 +588,7 @@ func (l *Log) discardLocked(n, k int64) {
 	l.segBytes -= n
 	l.bytes -= n
 	l.records -= k
+	l.logRecords -= k
 }
 
 // rotateLocked seals the current segment and starts the next one. A sync
@@ -552,6 +619,7 @@ func (l *Log) Sync() error {
 		return err
 	}
 	l.syncedSegBytes = l.segBytes
+	l.advanceTipLocked()
 	return nil
 }
 
@@ -584,15 +652,30 @@ func (l *Log) Checkpoint(emit func(write func(Record) error) error) error {
 		// only the truncation was lost.
 		return err
 	}
+	// Superseded segments are deleted, except the newest RetainSegments of
+	// them: a replica still streaming from before this checkpoint can catch
+	// up through the retained run instead of being forced to re-bootstrap.
+	cutoff := newSeg
+	if r := uint64(l.opts.RetainSegments); r > 0 {
+		if r >= cutoff {
+			cutoff = 0
+		} else {
+			cutoff -= r
+		}
+	}
 	removed := int64(0)
 	segs, err := listSegments(l.dir)
 	if err == nil {
+		l.oldestSeg = newSeg
 		for _, seq := range segs {
-			if seq < newSeg {
+			if seq < cutoff {
 				if fi, err := os.Stat(filepath.Join(l.dir, segName(seq))); err == nil {
 					removed += fi.Size()
 				}
 				_ = os.Remove(filepath.Join(l.dir, segName(seq)))
+				delete(l.segStart, seq)
+			} else if seq < l.oldestSeg {
+				l.oldestSeg = seq
 			}
 		}
 	}
@@ -611,6 +694,12 @@ type Stats struct {
 	Records int64
 	// Segment is the current segment sequence number.
 	Segment uint64
+	// OldestSegment is the smallest segment still on disk (retained segments
+	// included) — the earliest position a replica can stream from.
+	OldestSegment uint64
+	// NewestSegment equals Segment (the open segment); named for symmetry in
+	// /stats output.
+	NewestSegment uint64
 	// GroupSyncs is the number of shared fsync batches flushed under the
 	// SyncGroup policy (0 for other policies). Records appended minus
 	// GroupSyncs approximates the fsyncs saved by batching.
@@ -621,7 +710,8 @@ type Stats struct {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{Bytes: l.bytes, Records: l.records, Segment: l.seg, GroupSyncs: l.groupSyncs}
+	return Stats{Bytes: l.bytes, Records: l.records, Segment: l.seg,
+		OldestSegment: l.oldestSeg, NewestSegment: l.seg, GroupSyncs: l.groupSyncs}
 }
 
 // Close syncs and closes the current segment and releases the directory
@@ -643,6 +733,7 @@ func (l *Log) Close() error {
 		}
 		l.lock = nil
 	}
+	l.advanceTipLocked() // wake long-polling readers so they observe the close
 	return err
 }
 
@@ -816,6 +907,19 @@ func readSnapshot(path string, apply func(Record) error) (int64, uint64, error) 
 	if err != nil {
 		return 0, 0, err
 	}
+	records, firstSeg, err := ParseSnapshot(buf, apply)
+	if err != nil {
+		return records, 0, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	return records, firstSeg, nil
+}
+
+// ParseSnapshot replays an in-memory snapshot image (the byte-for-byte
+// contents of checkpoint.snap, e.g. as fetched from a leader's /repl/snapshot
+// endpoint) through apply. It returns the number of state records applied and
+// the first WAL segment that post-dates the snapshot — the position a replica
+// resumes streaming from.
+func ParseSnapshot(buf []byte, apply func(Record) error) (int64, uint64, error) {
 	var records int64
 	var firstSeg uint64
 	sawBegin, sawEnd := false, false
@@ -826,13 +930,13 @@ func readSnapshot(path string, apply func(Record) error) (int64, uint64, error) 
 			if err == nil {
 				err = io.ErrUnexpectedEOF
 			}
-			return records, 0, fmt.Errorf("%w: snapshot %s at offset %d: %v", ErrCorrupt, path, off, err)
+			return records, 0, fmt.Errorf("%w: at offset %d: %v", ErrCorrupt, off, err)
 		}
 		off += n
 		switch rec.Type {
 		case recSnapBegin:
 			if len(rec.Payload) != 8 {
-				return records, 0, fmt.Errorf("%w: snapshot %s: bad begin record", ErrCorrupt, path)
+				return records, 0, fmt.Errorf("%w: bad begin record", ErrCorrupt)
 			}
 			firstSeg = binary.BigEndian.Uint64(rec.Payload)
 			sawBegin = true
@@ -840,7 +944,7 @@ func readSnapshot(path string, apply func(Record) error) (int64, uint64, error) 
 			sawEnd = true
 		default:
 			if err := apply(rec); err != nil {
-				return records, 0, fmt.Errorf("snapshot %s: replay: %w", path, err)
+				return records, 0, fmt.Errorf("replay: %w", err)
 			}
 			records++
 		}
@@ -849,7 +953,7 @@ func readSnapshot(path string, apply func(Record) error) (int64, uint64, error) 
 		}
 	}
 	if !sawBegin || !sawEnd {
-		return records, 0, fmt.Errorf("%w: snapshot %s: incomplete (begin=%v end=%v)", ErrCorrupt, path, sawBegin, sawEnd)
+		return records, 0, fmt.Errorf("%w: incomplete snapshot (begin=%v end=%v)", ErrCorrupt, sawBegin, sawEnd)
 	}
 	return records, firstSeg, nil
 }
