@@ -76,6 +76,7 @@ import (
 	"udfdecorr/internal/obs"
 	"udfdecorr/internal/server"
 	"udfdecorr/internal/wal"
+	"udfdecorr/internal/wire"
 )
 
 func main() {
@@ -373,6 +374,11 @@ func removeWALFiles(dir string) error {
 type client struct {
 	base string
 	http *http.Client
+	// v1 requests the versioned wire envelope, so failures decode to typed
+	// *wire.RemoteError values carrying a code and leader hint. The
+	// durability clients stay on v0 deliberately: their failure mode is
+	// asserted against the legacy error strings.
+	v1 bool
 }
 
 // newHTTPClient builds an API client, allowing the -addr :8080 shorthand.
@@ -388,7 +394,15 @@ func (c *client) post(path string, body, out any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.v1 {
+		req.Header.Set("Accept", wire.V1Accept)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
@@ -396,6 +410,9 @@ func (c *client) post(path string, body, out any) error {
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return fmt.Errorf("POST %s: %w", path, err)
+	}
+	if c.v1 {
+		return wire.Decode(raw, resp.StatusCode, out)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e struct {

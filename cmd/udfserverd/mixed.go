@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"strings"
@@ -17,7 +18,19 @@ import (
 
 	"udfdecorr/internal/bench"
 	"udfdecorr/internal/obs"
+	"udfdecorr/internal/wire"
 )
+
+// leaderHint extracts the structured leader address from a follower's typed
+// write rejection ("" when the error is anything else). Requires a v1
+// client: v0 buries the address in the message text.
+func leaderHint(err error) string {
+	var rerr *wire.RemoteError
+	if errors.As(err, &rerr) && rerr.Code == wire.CodeReadOnly {
+		return rerr.LeaderHint
+	}
+	return ""
+}
 
 // runMixed drives the mixed load for dur and prints one machine-parseable
 // summary line (the CI gate greps write_qps out of it).
@@ -26,15 +39,34 @@ func runMixed(base string, writers, readers, batchRows int, table string, dur ti
 		return fmt.Errorf("-mixed needs at least one writer (got %d)", writers)
 	}
 	c := newHTTPClient(base)
+	c.v1 = true
 	base = c.base
+	// Writers follow a read-only replica's structured leader hint: pointing
+	// -mixed at a follower sends the writes to its leader automatically while
+	// the readers keep hitting the replica they were aimed at.
+	wbase := base
 	setup, err := newIterativeSession(c)
 	if err != nil {
 		return err
 	}
-	if err := c.post("/exec", map[string]any{"session": setup,
-		"script": fmt.Sprintf("create table %s (k int primary key, v varchar);", table)}, nil); err != nil {
-		if !strings.Contains(err.Error(), "already exists") {
+	ddl := fmt.Sprintf("create table %s (k int primary key, v varchar);", table)
+	if err := c.post("/exec", map[string]any{"session": setup, "script": ddl}, nil); err != nil {
+		hint := leaderHint(err)
+		if hint == "" && !strings.Contains(err.Error(), "already exists") {
 			return err
+		}
+		if hint != "" {
+			slog.Info("follower hinted at its leader; writers re-pointed", "leader", hint)
+			wbase = hint
+			c = newHTTPClient(wbase)
+			c.v1 = true
+			if setup, err = newIterativeSession(c); err != nil {
+				return err
+			}
+			if err := c.post("/exec", map[string]any{"session": setup, "script": ddl}, nil); err != nil &&
+				!strings.Contains(err.Error(), "already exists") {
+				return err
+			}
 		}
 	}
 	// Partition the key space per writer so batches never collide, and start
@@ -68,12 +100,14 @@ func runMixed(base string, writers, readers, batchRows int, table string, dur ti
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cl := newHTTPClient(base)
+			cl := newHTTPClient(wbase)
+			cl.v1 = true
 			session, err := newIterativeSession(cl)
 			if err != nil {
 				errs <- fmt.Errorf("writer %d: %w", w, err)
 				return
 			}
+			followed := false
 			next := baseKey + int64(w+1)*stride
 			for b := 0; time.Now().Before(deadline); b++ {
 				var script strings.Builder
@@ -82,8 +116,22 @@ func runMixed(base string, writers, readers, batchRows int, table string, dur ti
 						table, next+int64(i), w, b, i)
 				}
 				t0 := time.Now()
-				if err := cl.post("/exec", map[string]any{
-					"session": session, "script": script.String()}, nil); err != nil {
+				err := cl.post("/exec", map[string]any{
+					"session": session, "script": script.String()}, nil)
+				if err != nil {
+					// Follow the leader hint once (e.g. the node was demoted to
+					// a replica mid-run); a second rejection is a real failure.
+					if hint := leaderHint(err); hint != "" && !followed {
+						followed = true
+						cl = newHTTPClient(hint)
+						cl.v1 = true
+						if session, err = newIterativeSession(cl); err == nil {
+							err = cl.post("/exec", map[string]any{
+								"session": session, "script": script.String()}, nil)
+						}
+					}
+				}
+				if err != nil {
 					errs <- fmt.Errorf("writer %d batch %d: %w", w, b, err)
 					return
 				}

@@ -34,12 +34,22 @@
 // A query starting with EXPLAIN ANALYZE executes the statement and returns
 // the annotated per-operator plan instead of its rows: one "plan" column,
 // one row per line.
+//
+// Writes against a read-only replica follow the structured leader hint: when
+// Exec is rejected with a *server.ReadOnlyError whose Leader names another
+// registered service, the connection opens a companion session there (same
+// Options) and replays the statement, so "point the app at the nearest
+// replica" works for reads and writes alike. The redirect is depth-1 — a
+// hinted leader that itself rejects writes fails rather than hop again — and
+// transactions never redirect: BEGIN pins the follower session, which
+// rejects it with the same typed error for the caller to handle.
 package udfsql
 
 import (
 	"context"
 	"database/sql"
 	"database/sql/driver"
+	"errors"
 	"fmt"
 	"io"
 	"net/url"
@@ -186,7 +196,7 @@ func (c *Connector) Connect(context.Context) (driver.Conn, error) {
 	if c.opts.Timeout > 0 {
 		sess.SetTimeout(c.opts.Timeout)
 	}
-	return &conn{svc: c.svc, sess: sess, trace: c.opts.Trace}, nil
+	return &conn{svc: c.svc, sess: sess, opts: c.opts, trace: c.opts.Trace}, nil
 }
 
 // Driver implements driver.Connector.
@@ -196,8 +206,16 @@ func (c *Connector) Driver() driver.Driver { return &Driver{} }
 type conn struct {
 	svc   *server.Service
 	sess  *server.Session
+	opts  Options
 	trace string       // trace-ID label from Options.Trace ("" = server IDs)
 	seq   atomic.Int64 // per-connection trace sequence
+
+	// Leader-follow state: the lazily opened companion connection writes are
+	// replayed on after a follower's typed rejection. redirected marks a
+	// connection that is itself a redirect target (depth-1 guard).
+	mu         sync.Mutex
+	leader     *conn
+	redirected bool
 }
 
 // traceContext attaches the connection's next "<label>-<n>" trace ID, unless
@@ -218,8 +236,16 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	return &stmt{c: c, sql: query}, nil
 }
 
-// Close implements driver.Conn, dropping the session.
+// Close implements driver.Conn, dropping the session (and the redirect
+// companion's, when a write was followed to the leader).
 func (c *conn) Close() error {
+	c.mu.Lock()
+	leader := c.leader
+	c.leader = nil
+	c.mu.Unlock()
+	if leader != nil {
+		_ = leader.Close()
+	}
 	c.svc.CloseSession(c.sess.ID)
 	return nil
 }
@@ -281,9 +307,40 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []driver.Name
 		return nil, fmt.Errorf("udfsql: the dialect has no placeholder parameters (got %d args)", len(args))
 	}
 	if err := c.svc.ExecContext(ctx, c.sess, query); err != nil {
+		if lc := c.leaderConn(err); lc != nil {
+			return lc.ExecContext(ctx, query, args)
+		}
 		return nil, err
 	}
 	return driver.ResultNoRows, nil
+}
+
+// leaderConn resolves the connection to replay a rejected write on: the
+// error must be a follower's *server.ReadOnlyError whose leader hint names a
+// registered service. The companion connection is opened once and reused;
+// it is marked redirected so a mis-pointed "leader" that also rejects
+// writes fails with its own typed error instead of hopping again.
+func (c *conn) leaderConn(err error) *conn {
+	var roe *server.ReadOnlyError
+	if c.redirected || !errors.As(err, &roe) || roe.Leader == "" {
+		return nil
+	}
+	v, ok := registry.Load(roe.Leader)
+	if !ok {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leader == nil {
+		dc, cerr := NewConnector(v.(*server.Service), c.opts).Connect(context.Background())
+		if cerr != nil {
+			return nil
+		}
+		lc := dc.(*conn)
+		lc.redirected = true
+		c.leader = lc
+	}
+	return c.leader
 }
 
 // planRows serves an EXPLAIN ANALYZE result: a single "plan" column with one

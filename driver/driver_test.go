@@ -25,6 +25,7 @@ import (
 	"udfdecorr/internal/bench"
 	"udfdecorr/internal/engine"
 	"udfdecorr/internal/exec"
+	"udfdecorr/internal/repl"
 	"udfdecorr/internal/server"
 	"udfdecorr/internal/sqltypes"
 	"udfdecorr/internal/storage"
@@ -436,4 +437,83 @@ func (s *safeBuffer) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+// TestDriverLeaderFollow: a write rejected by a read-only replica whose
+// structured leader hint names a registered service is replayed on the
+// leader transparently; reads stay on the replica; transactions do not
+// redirect; and a hint pointing at another read-only service fails with the
+// typed error instead of hopping again (depth-1 guard).
+func TestDriverLeaderFollow(t *testing.T) {
+	mkSvc := func() *server.Service {
+		e := engine.New(engine.SYS1, engine.ModeRewrite)
+		if err := e.ExecScript("create table kv (k int primary key, v varchar); insert into kv values (1, 'a');"); err != nil {
+			t.Fatal(err)
+		}
+		return server.NewServiceFromEngine(e, server.DefaultOptions())
+	}
+	leader, replica := mkSvc(), mkSvc()
+	replica.SetFollower("follow-leader", func() repl.Status { return repl.Status{} })
+	udfsql.RegisterService("follow-leader", leader)
+	udfsql.RegisterService("follow-replica", replica)
+
+	db, err := sql.Open("udfsql", "follow-replica")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// One pooled connection so the redirect companion is provably reused.
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec("insert into kv values (2, 'b');"); err != nil {
+		t.Fatalf("redirected write failed: %v", err)
+	}
+	if _, err := db.Exec("insert into kv values (3, 'c');"); err != nil {
+		t.Fatalf("second redirected write failed: %v", err)
+	}
+
+	// The writes landed on the leader; the replica's store is untouched and
+	// reads through the DSN still come from it.
+	ldb, err := sql.Open("udfsql", "follow-leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldb.Close()
+	if got := dbQueryStrings(t, ldb, "select count(*) from kv"); got[0][0] != "3" {
+		t.Fatalf("leader row count = %v, want 3", got)
+	}
+	if got := dbQueryStrings(t, db, "select count(*) from kv"); got[0][0] != "1" {
+		t.Fatalf("replica read = %v, want the replica's own 1 row", got)
+	}
+
+	// Transactions stay typed rejections: BEGIN pins the follower session.
+	if _, err := db.Begin(); !errors.Is(err, server.ErrReadOnly) {
+		t.Fatalf("Begin on replica = %v, want ErrReadOnly", err)
+	}
+
+	// A hint naming another read-only service must fail typed, not loop.
+	second := mkSvc()
+	second.SetFollower("follow-replica", func() repl.Status { return repl.Status{} })
+	udfsql.RegisterService("follow-second", second)
+	sdb, err := sql.Open("udfsql", "follow-second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	if _, err := sdb.Exec("insert into kv values (9, 'z');"); !errors.Is(err, server.ErrReadOnly) {
+		t.Fatalf("follower-to-follower hint = %v, want ErrReadOnly", err)
+	}
+
+	// An unregistered hint surfaces the original rejection.
+	third := mkSvc()
+	third.SetFollower("http://nowhere:1", func() repl.Status { return repl.Status{} })
+	udfsql.RegisterService("follow-third", third)
+	tdb, err := sql.Open("udfsql", "follow-third")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tdb.Close()
+	if _, err := tdb.Exec("insert into kv values (9, 'z');"); !errors.Is(err, server.ErrReadOnly) {
+		t.Fatalf("unresolvable hint = %v, want ErrReadOnly", err)
+	}
 }

@@ -192,6 +192,10 @@ type ColDef struct {
 type CreateTableStmt struct {
 	Name string
 	Cols []ColDef
+	// ShardKey names the column the sharded query tier hash-partitions the
+	// table by (CREATE TABLE ... SHARD KEY (col)). Empty means the table is
+	// replicated to every shard. Single-node engines store but ignore it.
+	ShardKey string
 }
 
 // ParamDef is a UDF formal parameter.
@@ -223,7 +227,11 @@ func (s *CreateTableStmt) SQL() string {
 			parts[i] += " PRIMARY KEY"
 		}
 	}
-	return "CREATE TABLE " + s.Name + " (" + strings.Join(parts, ", ") + ");"
+	ddl := "CREATE TABLE " + s.Name + " (" + strings.Join(parts, ", ") + ")"
+	if s.ShardKey != "" {
+		ddl += " SHARD KEY (" + s.ShardKey + ")"
+	}
+	return ddl + ";"
 }
 
 // SQL implements Node.

@@ -64,6 +64,29 @@ type CorpusQuery struct {
 // by the bench harness (service_level, discount, partcount, getcost,
 // totalloss) and by ExtraUDFs (disc, lvl, tl, bigorders) is invoked at least
 // once.
+// ShardClass is the expected route class of each corpus query when the
+// schema is partitioned per ShardKeys (values match plan.ShardKind.String()).
+// The differential verify client asserts routable queries match the
+// single-node baseline and rejected ones fail with a typed UNSHARDABLE
+// error; internal/plan pins the same table against the classifier.
+var ShardClass = map[string]string{
+	"straight-line expression UDF":                   "scatter-concat",
+	"branching UDF (service_level)":                  "rejected", // UDF body reads orders
+	"branching UDF (lvl)":                            "rejected", // UDF body reads orders
+	"two scalar queries (discount)":                  "scatter-concat",
+	"cursor loop (partcount)":                        "single-shard",
+	"cursor loop with nested call (totalloss)":       "rejected", // UDF body reads lineitem
+	"cursor accumulation (tl)":                       "rejected", // UDF body reads lineitem
+	"nested scalar call (getcost)":                   "single-shard",
+	"UDF in predicate":                               "scatter-concat",
+	"table-valued UDF":                               "rejected", // TVF body reads orders
+	"TVF joined to base table":                       "rejected",
+	"correlated scalar subquery (min-cost supplier)": "single-shard",
+	"UDF over aggregated input":                      "rejected",
+	"plain group by (no UDF)":                        "scatter-merge",
+	"scalar aggregate (no UDF)":                      "scatter-merge",
+}
+
 var Corpus = []CorpusQuery{
 	{"straight-line expression UDF", "select orderkey, disc(totalprice) from orders where orderkey <= 120", true},
 	{"branching UDF (service_level)", "select custkey, service_level(custkey) from customer where custkey <= 60", true},

@@ -6,8 +6,10 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"udfdecorr/internal/engine"
+	"udfdecorr/internal/parser"
 	"udfdecorr/internal/sqltypes"
 	"udfdecorr/internal/storage"
 )
@@ -158,8 +160,55 @@ func Populate(e *engine.Engine, cfg Config) error {
 	return Load(e, cfg)
 }
 
+// TableData is one generated table's rows, in insertion order.
+type TableData struct {
+	Name string
+	Rows []storage.Row
+}
+
+// ShardKeys is the hash-partitioning the sharded tier uses for this schema:
+// the two large fact tables partition by the key their workload correlates
+// on (orders per customer, lineitem per part); every other table is small
+// reference data and is replicated to all shards.
+var ShardKeys = map[string]string{
+	"orders":   "custkey",
+	"lineitem": "partkey",
+}
+
+// ShardedSchema is Schema re-rendered with SHARD KEY declarations from
+// ShardKeys, for loading through the shard router. Parsing and re-rendering
+// (rather than string surgery) keeps it correct if Schema changes.
+func ShardedSchema() (string, error) {
+	script, err := parser.ParseScript(Schema)
+	if err != nil {
+		return "", fmt.Errorf("bench schema does not parse: %w", err)
+	}
+	var b strings.Builder
+	for _, t := range script.Tables {
+		if key, ok := ShardKeys[t.Name]; ok {
+			t.ShardKey = key
+		}
+		b.WriteString(t.SQL())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
 // Load fills all tables deterministically from the config.
 func Load(e *engine.Engine, cfg Config) error {
+	for _, t := range Generate(cfg) {
+		if err := e.Load(t.Name, t.Rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Generate produces the deterministic dataset as rows per table, in load
+// order. It is shared by Load (single node, rows straight into storage) and
+// the shard router's load client (same rows rendered as INSERT literals), so
+// a sharded cluster and a single-node baseline hold bit-identical data.
+func Generate(cfg Config) []TableData {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	customers := make([]storage.Row, 0, cfg.Customers)
@@ -184,13 +233,6 @@ func Load(e *engine.Engine, cfg Config) error {
 			})
 		}
 	}
-	if err := e.Load("customer", customers); err != nil {
-		return err
-	}
-	if err := e.Load("orders", orders); err != nil {
-		return err
-	}
-
 	cats := make([]storage.Row, 0, cfg.Categories)
 	ancestors := make([]storage.Row, 0, cfg.Categories*8)
 	ancRow := int64(0)
@@ -213,13 +255,6 @@ func Load(e *engine.Engine, cfg Config) error {
 			}
 		}
 	}
-	if err := e.Load("category", cats); err != nil {
-		return err
-	}
-	if err := e.Load("categoryancestor", ancestors); err != nil {
-		return err
-	}
-
 	catDiscounts := make([]storage.Row, 0, cfg.Categories)
 	for cat := 0; cat < cfg.Categories; cat++ {
 		catDiscounts = append(catDiscounts, storage.Row{
@@ -227,10 +262,6 @@ func Load(e *engine.Engine, cfg Config) error {
 			sqltypes.NewFloat(0.01 + float64(cat%20)/100),
 		})
 	}
-	if err := e.Load("categorydiscount", catDiscounts); err != nil {
-		return err
-	}
-
 	parts := make([]storage.Row, 0, cfg.Parts)
 	partcosts := make([]storage.Row, 0, cfg.Parts)
 	partsupps := make([]storage.Row, 0, cfg.Parts)
@@ -266,14 +297,15 @@ func Load(e *engine.Engine, cfg Config) error {
 			})
 		}
 	}
-	if err := e.Load("part", parts); err != nil {
-		return err
+	return []TableData{
+		{"customer", customers},
+		{"orders", orders},
+		{"category", cats},
+		{"categoryancestor", ancestors},
+		{"categorydiscount", catDiscounts},
+		{"part", parts},
+		{"partcost", partcosts},
+		{"partsupp", partsupps},
+		{"lineitem", lineitems},
 	}
-	if err := e.Load("partcost", partcosts); err != nil {
-		return err
-	}
-	if err := e.Load("partsupp", partsupps); err != nil {
-		return err
-	}
-	return e.Load("lineitem", lineitems)
 }

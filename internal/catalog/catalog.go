@@ -30,6 +30,11 @@ type Table struct {
 	Cols    []Column
 	PKCols  []string // primary-key column names (may be empty)
 	Indexes []string // columns with secondary hash indexes
+	// ShardKey is the column the sharded query tier hash-partitions this
+	// table by; empty means the table is replicated to every shard. The
+	// single-node engine stores it only so DDL round-trips through the WAL
+	// and the router can rebuild its placement map from forwarded DDL.
+	ShardKey string
 }
 
 // ColIndex returns the ordinal of a column, or -1.
@@ -197,7 +202,7 @@ func (c *Catalog) AddTable(t *Table) error {
 
 // AddTableFromAST registers a table from a parsed CREATE TABLE.
 func (c *Catalog) AddTableFromAST(stmt *ast.CreateTableStmt) (*Table, error) {
-	t := &Table{Name: stmt.Name}
+	t := &Table{Name: stmt.Name, ShardKey: stmt.ShardKey}
 	for _, col := range stmt.Cols {
 		t.Cols = append(t.Cols, Column{Name: col.Name, Type: col.Type})
 		if col.PrimaryKey {

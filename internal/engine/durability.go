@@ -490,7 +490,7 @@ func TableDDL(t *catalog.Table) string {
 	for _, c := range t.PKCols {
 		pk[c] = true
 	}
-	stmt := &ast.CreateTableStmt{Name: t.Name}
+	stmt := &ast.CreateTableStmt{Name: t.Name, ShardKey: t.ShardKey}
 	for _, c := range t.Cols {
 		stmt.Cols = append(stmt.Cols, ast.ColDef{Name: c.Name, Type: c.Type, PrimaryKey: pk[c.Name]})
 	}

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"testing"
+
+	"udfdecorr/internal/sqltypes"
+)
+
+func mustMerge(t *testing.T, specs []PartialAggSpec, shards ...[]sqltypes.Value) []sqltypes.Value {
+	t.Helper()
+	pm, err := NewPartialMerge(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, partials := range shards {
+		if err := pm.Absorb(partials); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := pm.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPartialMergeAvgWeighting: a global avg must weight each shard by its
+// row count, not average the shard averages. Shard A: 2 rows summing 10;
+// shard B: 8 rows summing 70. Global avg = 80/10 = 8, while the average of
+// the two shard averages would be (5+8.75)/2 = 6.875.
+func TestPartialMergeAvgWeighting(t *testing.T) {
+	specs := []PartialAggSpec{{Func: "avg"}}
+	out := mustMerge(t, specs,
+		[]sqltypes.Value{sqltypes.NewFloat(10), sqltypes.NewInt(2)},
+		[]sqltypes.Value{sqltypes.NewFloat(70), sqltypes.NewInt(8)},
+	)
+	if got, _ := out[0].AsFloat(); got != 8 {
+		t.Fatalf("merged avg = %v, want 8", out[0])
+	}
+}
+
+// TestPartialMergeAvgEmptyShard: a shard whose partition holds no matching
+// rows ships a NULL sum and zero count; it must not disturb the average.
+func TestPartialMergeAvgEmptyShard(t *testing.T) {
+	specs := []PartialAggSpec{{Func: "avg"}}
+	out := mustMerge(t, specs,
+		[]sqltypes.Value{sqltypes.Null, sqltypes.NewInt(0)},
+		[]sqltypes.Value{sqltypes.NewFloat(6), sqltypes.NewInt(3)},
+	)
+	if got, _ := out[0].AsFloat(); got != 2 {
+		t.Fatalf("merged avg = %v, want 2", out[0])
+	}
+	// All shards empty: avg of nothing is NULL.
+	out = mustMerge(t, specs,
+		[]sqltypes.Value{sqltypes.Null, sqltypes.NewInt(0)},
+		[]sqltypes.Value{sqltypes.Null, sqltypes.NewInt(0)},
+	)
+	if !out[0].IsNull() {
+		t.Fatalf("avg over all-empty shards = %v, want NULL", out[0])
+	}
+}
+
+// TestPartialMergeCountForms: COUNT(*) and COUNT(x) both merge by adding
+// per-shard finals — the NULL-skipping already happened shard-side, so a
+// shard that counted 0 non-NULL values contributes 0, not NULL.
+func TestPartialMergeCountForms(t *testing.T) {
+	specs := []PartialAggSpec{{Func: "count", Star: true}, {Func: "count"}}
+	out := mustMerge(t, specs,
+		[]sqltypes.Value{sqltypes.NewInt(4), sqltypes.NewInt(3)}, // 4 rows, 1 NULL x
+		[]sqltypes.Value{sqltypes.NewInt(2), sqltypes.NewInt(0)}, // 2 rows, all-NULL x
+	)
+	if got, _ := out[0].AsInt(); got != 6 {
+		t.Fatalf("count(*) = %v, want 6", out[0])
+	}
+	if got, _ := out[1].AsInt(); got != 3 {
+		t.Fatalf("count(x) = %v, want 3", out[1])
+	}
+}
+
+// TestPartialMergeMinMaxEmptyShards: empty shards ship NULL finals, which
+// min/max must skip; if every shard is empty the result stays NULL.
+func TestPartialMergeMinMaxEmptyShards(t *testing.T) {
+	specs := []PartialAggSpec{{Func: "min"}, {Func: "max"}}
+	out := mustMerge(t, specs,
+		[]sqltypes.Value{sqltypes.Null, sqltypes.Null},
+		[]sqltypes.Value{sqltypes.NewInt(5), sqltypes.NewInt(5)},
+		[]sqltypes.Value{sqltypes.NewInt(9), sqltypes.NewInt(9)},
+	)
+	if got, _ := out[0].AsInt(); got != 5 {
+		t.Fatalf("min = %v, want 5", out[0])
+	}
+	if got, _ := out[1].AsInt(); got != 9 {
+		t.Fatalf("max = %v, want 9", out[1])
+	}
+	out = mustMerge(t, specs,
+		[]sqltypes.Value{sqltypes.Null, sqltypes.Null},
+		[]sqltypes.Value{sqltypes.Null, sqltypes.Null},
+	)
+	if !out[0].IsNull() || !out[1].IsNull() {
+		t.Fatalf("min/max over all-empty shards = %v/%v, want NULL/NULL", out[0], out[1])
+	}
+}
+
+// TestPartialMergeSumNullSkip: sum skips empty-shard NULLs but stays NULL
+// when every shard was empty.
+func TestPartialMergeSumNullSkip(t *testing.T) {
+	specs := []PartialAggSpec{{Func: "sum"}}
+	out := mustMerge(t, specs,
+		[]sqltypes.Value{sqltypes.Null},
+		[]sqltypes.Value{sqltypes.NewInt(7)},
+	)
+	if got, _ := out[0].AsInt(); got != 7 {
+		t.Fatalf("sum = %v, want 7", out[0])
+	}
+	out = mustMerge(t, specs, []sqltypes.Value{sqltypes.Null})
+	if !out[0].IsNull() {
+		t.Fatalf("sum over all-empty shards = %v, want NULL", out[0])
+	}
+}
+
+// TestPartialMergeWidth: avg contributes two partial cells; a mis-sized
+// tuple is an error, not a silent misalignment.
+func TestPartialMergeWidth(t *testing.T) {
+	pm, err := NewPartialMerge([]PartialAggSpec{{Func: "avg"}, {Func: "sum"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Width() != 3 {
+		t.Fatalf("width = %d, want 3", pm.Width())
+	}
+	if err := pm.Absorb([]sqltypes.Value{sqltypes.NewInt(1)}); err == nil {
+		t.Fatal("short partial tuple did not error")
+	}
+	if _, err := NewPartialMerge([]PartialAggSpec{{Func: "median"}}); err == nil {
+		t.Fatal("unmergeable aggregate did not error")
+	}
+}

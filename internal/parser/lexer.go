@@ -46,7 +46,7 @@ var keywords = map[string]bool{
 	"RETURN": true, "BEGIN": true, "DECLARE": true, "SET": true, "IF": true,
 	"WHILE": true, "CURSOR": true, "FOR": true, "OPEN": true, "FETCH": true,
 	"NEXT": true, "CLOSE": true, "DEALLOCATE": true, "INSERT": true,
-	"VALUES": true, "PRIMARY": true, "KEY": true, "INT": true,
+	"VALUES": true, "PRIMARY": true, "KEY": true, "SHARD": true, "INT": true,
 	"INTEGER": true, "FLOAT": true, "REAL": true, "CHAR": true,
 	"VARCHAR": true, "STRING": true, "BOOLEAN": true, "BOOL": true,
 	"LIMIT": true, "UNION": true, "ALL": true,

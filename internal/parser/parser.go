@@ -280,6 +280,32 @@ func (p *Parser) parseCreateTable() (*ast.CreateTableStmt, error) {
 	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
 	}
+	if p.eatKeyword("SHARD") {
+		if err := p.expectKeyword("KEY"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		found := false
+		for _, cd := range stmt.Cols {
+			if strings.EqualFold(cd.Name, col) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("shard key column %q is not a column of table %s", col, stmt.Name)
+		}
+		stmt.ShardKey = col
+	}
 	return stmt, nil
 }
 

@@ -3,12 +3,14 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"udfdecorr/internal/engine"
 	"udfdecorr/internal/repl"
+	"udfdecorr/internal/wire"
 )
 
 // NewHandler builds the HTTP/JSON API over a service:
@@ -26,6 +28,19 @@ import (
 //	GET  /healthz                                   -> role, WAL position, replication lag
 //	GET  /repl/snapshot                             -> latest checkpoint image (durable only)
 //	GET  /repl/wal?segment=N&offset=K               -> framed WAL records (durable only)
+//
+// Every JSON endpoint speaks two wire versions (see internal/wire): the
+// legacy v0 shapes above remain the default; requests carrying
+// `Accept: application/vnd.udfd.v1+json` (or `X-Udfd-Wire: 1`) get the v1
+// envelope — results under "result", failures as typed {code, message}
+// errors with the node's role and, on a read-only follower, the leader's
+// address in the structured leader_hint field instead of inside the error
+// string.
+//
+// /query and /exec are aliases over one statement handler: /query expects
+// a single SELECT and returns its rows, /exec runs a DDL/DML/txn script and
+// returns {"ok":true}. Both accept the statement text under "sql" or
+// "script".
 //
 // The empty session ID addresses a shared default session (SYS1, rewrite
 // mode). Row values are rendered in SQL literal syntax (strings quoted,
@@ -46,14 +61,18 @@ import (
 //	{"cols":["k","v"],"rewritten":true,"cache_hit":false}   header, first line
 //	{"row":["1","'a'"]}                                     one line per row
 //	{"done":true,"row_count":2,"elapsed_us":1234,...}       trailer on success
-//	{"error":"..."}                                         trailer on failure
+//	{"error":"...","code":"..."}                            trailer on failure
+//
+// A /stream request may set "shard_partial":true to execute in shard-local
+// partial-aggregate mode (see Service.QueryStreamPartial) — the layout the
+// shard router's scatter-merge gather consumes.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) { handleSession(svc, w, r) })
 	mux.HandleFunc("/session/close", func(w http.ResponseWriter, r *http.Request) { handleSessionClose(svc, w, r) })
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { handleQuery(svc, w, r) })
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { handleStatement(svc, w, r, kindQuery) })
 	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) { handleStream(svc, w, r) })
-	mux.HandleFunc("/exec", func(w http.ResponseWriter, r *http.Request) { handleExec(svc, w, r) })
+	mux.HandleFunc("/exec", func(w http.ResponseWriter, r *http.Request) { handleStatement(svc, w, r, kindExec) })
 	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { handleExplain(svc, w, r) })
 	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) { handleCheckpoint(svc, w, r) })
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) { handleStats(svc, w, r) })
@@ -74,7 +93,7 @@ func NewHandler(svc *Service) http.Handler {
 // reports 503 so load balancers stop routing reads to a stale replica.
 func handleHealthz(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		respondErrorf(svc, w, r, http.StatusMethodNotAllowed, wire.CodeBadRequest, "use GET")
 		return
 	}
 	role := svc.Role()
@@ -99,14 +118,14 @@ func handleHealthz(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if !healthy {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, resp)
+	respond(svc, w, r, code, resp)
 }
 
 // handleMetrics serves the Prometheus text exposition. It reads the same
 // live sources as /stats, so the two surfaces always agree.
 func handleMetrics(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		respondErrorf(svc, w, r, http.StatusMethodNotAllowed, wire.CodeBadRequest, "use GET")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -128,15 +147,15 @@ func traceContext(r *http.Request) context.Context {
 // (operators and the durability CI use it to bound recovery time).
 func handleCheckpoint(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		respondErrorf(svc, w, r, http.StatusMethodNotAllowed, wire.CodeBadRequest, "POST only")
 		return
 	}
 	if err := svc.Checkpoint(); err != nil {
-		writeError(w, http.StatusConflict, "checkpoint: %v", err)
+		respondErrorf(svc, w, r, http.StatusConflict, wire.CodeInternal, "checkpoint: %v", err)
 		return
 	}
 	st := svc.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	respond(svc, w, r, http.StatusOK, map[string]any{
 		"checkpoints": st.Durability.Checkpoints,
 		"wal_bytes":   st.Durability.WALBytes,
 	})
@@ -162,9 +181,23 @@ type sessionResponse struct {
 	TimeoutMS   int64  `json:"timeout_ms"`
 }
 
-type queryRequest struct {
+// statementRequest is the shared /query + /stream + /exec request body. SQL
+// and Script are aliases; /exec clients historically send "script".
+type statementRequest struct {
 	Session string `json:"session"`
 	SQL     string `json:"sql"`
+	Script  string `json:"script"`
+	// ShardPartial selects shard-local partial-aggregate execution
+	// (/stream only; the shard router sets it on scatter-merge legs).
+	ShardPartial bool `json:"shard_partial"`
+}
+
+// text returns whichever of sql/script the client set.
+func (q *statementRequest) text() string {
+	if q.SQL != "" {
+		return q.SQL
+	}
+	return q.Script
 }
 
 type queryResponse struct {
@@ -178,11 +211,6 @@ type queryResponse struct {
 	PlanBuilds int64      `json:"plan_builds"`
 	Morsels    int64      `json:"morsels"`
 	Workers    int64      `json:"workers"`
-}
-
-type execRequest struct {
-	Session string `json:"session"`
-	Script  string `json:"script"`
 }
 
 type explainResponse struct {
@@ -203,27 +231,81 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+// respond writes a success payload in the request's negotiated wire
+// version: the bare legacy shape at v0, a wire envelope at v1.
+func respond(svc *Service, w http.ResponseWriter, r *http.Request, status int, result any) {
+	if wire.Version(r) != wire.V1 {
+		writeJSON(w, status, result)
+		return
+	}
+	env, err := wire.OK(result, string(svc.Role()), "", w.Header().Get("X-Trace-Id"))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, status, env)
+}
+
+// respondError writes err in the negotiated wire version. v0 keeps the
+// legacy {"error": string} body — including the leader address embedded in
+// a follower rejection's message, exactly one release behind. v1 derives
+// the typed code and the structured leader_hint from the error itself.
+func respondError(svc *Service, w http.ResponseWriter, r *http.Request, status int, err error) {
+	if wire.Version(r) != wire.V1 {
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	code, hint := classifyError(err, status)
+	writeJSON(w, status, wire.Fail(code, err.Error(), string(svc.Role()), hint, w.Header().Get("X-Trace-Id")))
+}
+
+func respondErrorf(svc *Service, w http.ResponseWriter, r *http.Request, status int, code wire.Code, format string, args ...any) {
+	if wire.Version(r) != wire.V1 {
+		writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+		return
+	}
+	writeJSON(w, status, wire.Fail(code, fmt.Sprintf(format, args...), string(svc.Role()), "", w.Header().Get("X-Trace-Id")))
+}
+
+// classifyError maps a service error (plus the HTTP status the legacy
+// handler chose) onto a typed wire code and optional leader hint.
+func classifyError(err error, status int) (wire.Code, string) {
+	var ro *ReadOnlyError
+	if errors.As(err, &ro) {
+		return wire.CodeReadOnly, ro.Leader
+	}
+	var re *wire.RemoteError
+	if errors.As(err, &re) && re.Code != "" {
+		// Forwarded errors (a router proxying a shard) keep their code.
+		return re.Code, re.LeaderHint
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return wire.CodeBadRequest, ""
+	case http.StatusNotFound:
+		return wire.CodeUnknownSession, ""
+	default:
+		return wire.CodeInternal, ""
+	}
 }
 
 // decodePost rejects non-POST methods and parses the JSON body into v.
-func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
+func decodePost(svc *Service, w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		respondErrorf(svc, w, r, http.StatusMethodNotAllowed, wire.CodeBadRequest, "use POST")
 		return false
 	}
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		respondErrorf(svc, w, r, http.StatusBadRequest, wire.CodeBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
 }
 
-func resolveSession(svc *Service, w http.ResponseWriter, id string) (*Session, bool) {
+func resolveSession(svc *Service, w http.ResponseWriter, r *http.Request, id string) (*Session, bool) {
 	sess, ok := svc.Session(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		respondErrorf(svc, w, r, http.StatusNotFound, wire.CodeUnknownSession, "unknown session %q", id)
 		return nil, false
 	}
 	return sess, true
@@ -231,14 +313,14 @@ func resolveSession(svc *Service, w http.ResponseWriter, id string) (*Session, b
 
 func handleSession(svc *Service, w http.ResponseWriter, r *http.Request) {
 	var req sessionRequest
-	if !decodePost(w, r, &req) {
+	if !decodePost(svc, w, r, &req) {
 		return
 	}
 	profile := engine.SYS1
 	if req.Profile != "" {
 		p, err := ParseProfile(req.Profile)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			respondError(svc, w, r, http.StatusBadRequest, err)
 			return
 		}
 		profile = p
@@ -247,7 +329,7 @@ func handleSession(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if req.Mode != "" {
 		m, err := ParseMode(req.Mode)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			respondError(svc, w, r, http.StatusBadRequest, err)
 			return
 		}
 		mode = m
@@ -261,7 +343,7 @@ func handleSession(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		sess.SetTimeout(time.Duration(req.TimeoutMS) * time.Millisecond)
 	}
-	writeJSON(w, http.StatusOK, sessionResponse{
+	respond(svc, w, r, http.StatusOK, sessionResponse{
 		Session:     sess.ID,
 		Mode:        mode.String(),
 		Profile:     profile.Name,
@@ -272,49 +354,68 @@ func handleSession(svc *Service, w http.ResponseWriter, r *http.Request) {
 }
 
 func handleSessionClose(svc *Service, w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if !decodePost(w, r, &req) {
+	var req statementRequest
+	if !decodePost(svc, w, r, &req) {
 		return
 	}
 	svc.CloseSession(req.Session)
-	writeJSON(w, http.StatusOK, okResponse{OK: true})
+	respond(svc, w, r, http.StatusOK, okResponse{OK: true})
 }
 
-func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if !decodePost(w, r, &req) {
+// stmtKind parameterizes the one statement handler both /query and /exec
+// alias: the decode / session-resolution / error paths are identical, only
+// the service call and the success payload differ.
+type stmtKind int
+
+const (
+	kindQuery stmtKind = iota // single SELECT, returns rows
+	kindExec                  // DDL/DML/txn script, returns ok
+)
+
+func handleStatement(svc *Service, w http.ResponseWriter, r *http.Request, kind stmtKind) {
+	var req statementRequest
+	if !decodePost(svc, w, r, &req) {
 		return
 	}
-	sess, ok := resolveSession(svc, w, req.Session)
+	sess, ok := resolveSession(svc, w, r, req.Session)
 	if !ok {
 		return
 	}
-	res, err := svc.QueryContext(traceContext(r), sess, req.SQL)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	w.Header().Set("X-Trace-Id", res.TraceID)
-	rows := make([][]string, len(res.Rows))
-	for i, row := range res.Rows {
-		out := make([]string, len(row))
-		for j, v := range row {
-			out[j] = v.String()
+	switch kind {
+	case kindQuery:
+		res, err := svc.QueryContext(traceContext(r), sess, req.text())
+		if err != nil {
+			respondError(svc, w, r, http.StatusBadRequest, err)
+			return
 		}
-		rows[i] = out
+		w.Header().Set("X-Trace-Id", res.TraceID)
+		rows := make([][]string, len(res.Rows))
+		for i, row := range res.Rows {
+			out := make([]string, len(row))
+			for j, v := range row {
+				out[j] = v.String()
+			}
+			rows[i] = out
+		}
+		respond(svc, w, r, http.StatusOK, queryResponse{
+			Cols:       res.Cols,
+			Rows:       rows,
+			RowCount:   len(rows),
+			Rewritten:  res.Rewritten,
+			CacheHit:   res.CacheHit,
+			ElapsedUS:  res.Elapsed.Microseconds(),
+			UDFCalls:   res.Counters.UDFCalls,
+			PlanBuilds: res.Counters.PlanBuilds,
+			Morsels:    res.Counters.Morsels,
+			Workers:    res.Counters.Workers,
+		})
+	case kindExec:
+		if err := svc.ExecContext(r.Context(), sess, req.text()); err != nil {
+			respondError(svc, w, r, http.StatusBadRequest, err)
+			return
+		}
+		respond(svc, w, r, http.StatusOK, okResponse{OK: true})
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
-		Cols:       res.Cols,
-		Rows:       rows,
-		RowCount:   len(rows),
-		Rewritten:  res.Rewritten,
-		CacheHit:   res.CacheHit,
-		ElapsedUS:  res.Elapsed.Microseconds(),
-		UDFCalls:   res.Counters.UDFCalls,
-		PlanBuilds: res.Counters.PlanBuilds,
-		Morsels:    res.Counters.Morsels,
-		Workers:    res.Counters.Workers,
-	})
 }
 
 // streamHeader is the first NDJSON line of a /stream response.
@@ -332,28 +433,38 @@ type streamRow struct {
 // streamTrailer terminates a /stream response: Done with summary metadata
 // on success, Error otherwise (including "context canceled" when the
 // session timeout fired — the client sees why its stream stopped short).
+// Code and LeaderHint carry the typed wire classification of a failure;
+// they are additive, so v0 clients that only look at Error keep working.
 type streamTrailer struct {
-	Done      bool   `json:"done,omitempty"`
-	RowCount  int    `json:"row_count,omitempty"`
-	ElapsedUS int64  `json:"elapsed_us,omitempty"`
-	UDFCalls  int64  `json:"udf_calls,omitempty"`
-	Morsels   int64  `json:"morsels,omitempty"`
-	Workers   int64  `json:"workers,omitempty"`
-	Error     string `json:"error,omitempty"`
+	Done       bool   `json:"done,omitempty"`
+	RowCount   int    `json:"row_count,omitempty"`
+	ElapsedUS  int64  `json:"elapsed_us,omitempty"`
+	UDFCalls   int64  `json:"udf_calls,omitempty"`
+	Morsels    int64  `json:"morsels,omitempty"`
+	Workers    int64  `json:"workers,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Code       string `json:"code,omitempty"`
+	LeaderHint string `json:"leader_hint,omitempty"`
 }
 
 func handleStream(svc *Service, w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if !decodePost(w, r, &req) {
+	var req statementRequest
+	if !decodePost(svc, w, r, &req) {
 		return
 	}
-	sess, ok := resolveSession(svc, w, req.Session)
+	sess, ok := resolveSession(svc, w, r, req.Session)
 	if !ok {
 		return
 	}
-	st, err := svc.QueryStream(traceContext(r), sess, req.SQL)
+	var st *Stream
+	var err error
+	if req.ShardPartial {
+		st, err = svc.QueryStreamPartial(traceContext(r), sess, req.text())
+	} else {
+		st, err = svc.QueryStream(traceContext(r), sess, req.text())
+	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		respondError(svc, w, r, http.StatusBadRequest, err)
 		return
 	}
 	defer st.Rows.Close()
@@ -392,7 +503,8 @@ func handleStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	st.Rows.Close() // settle Err and absorb parallel counters
 	if err := st.Rows.Err(); err != nil {
-		_ = enc.Encode(streamTrailer{Error: err.Error()})
+		code, hint := classifyError(err, http.StatusBadRequest)
+		_ = enc.Encode(streamTrailer{Error: err.Error(), Code: string(code), LeaderHint: hint})
 		flush()
 		return
 	}
@@ -408,49 +520,33 @@ func handleStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 	flush()
 }
 
-func handleExec(svc *Service, w http.ResponseWriter, r *http.Request) {
-	var req execRequest
-	if !decodePost(w, r, &req) {
-		return
-	}
-	sess, ok := resolveSession(svc, w, req.Session)
-	if !ok {
-		return
-	}
-	if err := svc.ExecContext(r.Context(), sess, req.Script); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, okResponse{OK: true})
-}
-
 func handleExplain(svc *Service, w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if !decodePost(w, r, &req) {
+	var req statementRequest
+	if !decodePost(svc, w, r, &req) {
 		return
 	}
-	sess, ok := resolveSession(svc, w, req.Session)
+	sess, ok := resolveSession(svc, w, r, req.Session)
 	if !ok {
 		return
 	}
 	var out string
 	var err error
 	if v := r.URL.Query().Get("analyze"); v == "1" || v == "true" {
-		out, err = svc.ExplainAnalyze(traceContext(r), sess, req.SQL)
+		out, err = svc.ExplainAnalyze(traceContext(r), sess, req.text())
 	} else {
-		out, err = svc.Explain(sess, req.SQL)
+		out, err = svc.Explain(sess, req.text())
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		respondError(svc, w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, explainResponse{Explain: out})
+	respond(svc, w, r, http.StatusOK, explainResponse{Explain: out})
 }
 
 func handleStats(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		respondErrorf(svc, w, r, http.StatusMethodNotAllowed, wire.CodeBadRequest, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, svc.Stats())
+	respond(svc, w, r, http.StatusOK, svc.Stats())
 }

@@ -21,8 +21,31 @@ const (
 )
 
 // ErrReadOnly marks statements rejected because the service is a read-only
-// replica; the full error names the leader to redirect writes to.
+// replica.
 var ErrReadOnly = errors.New("read-only replica")
+
+// ReadOnlyError is the typed form of a follower's write rejection. The
+// leader address travels in the Leader field (surfaced as the wire
+// envelope's leader_hint) so clients redirect structurally instead of
+// parsing it out of the message; Error() still names the leader for legacy
+// v0 clients and human logs.
+type ReadOnlyError struct {
+	// Leader is the base URL of the leader this replica follows, or "" when
+	// unknown (e.g. a follower that lost its leader and is awaiting
+	// promotion).
+	Leader string
+}
+
+// Error implements the error interface.
+func (e *ReadOnlyError) Error() string {
+	if e.Leader != "" {
+		return fmt.Sprintf("%v: writes, DDL and transactions must go to the leader at %s", ErrReadOnly, e.Leader)
+	}
+	return fmt.Sprintf("%v: writes, DDL and transactions are rejected here", ErrReadOnly)
+}
+
+// Unwrap makes errors.Is(err, ErrReadOnly) keep working.
+func (e *ReadOnlyError) Unwrap() error { return ErrReadOnly }
 
 // Role returns the service's current replication role. Services that never
 // touched replication are leaders.
@@ -87,10 +110,7 @@ func (s *Service) rejectOnReplica() error {
 	if s.role != RoleFollower {
 		return nil
 	}
-	if s.leaderURL != "" {
-		return fmt.Errorf("%w: writes, DDL and transactions must go to the leader at %s", ErrReadOnly, s.leaderURL)
-	}
-	return fmt.Errorf("%w: writes, DDL and transactions are rejected here", ErrReadOnly)
+	return &ReadOnlyError{Leader: s.leaderURL}
 }
 
 // ApplyExclusive runs fn under the exclusive side of the DDL gate and

@@ -600,14 +600,24 @@ type Stream struct {
 // phantom workers during execution. Waiting for admission itself honors
 // ctx, so a cancelled client leaves the queue without claiming slots.
 func (s *Service) QueryStream(ctx context.Context, sess *Session, sql string) (*Stream, error) {
-	return s.queryStream(ctx, sess, sql, false)
+	return s.queryStream(ctx, sess, sql, false, false)
+}
+
+// QueryStreamPartial is QueryStream in shard-local partial-aggregate mode:
+// the plan's root GROUP BY emits mergeable partial states (avg decomposed
+// into sum+count) instead of final values, in the canonical
+// keys-then-partials column layout the shard router's gather merges. Only
+// plans whose root is a projection over an all-mergeable GROUP BY qualify;
+// anything else fails at prepare time.
+func (s *Service) QueryStreamPartial(ctx context.Context, sess *Session, sql string) (*Stream, error) {
+	return s.queryStream(ctx, sess, sql, false, true)
 }
 
 // QueryStreamAnalyze is QueryStream with EXPLAIN ANALYZE instrumentation:
 // once the stream ends, Stream.Rows.Analyze renders the per-operator plan
 // tree. Rows are identical to an uninstrumented run.
 func (s *Service) QueryStreamAnalyze(ctx context.Context, sess *Session, sql string) (*Stream, error) {
-	return s.queryStream(ctx, sess, sql, true)
+	return s.queryStream(ctx, sess, sql, true, false)
 }
 
 // ExplainAnalyze executes sql to completion with per-operator
@@ -623,7 +633,7 @@ func (s *Service) ExplainAnalyze(ctx context.Context, sess *Session, sql string)
 	return st.Rows.Analyze(), nil
 }
 
-func (s *Service) queryStream(ctx context.Context, sess *Session, sql string, analyze bool) (*Stream, error) {
+func (s *Service) queryStream(ctx context.Context, sess *Session, sql string, analyze, partial bool) (*Stream, error) {
 	traceID := s.nextTraceID(ctx)
 	qctx, cancel := sess.queryCtx(ctx)
 	eng := sess.Engine()
@@ -654,7 +664,7 @@ func (s *Service) queryStream(ctx context.Context, sess *Session, sql string, an
 		s.maybeLogSlow(traceID, sess, eng, sql, prep, hit, wait, elapsed, rowsReturned, qerr)
 	}
 
-	prep, hit, err = s.prepare(eng, sql)
+	prep, hit, err = s.prepare(eng, sql, partial)
 	if err != nil {
 		// Count with slots=1: the query never executed, so it must not
 		// inflate the parallel_queries stat no matter the session's budget.
@@ -703,7 +713,7 @@ func (s *Service) Explain(sess *Session, sql string) (string, error) {
 	defer s.ddl.RUnlock()
 
 	eng := sess.Engine()
-	prep, _, err := s.prepare(eng, sql)
+	prep, _, err := s.prepare(eng, sql, false)
 	if err != nil {
 		return "", err
 	}
@@ -721,7 +731,7 @@ type prepCall struct {
 // Concurrent misses on the same key are deduplicated: one session compiles
 // while the rest wait for its Prepared (reported as a cache hit — they did
 // not pay for planning). Callers hold the ddl read lock.
-func (s *Service) prepare(eng *engine.Engine, sql string) (*engine.Prepared, bool, error) {
+func (s *Service) prepare(eng *engine.Engine, sql string, partial bool) (*engine.Prepared, bool, error) {
 	key := CacheKey{
 		SQL:            NormalizeSQL(sql),
 		Mode:           eng.Mode,
@@ -729,6 +739,7 @@ func (s *Service) prepare(eng *engine.Engine, sql string) (*engine.Prepared, boo
 		Vectorized:     eng.Profile.Vectorized,
 		Parallelism:    eng.Profile.Parallelism,
 		CatalogVersion: s.cat.Version(),
+		Partial:        partial,
 	}
 	if prep, ok := s.cache.Get(key); ok {
 		return prep, true, nil
@@ -750,7 +761,11 @@ func (s *Service) prepare(eng *engine.Engine, sql string) (*engine.Prepared, boo
 	s.inflight[key] = c
 	s.prepMu.Unlock()
 
-	c.prep, c.err = eng.Prepare(sql)
+	if partial {
+		c.prep, c.err = eng.PreparePartialAgg(sql)
+	} else {
+		c.prep, c.err = eng.Prepare(sql)
+	}
 	if c.err == nil {
 		s.cache.Put(key, c.prep)
 	}

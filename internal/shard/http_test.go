@@ -1,0 +1,153 @@
+// HTTP-surface test of the router handler: the versioned wire API (v0
+// legacy shapes, v1 envelope), /query-/exec aliasing and the NDJSON stream
+// with typed trailer errors.
+package shard_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"udfdecorr/internal/shard"
+	"udfdecorr/internal/wire"
+)
+
+func postRaw(t *testing.T, url string, v1 bool, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if v1 {
+		req.Header.Set("Accept", wire.V1Accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestRouterHTTP(t *testing.T) {
+	c := startCluster(t, 2)
+	ts := httptest.NewServer(shard.NewHandler(c.router))
+	defer ts.Close()
+
+	// v1 session create: enveloped with the router role.
+	resp, raw := postRaw(t, ts.URL+"/session", true, map[string]any{"mode": "rewrite"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session: status %d: %s", resp.StatusCode, raw)
+	}
+	var env wire.Envelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.V != wire.V1 || env.Role != "router" {
+		t.Fatalf("session v1 envelope = %s (err %v)", raw, err)
+	}
+	var sess struct {
+		Session string `json:"session"`
+		Shards  int    `json:"shards"`
+	}
+	if err := json.Unmarshal(env.Result, &sess); err != nil || sess.Session == "" || sess.Shards != 2 {
+		t.Fatalf("session result = %s", env.Result)
+	}
+
+	// /exec and /query are aliases: DDL + insert through /query, select
+	// through /exec, both legacy-shaped without the Accept header.
+	resp, raw = postRaw(t, ts.URL+"/query", false, map[string]any{
+		"session": sess.Session,
+		"script":  "create table pts (k int primary key, v int) shard key (k); insert into pts values (1, 10); insert into pts values (2, 20); insert into pts values (3, 30);",
+	})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"ok":true`) {
+		t.Fatalf("exec via /query: status %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw = postRaw(t, ts.URL+"/exec", false, map[string]any{
+		"session": sess.Session, "sql": "select k, v from pts where k = 2",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query via /exec: status %d: %s", resp.StatusCode, raw)
+	}
+	var q struct {
+		Rows     [][]string `json:"rows"`
+		RowCount int        `json:"row_count"`
+	}
+	if err := json.Unmarshal(raw, &q); err != nil || q.RowCount != 1 || len(q.Rows) != 1 || q.Rows[0][1] != "20" {
+		t.Fatalf("query via /exec = %s", raw)
+	}
+
+	// Unshardable SELECT over v1: typed UNSHARDABLE envelope naming the shape.
+	resp, raw = postRaw(t, ts.URL+"/query", true, map[string]any{
+		"session": sess.Session, "sql": "select k from pts order by v",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unshardable: status %d: %s", resp.StatusCode, raw)
+	}
+	env = wire.Envelope{}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil || env.Error.Code != wire.CodeUnshardable {
+		t.Fatalf("unshardable envelope = %s", raw)
+	}
+	if !strings.Contains(env.Error.Message, "ORDER BY") {
+		t.Fatalf("unshardable message %q does not name the shape", env.Error.Message)
+	}
+
+	// Streaming: header, scattered rows, done trailer.
+	resp, raw = postRaw(t, ts.URL+"/stream", false, map[string]any{
+		"session": sess.Session, "sql": "select k, v from pts",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d: %s", resp.StatusCode, raw)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	var rows int
+	var sawHeader, sawDone bool
+	for sc.Scan() {
+		var line struct {
+			Cols []string `json:"cols"`
+			Row  []string `json:"row"`
+			Done bool     `json:"done"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case !sawHeader:
+			sawHeader = true
+			if len(line.Cols) != 2 {
+				t.Fatalf("stream header cols = %v", line.Cols)
+			}
+		case line.Done:
+			sawDone = true
+		default:
+			rows++
+		}
+	}
+	if !sawHeader || !sawDone || rows != 3 {
+		t.Fatalf("stream shape: header=%v done=%v rows=%d", sawHeader, sawDone, rows)
+	}
+
+	// /stats reports the routing counters.
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap shard.StatsSnapshot
+	if err := json.NewDecoder(statsResp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if snap.Shards != 2 || snap.InsertsRouted != 3 || snap.DDLBroadcast != 1 {
+		t.Fatalf("stats = %+v", snap)
+	}
+}

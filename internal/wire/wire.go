@@ -1,0 +1,169 @@
+// Package wire defines the versioned JSON envelope every udfdecorr HTTP
+// response rides in, and the typed error codes clients route on.
+//
+// Two wire versions coexist:
+//
+//   - v0 (legacy): the ad-hoc per-endpoint shapes the daemon has served
+//     since PR 2 — bare result objects on success, {"error": "..."} on
+//     failure, with hints (like the leader address on a read-only follower)
+//     embedded in the error string. v0 remains the default so existing
+//     clients and CI scripts keep working unchanged; it is kept exactly one
+//     release behind and will be dropped once the router fleet is upgraded.
+//
+//   - v1: one envelope for every endpoint —
+//     {"v":1, "result":..., "role":"leader", "trace_id":"..."} on success,
+//     {"v":1, "error":{"code":"READ_ONLY","message":"..."},
+//     "leader_hint":"http://...", ...} on failure. Clients select it with
+//     an Accept-style knob: `Accept: application/vnd.udfd.v1+json` (or the
+//     X-Udfd-Wire: 1 header for clients that cannot reach Accept).
+//
+// The envelope exists because a router cannot compose string-matched
+// errors: scatter/gather needs to distinguish "this query is unshardable"
+// from "shard 2 is down" from "you are talking to a follower, the leader
+// is over there" without parsing prose.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Wire protocol versions.
+const (
+	V0 = 0 // legacy per-endpoint shapes
+	V1 = 1 // enveloped
+)
+
+// V1Accept is the Accept header media type that selects wire v1.
+const V1Accept = "application/vnd.udfd.v1+json"
+
+// VersionHeader is the fallback request header selecting a wire version
+// ("1"), for clients whose HTTP stack makes Accept awkward.
+const VersionHeader = "X-Udfd-Wire"
+
+// Code classifies an error for programmatic routing. Codes are part of the
+// v1 wire contract: renaming one is a breaking change.
+type Code string
+
+// Typed error codes.
+const (
+	// CodeBadRequest: the request itself is malformed (bad JSON, missing
+	// fields, unparsable SQL, unknown mode/profile).
+	CodeBadRequest Code = "BAD_REQUEST"
+	// CodeUnknownSession: the session id does not exist (expired or bogus).
+	CodeUnknownSession Code = "UNKNOWN_SESSION"
+	// CodeReadOnly: a write/DDL/transaction hit a read-only follower. The
+	// envelope's leader_hint carries the leader base URL when known.
+	CodeReadOnly Code = "READ_ONLY"
+	// CodeUnshardable: the router's feasibility pass rejected the statement;
+	// the message names the unsupported shape.
+	CodeUnshardable Code = "UNSHARDABLE"
+	// CodeShardUnavailable: a shard could not be reached at all.
+	CodeShardUnavailable Code = "SHARD_UNAVAILABLE"
+	// CodePartialFailure: a scatter was interrupted mid-flight — some shards
+	// answered, at least one failed; no partial results were returned.
+	CodePartialFailure Code = "PARTIAL_FAILURE"
+	// CodeInternal: everything else (execution errors, storage faults).
+	CodeInternal Code = "INTERNAL"
+)
+
+// Error is the structured error member of a v1 envelope.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+// Envelope is the single v1 response shape. Exactly one of Result / Error
+// is set. Role and LeaderHint describe the responding node's replication
+// position; TraceID echoes the request's trace for log correlation.
+type Envelope struct {
+	V          int             `json:"v"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      *Error          `json:"error,omitempty"`
+	Role       string          `json:"role,omitempty"`
+	LeaderHint string          `json:"leader_hint,omitempty"`
+	TraceID    string          `json:"trace_id,omitempty"`
+}
+
+// OK wraps a result payload in a success envelope.
+func OK(result any, role, leaderHint, traceID string) (*Envelope, error) {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return nil, err
+	}
+	return &Envelope{V: V1, Result: raw, Role: role, LeaderHint: leaderHint, TraceID: traceID}, nil
+}
+
+// Fail wraps a typed error in an error envelope.
+func Fail(code Code, msg, role, leaderHint, traceID string) *Envelope {
+	return &Envelope{
+		V:          V1,
+		Error:      &Error{Code: code, Message: msg},
+		Role:       role,
+		LeaderHint: leaderHint,
+		TraceID:    traceID,
+	}
+}
+
+// Version returns the wire version a request negotiated: V1 when the Accept
+// header includes V1Accept or the X-Udfd-Wire header says "1", else V0.
+func Version(r *http.Request) int {
+	if strings.Contains(r.Header.Get("Accept"), V1Accept) {
+		return V1
+	}
+	if r.Header.Get(VersionHeader) == "1" {
+		return V1
+	}
+	return V0
+}
+
+// RemoteError is the client-side view of a decoded error envelope (or of a
+// legacy v0 error body). It implements error; callers route on Code and
+// follow LeaderHint instead of string-matching Message.
+type RemoteError struct {
+	Code       Code
+	Message    string
+	LeaderHint string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	if e.Code == "" || e.Code == CodeInternal {
+		return e.Message
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Decode interprets a response body in either wire version. On a success
+// envelope it unmarshals the result into out (when out != nil) and returns
+// nil. On an error envelope (or a v0 {"error": ...} body with httpStatus
+// >= 400) it returns a *RemoteError. Legacy success bodies (no envelope)
+// unmarshal directly into out.
+func Decode(body []byte, httpStatus int, out any) error {
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.V == V1 {
+		if env.Error != nil {
+			return &RemoteError{Code: env.Error.Code, Message: env.Error.Message, LeaderHint: env.LeaderHint}
+		}
+		if out == nil || len(env.Result) == 0 {
+			return nil
+		}
+		return json.Unmarshal(env.Result, out)
+	}
+	// Legacy v0 shapes.
+	if httpStatus >= 400 {
+		var legacy struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &legacy); err == nil && legacy.Error != "" {
+			return &RemoteError{Code: CodeInternal, Message: legacy.Error}
+		}
+		return &RemoteError{Code: CodeInternal, Message: fmt.Sprintf("HTTP %d: %s", httpStatus, strings.TrimSpace(string(body)))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestGoldenEnvelopes pins the exact v1 wire bytes. These are a protocol
+// contract shared with routers and load clients that may be one release
+// ahead or behind — any diff here is a breaking wire change and must ship
+// with a version bump, not silently.
+func TestGoldenEnvelopes(t *testing.T) {
+	cases := []struct {
+		name string
+		env  *Envelope
+		want string
+	}{
+		{
+			name: "success",
+			env:  mustOK(t, map[string]any{"ok": true}, "leader", "", "tr-1"),
+			want: `{"v":1,"result":{"ok":true},"role":"leader","trace_id":"tr-1"}`,
+		},
+		{
+			name: "read_only_with_leader_hint",
+			env:  Fail(CodeReadOnly, "writes, DDL and transactions must go to the leader", "follower", "http://127.0.0.1:8091", "tr-2"),
+			want: `{"v":1,"error":{"code":"READ_ONLY","message":"writes, DDL and transactions must go to the leader"},"role":"follower","leader_hint":"http://127.0.0.1:8091","trace_id":"tr-2"}`,
+		},
+		{
+			name: "unshardable",
+			env:  Fail(CodeUnshardable, "UDF service_level reads sharded table orders", "", "", ""),
+			want: `{"v":1,"error":{"code":"UNSHARDABLE","message":"UDF service_level reads sharded table orders"}}`,
+		},
+		{
+			name: "partial_failure",
+			env:  Fail(CodePartialFailure, "shard 2 (http://127.0.0.1:9103) failed mid-scatter", "", "", ""),
+			want: `{"v":1,"error":{"code":"PARTIAL_FAILURE","message":"shard 2 (http://127.0.0.1:9103) failed mid-scatter"}}`,
+		},
+	}
+	for _, tc := range cases {
+		raw, err := json.Marshal(tc.env)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		if string(raw) != tc.want {
+			t.Errorf("%s: wire bytes changed\n got: %s\nwant: %s", tc.name, raw, tc.want)
+		}
+	}
+}
+
+func mustOK(t *testing.T, result any, role, hint, trace string) *Envelope {
+	t.Helper()
+	env, err := OK(result, role, hint, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestDecodeV1(t *testing.T) {
+	env := Fail(CodeReadOnly, "read-only replica", "follower", "http://leader:1", "")
+	raw, _ := json.Marshal(env)
+	err := Decode(raw, 403, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	if re.Code != CodeReadOnly || re.LeaderHint != "http://leader:1" {
+		t.Fatalf("decoded %+v", re)
+	}
+
+	ok := mustOK(t, map[string]int{"n": 7}, "", "", "")
+	raw, _ = json.Marshal(ok)
+	var out struct {
+		N int `json:"n"`
+	}
+	if err := Decode(raw, 200, &out); err != nil || out.N != 7 {
+		t.Fatalf("decode success: %v %+v", err, out)
+	}
+}
+
+// TestDecodeLegacy keeps the v0 compatibility path honest: plain result
+// bodies and {"error": ...} bodies decode the way PR 2-era clients expect.
+func TestDecodeLegacy(t *testing.T) {
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := Decode([]byte(`{"session":"s1"}`), 200, &out); err != nil || out.Session != "s1" {
+		t.Fatalf("legacy success: %v %+v", err, out)
+	}
+	err := Decode([]byte(`{"error":"unknown session"}`), 404, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Message != "unknown session" {
+		t.Fatalf("legacy error: %v", err)
+	}
+}
+
+func TestVersionNegotiation(t *testing.T) {
+	r := httptest.NewRequest("POST", "/query", nil)
+	if got := Version(r); got != V0 {
+		t.Fatalf("default version = %d, want v0", got)
+	}
+	r.Header.Set("Accept", V1Accept)
+	if got := Version(r); got != V1 {
+		t.Fatalf("Accept negotiation = %d, want v1", got)
+	}
+	r = httptest.NewRequest("POST", "/query", nil)
+	r.Header.Set(VersionHeader, "1")
+	if got := Version(r); got != V1 {
+		t.Fatalf("header negotiation = %d, want v1", got)
+	}
+}
